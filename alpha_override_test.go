@@ -1,0 +1,40 @@
+package iva
+
+import "testing"
+
+func TestAlphaPerAttrApplied(t *testing.T) {
+	st, err := Create("", Options{
+		AlphaPerAttr:   map[string]float64{"title": 0.40},
+		CleanThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := st.Insert(Row{
+			"title": Strings("community systems paper"),
+			"year":  Num(float64(2000 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overrides resolve at rebuild time, once the attribute exists.
+	if err := st.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := st.Search(NewQuery(3).
+		WhereText("title", "community systems papre"). // transposition typo
+		WhereNum("year", 2010))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].Dist == 0 {
+		t.Fatalf("results = %v", res)
+	}
+	// The top hit is year 2010 with title ed 2.
+	want := 2.0
+	if d := res[0].Dist; d != want {
+		t.Fatalf("top dist = %v, want %v", d, want)
+	}
+}

@@ -1,0 +1,60 @@
+package iva
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStoreInsertBatch(t *testing.T) {
+	st, err := Create("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	rows := make([]Row, 200)
+	for i := range rows {
+		rows[i] = Row{
+			"name": Strings(fmt.Sprintf("bulk item %03d", i)),
+			"lot":  Num(float64(i)),
+		}
+	}
+	tids, err := st.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 200 {
+		t.Fatalf("%d tids", len(tids))
+	}
+	for i := 1; i < len(tids); i++ {
+		if tids[i] != tids[i-1]+1 {
+			t.Fatalf("non-consecutive tids at %d", i)
+		}
+	}
+	if st.Stats().Tuples != 200 {
+		t.Fatalf("live = %d", st.Stats().Tuples)
+	}
+	res, _, err := st.Search(NewQuery(1).WhereText("name", "bulk item 123").WhereNum("lot", 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].TID != tids[123] || res[0].Dist != 0 {
+		t.Fatalf("batch row not findable: %v", res)
+	}
+	// Index stays consistent.
+	rep, err := st.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("check failed: %v", rep.Problems)
+	}
+
+	// A bad row aborts the whole batch.
+	if _, err := st.InsertBatch([]Row{{"x": Num(1)}, {}}); err == nil {
+		t.Fatal("batch with empty row accepted")
+	}
+	if st.Stats().Tuples != 200 {
+		t.Fatal("failed batch inserted rows")
+	}
+}

@@ -1,0 +1,280 @@
+// Command ivatool creates, populates, inspects and queries iVA-file stores
+// on disk through the public API.
+//
+// Usage:
+//
+//	ivatool -dir DIR create
+//	ivatool -dir DIR insert '<attr>=<value>' [...]      # value: number or text
+//	ivatool -dir DIR query -k 10 '<attr>=<value>' [...]
+//	ivatool -dir DIR get <tid>
+//	ivatool -dir DIR delete <tid>
+//	ivatool -dir DIR stats
+//	ivatool -dir DIR rebuild
+//	ivatool -dir DIR demo                                # load a small product catalog
+//
+// Attribute values that parse as numbers are numeric; everything else is
+// text. Multiple strings for one text attribute repeat the attribute:
+// 'Industry=Computer' 'Industry=Software'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/sparsewide/iva"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "store directory (required)")
+		k       = flag.Int("k", 10, "top-k for queries")
+		metricF = flag.String("metric", "L2", "distance metric: L1, L2, Linf")
+		weights = flag.String("weights", "EQU", "attribute weights: EQU, ITF")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *dir == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ivatool -dir DIR <create|insert|query|get|delete|stats|rebuild|demo> ...")
+		os.Exit(2)
+	}
+	opts := iva.Options{Metric: *metricF, Weights: *weights}
+	cmd, rest := args[0], args[1:]
+	if err := run(cmd, rest, *dir, *k, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, args []string, dir string, k int, opts iva.Options) error {
+	switch cmd {
+	case "create":
+		st, err := iva.Create(dir, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("created store in %s\n", dir)
+		return nil
+	case "demo":
+		st, err := iva.Create(dir, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		return demo(st)
+	}
+
+	st, err := iva.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	switch cmd {
+	case "insert":
+		row, err := parseRow(args)
+		if err != nil {
+			return err
+		}
+		tid, err := st.Insert(row)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inserted tuple %d\n", tid)
+	case "query":
+		q := iva.NewQuery(k)
+		for _, a := range args {
+			attr, val, err := splitPair(a)
+			if err != nil {
+				return err
+			}
+			if f, ferr := strconv.ParseFloat(val, 64); ferr == nil {
+				q.WhereNum(attr, f)
+			} else {
+				q.WhereText(attr, val)
+			}
+		}
+		res, stats, err := st.Search(q)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			row, err := st.Get(r.TID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("tid=%d dist=%.3f %s\n", r.TID, r.Dist, formatRow(row))
+		}
+		fmt.Printf("(scanned %d, table accesses %d, filter %v, refine %v)\n",
+			stats.Scanned, stats.TableAccesses, stats.FilterTime, stats.RefineTime)
+	case "explain":
+		q := iva.NewQuery(k)
+		for _, a := range args {
+			attr, val, err := splitPair(a)
+			if err != nil {
+				return err
+			}
+			if f, ferr := strconv.ParseFloat(val, 64); ferr == nil {
+				q.WhereNum(attr, f)
+			} else {
+				q.WhereText(attr, val)
+			}
+		}
+		ex, err := st.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scanned %d, fetched %d (%.2f%%), pool bar %.3f\n",
+			ex.Scanned, ex.Fetched, 100*float64(ex.Fetched)/float64(max(ex.Scanned, 1)), ex.PoolMaxFinal)
+		for _, te := range ex.Terms {
+			fmt.Printf("  %-20s %-8s type %-3s alpha %.0f%%  defined %-6d ndf %-6d est[%.2f..%.2f] mean %.2f tight %.2f\n",
+				te.Attr, te.Kind, te.ListType, te.Alpha*100,
+				te.Defined, te.NDF, te.MinEst, te.MaxEst, te.MeanEst, te.Tightness)
+		}
+	case "get":
+		tid, err := parseTID(args)
+		if err != nil {
+			return err
+		}
+		row, err := st.Get(tid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatRow(row))
+	case "delete":
+		tid, err := parseTID(args)
+		if err != nil {
+			return err
+		}
+		if err := st.Delete(tid); err != nil {
+			return err
+		}
+		fmt.Printf("deleted tuple %d\n", tid)
+	case "stats":
+		s := st.Stats()
+		fmt.Printf("tuples      %d\n", s.Tuples)
+		fmt.Printf("deleted     %d\n", s.Deleted)
+		fmt.Printf("attributes  %d\n", s.Attributes)
+		fmt.Printf("table bytes %d\n", s.TableBytes)
+		fmt.Printf("index bytes %d\n", s.IndexBytes)
+		fmt.Printf("rebuilds    %d\n", s.Rebuilds)
+	case "rebuild":
+		if err := st.Rebuild(); err != nil {
+			return err
+		}
+		fmt.Println("rebuilt table and index files")
+	case "check":
+		rep, err := st.Check()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("entries %d, live %d, attributes %d, vectors verified %d\n",
+			rep.Entries, rep.Live, rep.Attributes, rep.VectorElems)
+		if rep.Ok() {
+			fmt.Println("ok")
+			return nil
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("PROBLEM: %s\n", p)
+		}
+		return fmt.Errorf("%d problems found", len(rep.Problems))
+	case "attrs":
+		for _, a := range st.Attrs() {
+			if a.DF == 0 {
+				continue
+			}
+			fmt.Printf("%-24s %-8s type %-3s alpha %.0f%%  df %-6d strs %-6d %d bits\n",
+				a.Name, a.Kind, a.ListType, a.Alpha*100, a.DF, a.Strings, a.Bits)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parseTID(args []string) (iva.TID, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("expected one tuple id")
+	}
+	v, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad tuple id %q", args[0])
+	}
+	return iva.TID(v), nil
+}
+
+func splitPair(s string) (attr, val string, err error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("bad pair %q, want attr=value", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// parseRow folds attr=value pairs; repeated text attributes accumulate
+// strings into one multi-string value.
+func parseRow(args []string) (iva.Row, error) {
+	texts := map[string][]string{}
+	nums := map[string]float64{}
+	for _, a := range args {
+		attr, val, err := splitPair(a)
+		if err != nil {
+			return nil, err
+		}
+		if f, ferr := strconv.ParseFloat(val, 64); ferr == nil {
+			nums[attr] = f
+		} else {
+			texts[attr] = append(texts[attr], val)
+		}
+	}
+	row := iva.Row{}
+	for a, v := range nums {
+		row[a] = iva.Num(v)
+	}
+	for a, ss := range texts {
+		row[a] = iva.Strings(ss...)
+	}
+	if len(row) == 0 {
+		return nil, fmt.Errorf("no attr=value pairs given")
+	}
+	return row, nil
+}
+
+func formatRow(row iva.Row) string {
+	parts := make([]string, 0, len(row))
+	for name, v := range row {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// demo loads the paper's Fig. 1 examples plus a few products.
+func demo(st *iva.Store) error {
+	rows := []iva.Row{
+		{"Type": iva.Strings("Job Position"), "Industry": iva.Strings("Computer", "Software"),
+			"Company": iva.Strings("Google"), "Salary": iva.Num(1000)},
+		{"Type": iva.Strings("Digital Camera"), "Price": iva.Num(230),
+			"Company": iva.Strings("Canon"), "Pixel": iva.Num(10000000)},
+		{"Type": iva.Strings("Music Album"), "Year": iva.Num(1996),
+			"Price": iva.Num(20), "Artist": iva.Strings("Michael Jackson")},
+		{"Type": iva.Strings("Digital Camera"), "Price": iva.Num(240), "Company": iva.Strings("Sony")},
+		{"Type": iva.Strings("Digital Camera"), "Price": iva.Num(230), "Company": iva.Strings("Cannon")},
+	}
+	for _, r := range rows {
+		if _, err := st.Insert(r); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("loaded %d demo tuples; try:\n  ivatool -dir DIR query 'Type=Digital Camera' 'Company=Canon' 'Price=200'\n", len(rows))
+	return nil
+}
+
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/sparsewide/iva"
+)
+
+func TestSplitPair(t *testing.T) {
+	cases := []struct {
+		in      string
+		a, v    string
+		wantErr bool
+	}{
+		{"Price=230", "Price", "230", false},
+		{"Type=Digital Camera", "Type", "Digital Camera", false},
+		{"a=b=c", "a", "b=c", false},
+		{"=x", "", "", true},
+		{"x=", "", "", true},
+		{"novalue", "", "", true},
+	}
+	for _, c := range cases {
+		a, v, err := splitPair(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("splitPair(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && (a != c.a || v != c.v) {
+			t.Errorf("splitPair(%q) = %q,%q", c.in, a, v)
+		}
+	}
+}
+
+func TestParseRow(t *testing.T) {
+	row, err := parseRow([]string{
+		"Price=230", "Industry=Computer", "Industry=Software", "Company=Canon",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["Price"].Kind() != iva.Numeric || row["Price"].Float() != 230 {
+		t.Fatalf("Price = %v", row["Price"])
+	}
+	if got := row["Industry"].Texts(); len(got) != 2 {
+		t.Fatalf("Industry = %v, want two strings", got)
+	}
+	if _, err := parseRow(nil); err == nil {
+		t.Fatal("empty row accepted")
+	}
+	if _, err := parseRow([]string{"bad"}); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	opts := iva.Options{Metric: "L2", Weights: "EQU"}
+	if err := run("create", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("insert", []string{"Type=Camera", "Price=230"}, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("query", []string{"Type=Camera", "Price=200"}, dir, 5, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("explain", []string{"Type=Camera", "Price=200"}, dir, 5, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("get", []string{"0"}, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("stats", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("rebuild", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("check", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("attrs", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("delete", []string{"0"}, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("get", []string{"0"}, dir, 10, opts); err == nil {
+		t.Fatal("get of deleted tuple succeeded")
+	}
+	if err := run("frobnicate", nil, dir, 10, opts); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run("get", []string{"notanumber"}, dir, 10, opts); err == nil {
+		t.Fatal("bad tid accepted")
+	}
+}
+
+func TestDemo(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "demo")
+	opts := iva.Options{}
+	if err := run("demo", nil, dir, 10, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("query", []string{"Type=Digital Camera", "Company=Canon"}, dir, 3, opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package iva_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/sparsewide/iva"
+)
+
+// The paper's running example: a community catalog with freely defined
+// attributes and a typo-tolerant structured similarity query.
+func Example() {
+	st, err := iva.Create("", iva.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	st.Insert(iva.Row{
+		"Type":    iva.Strings("Digital Camera"),
+		"Company": iva.Strings("Canon"),
+		"Price":   iva.Num(230),
+	})
+	st.Insert(iva.Row{
+		"Type":    iva.Strings("Digital Camera"),
+		"Company": iva.Strings("Sony"),
+		"Price":   iva.Num(240),
+	})
+
+	res, _, err := st.Search(iva.NewQuery(2).
+		WhereText("Company", "Cannon"). // the Fig. 2 typo
+		WhereNum("Price", 230))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range res {
+		row, _ := st.Get(r.TID)
+		fmt.Printf("%d. %s (dist %.2f)\n", i+1, row["Company"], r.Dist)
+	}
+	// Output:
+	// 1. {Canon} (dist 1.00)
+	// 2. {Sony} (dist 11.18)
+}
+
+// Multi-string text values: one cell can hold several strings, and the
+// per-attribute difference is the smallest edit distance among them.
+func ExampleStrings() {
+	st, _ := iva.Create("", iva.Options{})
+	defer st.Close()
+
+	st.Insert(iva.Row{"Industry": iva.Strings("Computer", "Software")})
+	res, _, _ := st.Search(iva.NewQuery(1).WhereText("Industry", "Software"))
+	fmt.Printf("dist %.0f\n", res[0].Dist)
+	// Output:
+	// dist 0
+}
+
+// Explicit term weights override the store's weighting scheme per query.
+func ExampleQuery_WhereTextWeighted() {
+	st, _ := iva.Create("", iva.Options{})
+	defer st.Close()
+
+	a, _ := st.Insert(iva.Row{"title": iva.Strings("gopher"), "tag": iva.Strings("zebra")})
+	st.Insert(iva.Row{"title": iva.Strings("zebra"), "tag": iva.Strings("gopher")})
+
+	res, _, _ := st.Search(iva.NewQuery(1).
+		WhereTextWeighted("title", "gopher", 10). // title matters most
+		WhereTextWeighted("tag", "gopher", 0.1))
+	fmt.Println(res[0].TID == a)
+	// Output:
+	// true
+}
+
+// A persistent store survives process restarts.
+func ExampleOpen() {
+	dir := mustTempDir()
+	st, _ := iva.Create(dir, iva.Options{})
+	st.Insert(iva.Row{"city": iva.Strings("harbin")})
+	st.Close()
+
+	st2, err := iva.Open(dir, iva.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st2.Close()
+	res, _, _ := st2.Search(iva.NewQuery(1).WhereText("city", "harbin"))
+	fmt.Printf("found at dist %.0f\n", res[0].Dist)
+	// Output:
+	// found at dist 0
+}
+
+func mustTempDir() string {
+	dir, err := os.MkdirTemp("", "iva-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,99 @@
+// Operations: the care-and-feeding surface of the store — bulk ingestion,
+// per-term query diagnostics (Explain), index introspection (Attrs), the
+// integrity checker (Check), and the §VI-style sharded deployment with
+// parallel fan-out search.
+//
+// Run with: go run ./examples/operations
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/sparsewide/iva"
+)
+
+func main() {
+	// A sharded, in-memory deployment: four partitions, searched in
+	// parallel and merged exactly (the paper's §VI observation that a flat
+	// index partitions trivially).
+	cluster, err := iva.CreateSharded("", 4, iva.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	makes := []string{"canon", "nikon", "sony", "olympus", "pentax", "leica"}
+	for i := 0; i < 8000; i++ {
+		if _, err := cluster.Insert(iva.Row{
+			"brand": iva.Strings(makes[rng.Intn(len(makes))]),
+			"model": iva.Strings(fmt.Sprintf("mk%d", rng.Intn(400))),
+			"price": iva.Num(float64(150 + rng.Intn(3000))),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q := iva.NewQuery(5).
+		WhereText("brand", "cannon").
+		WhereNum("price", 800)
+	res, stats, err := cluster.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sharded search over %d shards: %d results, %d of %d tuples fetched\n",
+		cluster.Shards(), len(res), stats.TableAccesses, stats.Scanned)
+	for i, r := range res {
+		row, _ := cluster.Get(r.TID)
+		fmt.Printf("  %d. tid=%-9d dist=%-8.3f brand=%v price=%v\n",
+			i+1, r.TID, r.Dist, row["brand"], row["price"])
+	}
+
+	// A single store exposes the deeper operational tools.
+	st, err := iva.Create("", iva.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	rows := make([]iva.Row, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, iva.Row{
+			"brand": iva.Strings(makes[rng.Intn(len(makes))]),
+			"price": iva.Num(float64(150 + rng.Intn(3000))),
+		})
+	}
+	if _, err := st.InsertBatch(rows); err != nil { // bulk-feed ingestion
+		log.Fatal(err)
+	}
+
+	// Explain: where do the bounds come from, and how tight are they?
+	ex, err := st.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexplain: fetched %d of %d, pool bar %.3f\n",
+		ex.Fetched, ex.Scanned, ex.PoolMaxFinal)
+	for _, te := range ex.Terms {
+		fmt.Printf("  %-7s type %-3s alpha %.0f%%  defined %-5d est mean %.2f [%.2f..%.2f] tightness %.2f\n",
+			te.Attr, te.ListType, te.Alpha*100, te.Defined, te.MeanEst, te.MinEst, te.MaxEst, te.Tightness)
+	}
+
+	// Attrs: what did §III-D's selection choose?
+	fmt.Println("\nindex layout:")
+	for _, a := range st.Attrs() {
+		if a.DF == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %-8s type %-3s %6.1f KiB for df %d\n",
+			a.Name, a.Kind, a.ListType, float64(a.Bits)/8/1024, a.DF)
+	}
+
+	// Check: the fsck that validates every vector against the table.
+	rep, err := st.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nintegrity: %d entries, %d vectors verified, ok=%v\n",
+		rep.Entries, rep.VectorElems, rep.Ok())
+}

@@ -1,0 +1,58 @@
+package iva
+
+import "testing"
+
+func TestStoreExplain(t *testing.T) {
+	st, err := Create("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 60; i++ {
+		brand := "canon"
+		if i%3 == 0 {
+			brand = "sonys"
+		}
+		if _, err := st.Insert(Row{
+			"brand": Strings(brand),
+			"price": Num(float64(100 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := NewQuery(5).WhereText("brand", "cannon").WhereNum("price", 120)
+	ex, err := st.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Results) != 5 {
+		t.Fatalf("%d results", len(ex.Results))
+	}
+	res, stats, err := st.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Dist != ex.Results[i].Dist {
+			t.Fatalf("explain results diverge at %d", i)
+		}
+	}
+	if ex.Fetched != stats.TableAccesses {
+		t.Fatalf("fetched %d vs search accesses %d", ex.Fetched, stats.TableAccesses)
+	}
+	if len(ex.Terms) != 2 {
+		t.Fatalf("%d terms", len(ex.Terms))
+	}
+	for _, te := range ex.Terms {
+		if te.Defined != 60 || te.NDF != 0 {
+			t.Fatalf("term %s: defined %d ndf %d", te.Attr, te.Defined, te.NDF)
+		}
+		if te.Attr != "brand" && te.Attr != "price" {
+			t.Fatalf("term name %q", te.Attr)
+		}
+	}
+	// The builder error path.
+	if _, err := st.Explain(NewQuery(1).WhereNumWeighted("price", 1, -1)); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

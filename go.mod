@@ -1,0 +1,3 @@
+module github.com/sparsewide/iva
+
+go 1.22

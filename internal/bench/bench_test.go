@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// small test configuration: enough data for the shapes to emerge, small
+// enough for CI.
+func testCfg() Config {
+	return Config{Tuples: 4000, TextAttrs: 120, NumAttrs: 12, Seed: 7}
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Run("fig8", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	if len(r.Rows) != len(valueSweep) {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		iva, sii := parse(t, row[1]), parse(t, row[2])
+		if iva >= sii {
+			t.Fatalf("values=%s: iVA accesses %v not below SII %v", row[0], iva, sii)
+		}
+		// Paper: iVA at 1.5–22% of SII. Allow a wider band at small scale.
+		if ratio := iva / sii; ratio > 0.5 {
+			t.Errorf("values=%s: access ratio %.2f too high", row[0], ratio)
+		}
+	}
+}
+
+func TestDefaultsExperiment(t *testing.T) {
+	r, err := Run("defaults", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	vals := map[string]string{}
+	for _, row := range r.Rows {
+		vals[row[0]] = row[1]
+	}
+	if vals["alpha"] != "20.0%" || vals["n"] != "2" {
+		t.Fatalf("Table I defaults wrong: %v", vals)
+	}
+	mean := parse(t, vals["mean attrs/tuple"])
+	if mean < 13 || mean > 20 {
+		t.Errorf("mean attrs/tuple = %v, want ≈16.3", mean)
+	}
+	// iVA must beat both baselines at any scale. (SII < DST only emerges
+	// above ~10k tuples — DST grows with |T| while SII grows with the
+	// queried attributes' df — so that ordering is asserted by the
+	// 60k run recorded in EXPERIMENTS.md, not at this test scale.)
+	iva := parse(t, vals["iVA query (model ms)"])
+	sii := parse(t, vals["SII query (model ms)"])
+	dst := parse(t, vals["DST query (model ms)"])
+	if iva >= sii || iva >= dst {
+		t.Errorf("iVA not fastest: iVA %v, SII %v, DST %v", iva, sii, dst)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Run("fig9", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		ivaFilter, siiFilter := parse(t, row[1]), parse(t, row[2])
+		ivaRefine, siiRefine := parse(t, row[3]), parse(t, row[4])
+		// The paper's trade-off: iVA pays more filtering (it scans content,
+		// not just tids) and gains much lower refining.
+		if ivaFilter <= siiFilter {
+			t.Errorf("values=%s: iVA filter %v not above SII %v", row[0], ivaFilter, siiFilter)
+		}
+		if ivaRefine >= siiRefine {
+			t.Errorf("values=%s: iVA refine %v not below SII %v", row[0], ivaRefine, siiRefine)
+		}
+	}
+}
+
+func TestSizesShape(t *testing.T) {
+	r, err := Run("sizes", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	table := parse(t, r.Rows[0][1])
+	sii := parse(t, r.Rows[1][1])
+	if sii <= 0 || sii >= table {
+		t.Errorf("SII size %v not in (0, table %v)", sii, table)
+	}
+	// iVA size must grow with alpha (non-decreasing per step — the printed
+	// megabytes are rounded — and strictly from the smallest alpha to the
+	// largest).
+	prev := 0.0
+	for _, row := range r.Rows[2:] {
+		mb := parse(t, row[1])
+		if mb < prev {
+			t.Errorf("iVA size shrank with alpha: %v after %v", mb, prev)
+		}
+		prev = mb
+	}
+	if first, last := parse(t, r.Rows[2][1]), prev; last <= first {
+		t.Errorf("iVA size flat across the whole alpha sweep: %v .. %v", first, last)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Run("fig10", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		iva, sii := parse(t, row[1]), parse(t, row[2])
+		if iva >= sii {
+			t.Errorf("values=%s: iVA %v not faster than SII %v (model ms)", row[0], iva, sii)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Run("fig12", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	for _, row := range r.Rows {
+		if parse(t, row[1]) >= parse(t, row[2]) {
+			t.Errorf("k=%s: iVA not below SII", row[0])
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r, err := Run("fig13", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d settings", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if parse(t, row[1]) >= parse(t, row[2]) {
+			t.Errorf("%s: iVA not faster than SII", row[0])
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := Run("fig15", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	// The paper's trade-off in machine-independent terms: longer vectors
+	// mean more index pages scanned (filter work grows) and fewer table
+	// accesses (refine work shrinks). The count columns are deterministic,
+	// unlike the modeled ms which include measured CPU time.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if parse(t, last[3]) <= parse(t, first[3]) {
+		t.Errorf("filter pages did not grow with alpha: %s -> %s", first[3], last[3])
+	}
+	if parse(t, last[4]) >= parse(t, first[4]) {
+		t.Errorf("table accesses did not shrink with alpha: %s -> %s", first[4], last[4])
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	cfg := testCfg()
+	cfg.Tuples = 2000
+	r, err := Run("fig17", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	// Update time decreases as beta grows, for every engine.
+	betaRows := r.Rows[:5]
+	for col := 1; col <= 3; col++ {
+		if parse(t, betaRows[0][col]) <= parse(t, betaRows[4][col]) {
+			t.Errorf("col %d: update time did not fall from beta=1%% to 5%%", col)
+		}
+	}
+}
+
+func TestAblateDomainsShape(t *testing.T) {
+	r, err := Run("ablate-domains", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	rel, abs := parse(t, r.Rows[0][1]), parse(t, r.Rows[1][1])
+	if rel >= abs {
+		t.Errorf("relative domain accesses %v not below absolute %v", rel, abs)
+	}
+}
+
+func TestAblatePlanShape(t *testing.T) {
+	r, err := Run("ablate-plan", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	// Mixed queries: the sequential plan keeps most of the table as
+	// candidates; the parallel plan fetches far fewer.
+	mixedSeq, mixedPar := parse(t, r.Rows[0][2]), parse(t, r.Rows[0][3])
+	scanned := parse(t, r.Rows[0][1])
+	if mixedSeq < 0.5*scanned {
+		t.Errorf("sequential candidates %v < half of scanned %v on text queries", mixedSeq, scanned)
+	}
+	if mixedPar >= mixedSeq {
+		t.Errorf("parallel fetches %v not below sequential candidates %v", mixedPar, mixedSeq)
+	}
+	// Numeric-only queries: the sequential plan prunes meaningfully.
+	numSeq := parse(t, r.Rows[1][2])
+	if numSeq >= parse(t, r.Rows[1][1]) {
+		t.Errorf("numeric-only sequential plan did not prune at all")
+	}
+}
+
+func TestAblateSignatureShape(t *testing.T) {
+	r, err := Run("ablate-signature", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+	if len(r.Rows) < 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Measured error falls with alpha.
+	if parse(t, r.Rows[0][2]) < parse(t, r.Rows[len(r.Rows)-1][2]) {
+		t.Errorf("measured error grew with alpha")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", testCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	r := Result{
+		Name:   "x",
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	if !strings.Contains(r.Render(), "== x ==") {
+		t.Error("Render missing header")
+	}
+	md := r.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "> n") {
+		t.Errorf("Markdown malformed:\n%s", md)
+	}
+}

@@ -1,0 +1,188 @@
+// Package bench is the experiment harness: it rebuilds the paper's
+// evaluation (§V, Table I and Figures 8–17) over the synthetic Google-Base
+// workload, driving the iVA-file, the SII inverted-index baseline, and the
+// DST direct scan side by side.
+//
+// Two time measurements are reported for every experiment: raw wall time on
+// the current machine, and modeled milliseconds from the storage layer's
+// physical-I/O counts priced with a 2009-HDD cost model (DESIGN.md §3.5).
+// Counts (table-file accesses, Fig. 8) are machine-independent.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sparsewide/iva/internal/core"
+	"github.com/sparsewide/iva/internal/dataset"
+	"github.com/sparsewide/iva/internal/invidx"
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/scan"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// Config fixes one experimental environment. The zero value selects the
+// paper's Table I defaults at a laptop-scale tuple count.
+type Config struct {
+	Tuples     int     // dataset scale; default 60,000 (paper: 779,019)
+	TextAttrs  int     // default 1081
+	NumAttrs   int     // default 66
+	CacheBytes int64   // shared file cache; default 10 MiB (paper setup)
+	PageSize   int     // default 4096
+	Alpha      float64 // default 0.20
+	N          int     // default 2
+	Seed       int64   // default 42
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tuples == 0 {
+		c.Tuples = 60000
+	}
+	if c.TextAttrs == 0 {
+		c.TextAttrs = 1081
+	}
+	if c.NumAttrs == 0 {
+		c.NumAttrs = 66
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 10 << 20
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.20
+	}
+	if c.N == 0 {
+		c.N = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's Table I defaults (scaled tuple count).
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Env is one built environment: dataset, table, and the three engines over
+// a shared buffer pool.
+type Env struct {
+	Cfg  Config
+	Pool *storage.Pool
+	Gen  *dataset.Generator
+	IDs  []model.AttrID
+	Tbl  *table.Table
+	IVA  *core.Index
+	SII  *invidx.Index
+	DST  *scan.Scanner
+	Disk storage.DiskModel
+}
+
+// NewEnv generates the dataset and builds the table and all three engines.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	e := &Env{
+		Cfg:  cfg,
+		Pool: storage.NewPool(cfg.PageSize, cfg.CacheBytes),
+		Disk: storage.DefaultDiskModel(),
+	}
+	e.Gen = dataset.New(dataset.Config{
+		Tuples:    cfg.Tuples,
+		TextAttrs: cfg.TextAttrs,
+		NumAttrs:  cfg.NumAttrs,
+		Seed:      cfg.Seed,
+	})
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(e.Pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		return nil, err
+	}
+	e.Tbl = tbl
+	if e.IDs, err = e.Gen.Populate(tbl); err != nil {
+		return nil, err
+	}
+	if e.IVA, err = core.Build(tbl, storage.NewFile(e.Pool, storage.NewMemDevice()),
+		core.Options{Alpha: cfg.Alpha, N: cfg.N}); err != nil {
+		return nil, err
+	}
+	if e.SII, err = invidx.Build(tbl, storage.NewFile(e.Pool, storage.NewMemDevice()),
+		invidx.Options{}); err != nil {
+		return nil, err
+	}
+	if e.DST, err = scan.New(tbl); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RebuildIVA replaces the iVA-file with one built under different options
+// (α and n sweeps reuse the same table and dataset).
+func (e *Env) RebuildIVA(opts core.Options) error {
+	ix, err := core.Build(e.Tbl, storage.NewFile(e.Pool, storage.NewMemDevice()), opts)
+	if err != nil {
+		return err
+	}
+	e.IVA = ix
+	return nil
+}
+
+// Metric builds the evaluation metric by name pair, e.g. ("EQU", "L2").
+func (e *Env) Metric(weights, combiner string) (*metric.Metric, error) {
+	c, err := metric.ByName(combiner)
+	if err != nil {
+		return nil, err
+	}
+	var w metric.Weighter
+	switch weights {
+	case "EQU":
+		w = metric.Equal{}
+	case "ITF":
+		cat := e.Tbl.Catalog()
+		w = metric.NewITF(e.Tbl.Live, func(a model.AttrID) int64 {
+			info, err := cat.Info(a)
+			if err != nil {
+				return 0
+			}
+			return info.DF
+		})
+	default:
+		return nil, fmt.Errorf("bench: unknown weights %q", weights)
+	}
+	return &metric.Metric{Combiner: c, Weighter: w, NDFPenalty: metric.DefaultNDFPenalty}, nil
+}
+
+// Queries builds a query set per §V-A.
+func (e *Env) Queries(values, k, count, seed int) ([]*model.Query, int) {
+	return e.Gen.Queries(dataset.QueryConfig{
+		Values: values, K: k, Count: count, Seed: int64(seed),
+	}, e.IDs)
+}
+
+// envCache shares built environments across benchmarks in one process:
+// building a 60k-tuple environment is far more expensive than any single
+// measurement.
+var (
+	envMu    sync.Mutex
+	envCache = map[Config]*Env{}
+)
+
+// SharedEnv returns a cached environment for cfg, building it on first use.
+// Callers must not mutate the returned environment's data (update
+// experiments build private environments instead).
+func SharedEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[cfg]; ok {
+		return e, nil
+	}
+	e, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	envCache[cfg] = e
+	return e, nil
+}

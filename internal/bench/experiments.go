@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/sparsewide/iva/internal/core"
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// Result is one experiment's printable output: a header row, data rows and
+// free-form notes (the comparison claims the paper makes about the figure).
+type Result struct {
+	Name   string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// queryCount and warmCount mirror §V-A: 50 queries, 10 for warming.
+const (
+	queryCount = 50
+	warmCount  = 10
+)
+
+// valueSweep is Fig. 8–11's x-axis: defined values per query.
+var valueSweep = []int{1, 3, 5, 7, 9}
+
+// ExpDefaults reports the Table I settings, the dataset statistics against
+// the paper's, and file sizes (§V-A prose: table 355.7 MB, SII 101.5 MB,
+// iVA 82.7–116.7 MB at full scale).
+func ExpDefaults(e *Env) (Result, error) {
+	r := Result{
+		Name:   "defaults",
+		Title:  "Table I & §V-A setup: defaults, dataset statistics, file sizes",
+		Header: []string{"parameter", "value", "paper"},
+	}
+	cfg := e.Cfg
+	// Dataset statistics.
+	tuples := e.Tbl.Live()
+	attrs := e.Tbl.Catalog().NumAttrs()
+	var defined, strs, strBytes int64
+	for _, info := range e.Tbl.Catalog().Attrs() {
+		defined += info.DF
+		strs += info.Str
+	}
+	for i := 0; i < min(cfg.Tuples, 2000); i++ {
+		for _, v := range e.Gen.Values(i) {
+			for _, s := range v.Strs {
+				strBytes += int64(len(s))
+				_ = s
+			}
+		}
+	}
+	var sampleStrs int64
+	for i := 0; i < min(cfg.Tuples, 2000); i++ {
+		for _, v := range e.Gen.Values(i) {
+			sampleStrs += int64(len(v.Strs))
+		}
+	}
+	meanLen := 0.0
+	if sampleStrs > 0 {
+		meanLen = float64(strBytes) / float64(sampleStrs)
+	}
+	r.Rows = append(r.Rows,
+		[]string{"defined values per query", "3", "3"},
+		[]string{"k", "10", "10"},
+		[]string{"distance metric", "Euclidean (L2)", "Euclidean"},
+		[]string{"attribute weight", "EQU", "Equal"},
+		[]string{"alpha", pct(cfg.Alpha), "20%"},
+		[]string{"n", fmt.Sprint(cfg.N), "2"},
+		[]string{"file cache", fmt.Sprintf("%d MiB", cfg.CacheBytes>>20), "10 MB"},
+		[]string{"tuples", fmt.Sprint(tuples), "779,019"},
+		[]string{"attributes", fmt.Sprint(attrs), "1,147 (1,081 text)"},
+		[]string{"mean attrs/tuple", f1(float64(defined) / float64(tuples)), "16.3"},
+		[]string{"mean string bytes", f1(meanLen), "16.8"},
+		[]string{"table file MB", f1(float64(e.Tbl.Bytes()) / 1e6), "355.7 (at 779k)"},
+		[]string{"SII file MB", f1(float64(e.SII.SizeBytes()) / 1e6), "101.5 (at 779k)"},
+		[]string{"iVA file MB", f1(float64(e.IVA.SizeBytes()) / 1e6), "82.7–116.7 (at 779k)"},
+	)
+
+	// One default query run, all three engines.
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	qs, warm := e.Queries(3, 10, queryCount, 1)
+	iva, err := e.RunIVA(qs, warm, m)
+	if err != nil {
+		return r, err
+	}
+	sii, err := e.RunSII(qs, warm, m)
+	if err != nil {
+		return r, err
+	}
+	dstQs := qs[:warm+5] // DST is slow and constant; 5 measured queries suffice
+	dst, err := e.RunDST(dstQs, warm, m)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows,
+		[]string{"iVA query (model ms)", f1(iva.TotalModelMS), "~2,000"},
+		[]string{"SII query (model ms)", f1(sii.TotalModelMS), "~4,000"},
+		[]string{"DST query (model ms)", f1(dst.TotalModelMS), "~30,000"},
+	)
+	r.Notes = append(r.Notes,
+		"Paper-scale absolute values shrink with the scaled-down tuple count; the ordering iVA < SII << DST is the reproduced claim.")
+	return r, nil
+}
+
+// ExpFig8 reproduces Fig. 8: table-file accesses per query vs. the number
+// of defined values per query, iVA vs. SII.
+func ExpFig8(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig8",
+		Title:  "Fig. 8: table file accesses per query vs. defined values per query",
+		Header: []string{"values/query", "iVA accesses", "SII accesses", "iVA/SII"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	for _, nv := range valueSweep {
+		qs, warm := e.Queries(nv, 10, queryCount, nv)
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		ratio := 0.0
+		if sii.MeanTableAccesses > 0 {
+			ratio = iva.MeanTableAccesses / sii.MeanTableAccesses
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(nv), f1(iva.MeanTableAccesses), f1(sii.MeanTableAccesses), pct(ratio),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: iVA accesses are ~1.5–22% of SII's and do not grow steadily with query width.")
+	return r, nil
+}
+
+// ExpFig9 reproduces Fig. 9: filtering and refining time per query.
+func ExpFig9(e *Env) (Result, error) {
+	r := Result{
+		Name:  "fig9",
+		Title: "Fig. 9: filtering and refining time per query (model ms)",
+		Header: []string{"values/query", "iVA filter", "SII filter",
+			"iVA refine", "SII refine"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	for _, nv := range valueSweep {
+		qs, warm := e.Queries(nv, 10, queryCount, nv)
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(nv),
+			f1(iva.FilterModelMS), f1(sii.FilterModelMS),
+			f1(iva.RefineModelMS), f1(sii.RefineModelMS),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: iVA sacrifices filtering time (it scans vectors, not just tids) and gains much lower refining time.")
+	return r, nil
+}
+
+// ExpFig10 reproduces Fig. 10: overall query time per query.
+func ExpFig10(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig10",
+		Title:  "Fig. 10: overall query time per query (model ms)",
+		Header: []string{"values/query", "iVA", "SII", "SII/iVA speedup"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	for _, nv := range valueSweep {
+		qs, warm := e.Queries(nv, 10, queryCount, nv)
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sp := 0.0
+		if iva.TotalModelMS > 0 {
+			sp = sii.TotalModelMS / iva.TotalModelMS
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(nv), f1(iva.TotalModelMS), f1(sii.TotalModelMS), f2(sp) + "x",
+		})
+	}
+	r.Notes = append(r.Notes, "Paper: iVA is usually about twice as fast as SII.")
+	return r, nil
+}
+
+// ExpFig11 reproduces Fig. 11: standard deviation of single-query time.
+func ExpFig11(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig11",
+		Title:  "Fig. 11: standard deviation of query time (model ms)",
+		Header: []string{"values/query", "iVA stddev", "SII stddev"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	for _, nv := range valueSweep {
+		qs, warm := e.Queries(nv, 10, queryCount, nv)
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(nv), f1(iva.StdDevModelMS), f1(sii.StdDevModelMS),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: the iVA-file significantly improves the stability of single-query time.")
+	return r, nil
+}
+
+// ExpFig12 reproduces Fig. 12: query time vs. k.
+func ExpFig12(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig12",
+		Title:  "Fig. 12: query time vs. k (model ms)",
+		Header: []string{"k", "iVA", "SII"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	// One workload; only k varies (the paper compares the same queries
+	// under different k).
+	base, warm := e.Queries(3, 10, queryCount, 12)
+	for _, k := range []int{5, 10, 15, 20, 25} {
+		qs := make([]*model.Query, len(base))
+		for i, q := range base {
+			cp := *q
+			cp.K = k
+			qs[i] = &cp
+		}
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{fmt.Sprint(k), f1(iva.TotalModelMS), f1(sii.TotalModelMS)})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: iVA beats SII for all k, with a flatter slope as k grows.")
+	return r, nil
+}
+
+// ExpFig13 reproduces Fig. 13: the six metric/weight settings S1..S6.
+func ExpFig13(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig13",
+		Title:  "Fig. 13: distance metrics and attribute weights S1–S6 (model ms)",
+		Header: []string{"setting", "iVA", "SII"},
+	}
+	settings := []struct {
+		label, weights, comb string
+	}{
+		{"S1 EQU+L1", "EQU", "L1"},
+		{"S2 EQU+L2", "EQU", "L2"},
+		{"S3 EQU+Linf", "EQU", "Linf"},
+		{"S4 ITF+L1", "ITF", "L1"},
+		{"S5 ITF+L2", "ITF", "L2"},
+		{"S6 ITF+Linf", "ITF", "Linf"},
+	}
+	qs, warm := e.Queries(3, 10, queryCount, 13)
+	for _, s := range settings {
+		m, err := e.Metric(s.weights, s.comb)
+		if err != nil {
+			return r, err
+		}
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		sii, err := e.RunSII(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{s.label, f1(iva.TotalModelMS), f1(sii.TotalModelMS)})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: the iVA-file outperforms SII significantly under all six settings.")
+	return r, nil
+}
+
+// alphaSweep is Fig. 14/15's x-axis.
+var alphaSweep = []float64{0.10, 0.15, 0.20, 0.25, 0.30}
+
+// ExpFig14 reproduces Fig. 14: iVA query time vs. relative vector length α.
+func ExpFig14(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig14",
+		Title:  "Fig. 14: effect of relative vector length alpha on iVA query time (model ms)",
+		Header: []string{"alpha", "iVA total", "index MB"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	qs, warm := e.Queries(3, 10, queryCount, 14)
+	for _, a := range alphaSweep {
+		if err := e.RebuildIVA(core.Options{Alpha: a, N: e.Cfg.N}); err != nil {
+			return r, err
+		}
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{
+			pct(a), f1(iva.TotalModelMS), f1(float64(e.IVA.SizeBytes()) / 1e6),
+		})
+	}
+	if err := e.RebuildIVA(core.Options{Alpha: e.Cfg.Alpha, N: e.Cfg.N}); err != nil {
+		return r, err
+	}
+	r.Notes = append(r.Notes,
+		"Paper: query time is U-shaped in alpha with the best value around 20%.")
+	return r, nil
+}
+
+// ExpFig15 reproduces Fig. 15: filter/refine split vs. α.
+func ExpFig15(e *Env) (Result, error) {
+	r := Result{
+		Name:  "fig15",
+		Title: "Fig. 15: iVA filtering and refining time vs. alpha (model ms)",
+		Header: []string{"alpha", "filter", "refine",
+			"filter pages", "table accesses"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	qs, warm := e.Queries(3, 10, queryCount, 15)
+	for _, a := range alphaSweep {
+		if err := e.RebuildIVA(core.Options{Alpha: a, N: e.Cfg.N}); err != nil {
+			return r, err
+		}
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{
+			pct(a), f1(iva.FilterModelMS), f1(iva.RefineModelMS),
+			f1(iva.MeanFilterPages), f1(iva.MeanTableAccesses),
+		})
+	}
+	if err := e.RebuildIVA(core.Options{Alpha: e.Cfg.Alpha, N: e.Cfg.N}); err != nil {
+		return r, err
+	}
+	r.Notes = append(r.Notes,
+		"Paper: filtering time keeps growing with longer vectors while refining time drops steadily.")
+	return r, nil
+}
+
+// ExpFig16 reproduces Fig. 16: iVA query time vs. gram length n.
+func ExpFig16(e *Env) (Result, error) {
+	r := Result{
+		Name:   "fig16",
+		Title:  "Fig. 16: effect of n-gram length on iVA query time (model ms)",
+		Header: []string{"n", "iVA total"},
+	}
+	m, err := e.Metric("EQU", "L2")
+	if err != nil {
+		return r, err
+	}
+	qs, warm := e.Queries(3, 10, queryCount, 16)
+	for _, n := range []int{2, 3, 4, 5} {
+		if err := e.RebuildIVA(core.Options{Alpha: e.Cfg.Alpha, N: n}); err != nil {
+			return r, err
+		}
+		iva, err := e.RunIVA(qs, warm, m)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, []string{fmt.Sprint(n), f1(iva.TotalModelMS)})
+	}
+	if err := e.RebuildIVA(core.Options{Alpha: e.Cfg.Alpha, N: e.Cfg.N}); err != nil {
+		return r, err
+	}
+	r.Notes = append(r.Notes,
+		"Paper: average query time keeps growing with n; n = 2 is the good choice for short text.")
+	return r, nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a Result as an aligned text table.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n%s\n\n", r.Name, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown formats a Result as a GitHub-flavored markdown table (used to
+// regenerate EXPERIMENTS.md).
+func (r Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.Name, r.Title)
+	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Experiments lists every runnable experiment in presentation order.
+var Experiments = []string{
+	"defaults", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "fig16", "fig17", "sizes",
+	"ablate-listtypes", "ablate-domains", "ablate-plan", "ablate-signature",
+}
+
+// Run executes one named experiment under cfg. Query experiments share a
+// cached environment; the update experiment (fig17) builds private ones.
+func Run(name string, cfg Config) (Result, error) {
+	if name == "fig17" {
+		return ExpFig17(cfg)
+	}
+	e, err := SharedEnv(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	switch name {
+	case "defaults":
+		return ExpDefaults(e)
+	case "fig8":
+		return ExpFig8(e)
+	case "fig9":
+		return ExpFig9(e)
+	case "fig10":
+		return ExpFig10(e)
+	case "fig11":
+		return ExpFig11(e)
+	case "fig12":
+		return ExpFig12(e)
+	case "fig13":
+		return ExpFig13(e)
+	case "fig14":
+		return ExpFig14(e)
+	case "fig15":
+		return ExpFig15(e)
+	case "fig16":
+		return ExpFig16(e)
+	case "sizes":
+		return ExpSizes(e)
+	case "ablate-listtypes":
+		return ExpAblateListTypes(e)
+	case "ablate-domains":
+		return ExpAblateDomains(e)
+	case "ablate-plan":
+		return ExpAblatePlan(e)
+	case "ablate-signature":
+		return ExpAblateSignature(e)
+	default:
+		return Result{}, fmt.Errorf("bench: unknown experiment %q (known: %s)",
+			name, strings.Join(Experiments, ", "))
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	samples := []sample{
+		{accesses: 10, scanned: 100, filterPages: 4, filterMS: 1, refineMS: 3, filterWall: 0.1, refineWall: 0.3},
+		{accesses: 20, scanned: 100, filterPages: 6, filterMS: 3, refineMS: 5, filterWall: 0.3, refineWall: 0.5},
+	}
+	s := aggregate(samples)
+	if s.Queries != 2 {
+		t.Fatalf("Queries = %d", s.Queries)
+	}
+	if s.MeanTableAccesses != 15 || s.MeanScanned != 100 || s.MeanFilterPages != 5 {
+		t.Fatalf("means: %+v", s)
+	}
+	if s.FilterModelMS != 2 || s.RefineModelMS != 4 || s.TotalModelMS != 6 {
+		t.Fatalf("model ms: %+v", s)
+	}
+	// Totals are 4 and 8 → stddev = 2 (population, n=2).
+	if math.Abs(s.StdDevModelMS-2) > 1e-9 {
+		t.Fatalf("StdDevModelMS = %v", s.StdDevModelMS)
+	}
+	if got := aggregate(nil); got.Queries != 0 {
+		t.Fatalf("empty aggregate: %+v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := stddev([]float64{5}); got != 0 {
+		t.Fatalf("single sample stddev = %v", got)
+	}
+	if got := stddev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("constant stddev = %v", got)
+	}
+	if got := stddev([]float64{1, 3}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("stddev = %v, want 1", got)
+	}
+}
+
+func TestUpdateMSFormula(t *testing.T) {
+	u := updateCosts{
+		tdModelMS: 4, tiModelMS: 6, trModelMS: 10000,
+		tdWallMS: 1, tiWallMS: 2, trWallMS: 1000,
+		tuples: 1000,
+	}
+	// model: 4 + 6 + 10000/(0.01*1000) = 10 + 1000 = 1010.
+	if got := u.updateMS(0.01, true); math.Abs(got-1010) > 1e-9 {
+		t.Fatalf("model updateMS = %v", got)
+	}
+	// wall: 1 + 2 + 1000/(0.05*1000) = 3 + 20 = 23.
+	if got := u.updateMS(0.05, false); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("wall updateMS = %v", got)
+	}
+	// Strictly decreasing in beta.
+	if u.updateMS(0.01, true) <= u.updateMS(0.05, true) {
+		t.Fatal("updateMS not decreasing in beta")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	r := Result{
+		Name:   "t",
+		Title:  "title",
+		Header: []string{"col", "x"},
+		Rows:   [][]string{{"longvalue", "1"}, {"s", "22"}},
+	}
+	out := r.Render()
+	lines := strings.Split(out, "\n")
+	// Find the header line and check that columns align.
+	var header, row1 string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "col") {
+			header = l
+			row1 = lines[i+2]
+			break
+		}
+	}
+	if header == "" {
+		t.Fatalf("header not found in:\n%s", out)
+	}
+	if strings.Index(header, "x") != strings.Index(row1, "1") {
+		t.Fatalf("columns misaligned:\n%q\n%q", header, row1)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Tuples != 60000 || c.Alpha != 0.20 || c.N != 2 || c.CacheBytes != 10<<20 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Tuples: 5, Alpha: 0.5}.withDefaults()
+	if c2.Tuples != 5 || c2.Alpha != 0.5 {
+		t.Fatalf("overrides lost: %+v", c2)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+// TestPerAttributeAlpha exercises §III-D's per-attribute relative vector
+// length: one attribute indexed with long signatures, another with short
+// ones, correctness unchanged and persistence intact.
+func TestPerAttributeAlpha(t *testing.T) {
+	fx := newFixture(t, 120, Options{
+		AlphaOverride: map[model.AttrID]float64{
+			0: 0.50, // textAttrs[0]
+			2: 0.05, // textAttrs[2]
+		},
+	}, 301)
+	m := metric.Default()
+
+	// Layouts must reflect the overrides.
+	if got := fx.ix.attrs[0].alpha; got != 0.50 {
+		t.Fatalf("attr 0 alpha = %v", got)
+	}
+	if got := fx.ix.attrs[2].alpha; got != 0.05 {
+		t.Fatalf("attr 2 alpha = %v", got)
+	}
+	if fx.ix.attrs[0].layout.Codec.Alpha() != 0.50 {
+		t.Fatal("attr 0 codec not overridden")
+	}
+	if fx.ix.attrs[1].layout.Codec.Alpha() != 0.20 {
+		t.Fatal("attr 1 lost the default alpha")
+	}
+
+	// Queries on overridden and default attributes stay exact.
+	for trial := 0; trial < 15; trial++ {
+		q := fx.randQuery(t, 2, 6)
+		got, _, err := fx.ix.Search(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDistances(got, bruteForce(t, fx, q, m)) {
+			t.Fatalf("trial %d: override broke exactness", trial)
+		}
+	}
+
+	// Inserts must encode under the per-attribute codecs too.
+	if _, err := fx.ix.Insert(map[model.AttrID]model.Value{
+		fx.textAttrs[0]: model.Text("override check"),
+		fx.textAttrs[2]: model.Text("short sig"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := (&model.Query{K: 1}).TextTerm(fx.textAttrs[2], "short sig")
+	res, _, err := fx.ix.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Dist != 0 {
+		t.Fatalf("inserted value not found at 0: %v", res)
+	}
+}
+
+func TestPerAttributeAlphaPersists(t *testing.T) {
+	pool := storage.NewPool(0, 10<<20)
+	fxOpts := Options{AlphaOverride: map[model.AttrID]float64{0: 0.40}}
+	fx := newFixture(t, 60, fxOpts, 302)
+	if err := fx.ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = pool
+	// Reopen from the same devices via the fixture's pool.
+	ix2, err := Open(fx.ix.f, fx.tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix2.attrs[0].alpha; got != 0.40 {
+		t.Fatalf("reopened attr 0 alpha = %v", got)
+	}
+	if ix2.attrs[0].layout.Codec.Alpha() != 0.40 {
+		t.Fatal("reopened codec wrong")
+	}
+	m := metric.Default()
+	q := fx.randQuery(t, 2, 5)
+	got, _, err := ix2.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDistances(got, bruteForce(t, fx, q, m)) {
+		t.Fatal("reopened override index differs from brute force")
+	}
+}

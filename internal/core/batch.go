@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sparsewide/iva/internal/bitio"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/vector"
+)
+
+// InsertBatch inserts several tuples in one critical section, appending to
+// each affected vector list once instead of once per tuple — the bulk-feed
+// ingestion path of a community system. Tuples receive consecutive ids,
+// returned in order. On ErrNeedsRebuild nothing has been inserted.
+func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	firstTID := ix.tbl.NextTID()
+	lastTID := firstTID + model.TID(len(batch)) - 1
+	if lastTID > ix.maxTID() || lastTID < firstTID {
+		return nil, ErrNeedsRebuild
+	}
+	if n := ix.tbl.Catalog().NumAttrs(); n > len(ix.attrs) {
+		if err := ix.growAttrs(n); err != nil {
+			return nil, err
+		}
+	}
+
+	// Encode everything per attribute before mutating any state.
+	writers := make(map[model.AttrID]*bitio.Writer)
+	encoders := make(map[model.AttrID]*vector.Encoder)
+	writerFor := func(a model.AttrID) (*bitio.Writer, *vector.Encoder, error) {
+		if w, ok := writers[a]; ok {
+			return w, encoders[a], nil
+		}
+		enc, err := vector.NewEncoder(ix.attrs[a].layout)
+		if err != nil {
+			return nil, nil, err
+		}
+		w := &bitio.Writer{}
+		writers[a], encoders[a] = w, enc
+		return w, enc, nil
+	}
+	var positional []model.AttrID
+	for id := range ix.attrs {
+		t := ix.attrs[id].layout.Type
+		if t == vector.TypeIII || t == vector.TypeIV {
+			positional = append(positional, model.AttrID(id))
+		}
+	}
+	encodeOne := func(tid model.TID, a model.AttrID, v model.Value, ndf bool) error {
+		st := &ix.attrs[a]
+		w, enc, err := writerFor(a)
+		if err != nil {
+			return err
+		}
+		if ndf {
+			if st.layout.Kind == model.KindText {
+				err = enc.EncodeText(w, tid, nil)
+			} else {
+				err = enc.EncodeNumeric(w, tid, 0, true)
+			}
+		} else {
+			switch st.layout.Kind {
+			case model.KindText:
+				sigs := make([]signature.Sig, len(v.Strs))
+				for i, s := range v.Strs {
+					sigs[i] = st.layout.Codec.Encode(s)
+				}
+				err = enc.EncodeText(w, tid, sigs)
+			case model.KindNumeric:
+				err = enc.EncodeNumeric(w, tid, st.quant.Encode(v.Num), false)
+			}
+		}
+		if err == vector.ErrWidthOverflow {
+			return ErrNeedsRebuild
+		}
+		return err
+	}
+	for i, values := range batch {
+		if len(values) == 0 {
+			return nil, fmt.Errorf("core: empty tuple at batch index %d", i)
+		}
+		tid := firstTID + model.TID(i)
+		for a, v := range values {
+			if int(a) >= len(ix.attrs) {
+				return nil, fmt.Errorf("core: value on unregistered attribute %d", a)
+			}
+			if ix.attrs[a].layout.Kind != v.Kind {
+				return nil, fmt.Errorf("core: attribute %d is %v, value is %v",
+					a, ix.attrs[a].layout.Kind, v.Kind)
+			}
+			if err := encodeOne(tid, a, v, false); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range positional {
+			if _, ok := values[a]; ok {
+				continue
+			}
+			if err := encodeOne(tid, a, model.Value{}, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Commit: table records first, then the index tails, each once.
+	tids := make([]model.TID, len(batch))
+	var tw bitio.Writer
+	startPos := int64(len(ix.entries))
+	type entryAdd struct {
+		tid model.TID
+		ptr int64
+	}
+	adds := make([]entryAdd, 0, len(batch))
+	for i, values := range batch {
+		tid := firstTID + model.TID(i)
+		gotTID, ptr, err := ix.tbl.Append(values)
+		if err != nil {
+			return nil, err
+		}
+		if gotTID != tid {
+			return nil, fmt.Errorf("core: tid raced in batch: %d vs %d", tid, gotTID)
+		}
+		if uint64(ptr) >= tombstonePtr {
+			return nil, ErrNeedsRebuild
+		}
+		tw.WriteBits(uint64(tid), ix.ltid)
+		tw.WriteBits(uint64(ptr), ptrBits)
+		adds = append(adds, entryAdd{tid, ptr})
+		tids[i] = tid
+	}
+	var err error
+	if ix.tupleBits, err = storage.AppendBits(ix.segs, ix.tupleChain, ix.tupleBits, tw.Bytes(), tw.Len()); err != nil {
+		return nil, err
+	}
+	for i, a := range adds {
+		ix.entries = append(ix.entries, tupleEntry{tid: a.tid, ptr: a.ptr})
+		ix.posByTID[a.tid] = startPos + int64(i)
+	}
+	for a, w := range writers {
+		if w.Len() == 0 {
+			continue
+		}
+		st := &ix.attrs[a]
+		if st.bitLen, err = storage.AppendBits(ix.segs, st.chain, st.bitLen, w.Bytes(), w.Len()); err != nil {
+			return nil, err
+		}
+	}
+	return tids, nil
+}

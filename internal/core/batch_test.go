@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+)
+
+func TestInsertBatchMatchesSingleInserts(t *testing.T) {
+	a := newFixture(t, 80, Options{}, 701)
+	b := newFixture(t, 80, Options{}, 701) // identical twin
+
+	var batch []map[model.AttrID]model.Value
+	for i := 0; i < 50; i++ {
+		batch = append(batch, a.randValues())
+	}
+	tids, err := a.ix.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 50 || tids[0] != 80 || tids[49] != 129 {
+		t.Fatalf("tids = %v...%v (%d)", tids[0], tids[len(tids)-1], len(tids))
+	}
+	for _, vals := range batch {
+		if _, err := b.ix.Insert(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := metric.Default()
+	for trial := 0; trial < 12; trial++ {
+		q := a.randQuery(t, 2, 8)
+		ra, _, err := a.ix.Search(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := b.ix.Search(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDistances(ra, rb) {
+			t.Fatalf("trial %d: batch and single inserts diverge\n%v\n%v", trial, ra, rb)
+		}
+	}
+	// And the batched index passes its own fsck.
+	rep, err := a.ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("batched index inconsistent: %v", rep.Problems)
+	}
+}
+
+func TestInsertBatchEmptyAndErrors(t *testing.T) {
+	fx := newFixture(t, 10, Options{}, 702)
+	if tids, err := fx.ix.InsertBatch(nil); err != nil || tids != nil {
+		t.Fatalf("empty batch: %v %v", tids, err)
+	}
+	if _, err := fx.ix.InsertBatch([]map[model.AttrID]model.Value{{}}); err == nil {
+		t.Fatal("empty tuple accepted")
+	}
+	// Overflow reported with nothing inserted.
+	small := newFixture(t, 10, Options{TIDHeadroom: 4}, 703)
+	before := small.ix.Entries()
+	var big []map[model.AttrID]model.Value
+	for i := 0; i < 50; i++ {
+		big = append(big, small.randValues())
+	}
+	if _, err := small.ix.InsertBatch(big); err != ErrNeedsRebuild {
+		t.Fatalf("err = %v, want ErrNeedsRebuild", err)
+	}
+	if small.ix.Entries() != before {
+		t.Fatal("failed batch mutated the index")
+	}
+}
+
+func BenchmarkInsertBatch100(b *testing.B) {
+	fx := newFixture(b, 100, Options{TIDHeadroom: 1 << 26}, 704)
+	batch := make([]map[model.AttrID]model.Value, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = fx.randValues()
+		}
+		if _, err := fx.ix.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sparsewide/iva/internal/bitio"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+	"github.com/sparsewide/iva/internal/vector"
+)
+
+// flushThreshold is the pending-bit budget per attribute before a partial
+// flush to the attribute's chain during Build.
+const flushThreshold = 64 << 10 * 8 // 64 KiB in bits
+
+// Build constructs an iVA-file over every record of tbl into f (whose
+// previous contents are discarded). Records must be stored in increasing
+// tid order, which the table guarantees for append-only and rebuilt files.
+func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := signature.NewCodec(opts.N, opts.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		return nil, err
+	}
+	segs, err := storage.NewSegStore(f, superblockSize, opts.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// Packed tid width: current id space plus headroom for future inserts.
+	headroom := opts.TIDHeadroom
+	if headroom <= 0 {
+		headroom = tbl.Total() / 4
+		if headroom < 1024 {
+			headroom = 1024
+		}
+	}
+	ltid := bitio.BitsFor(uint64(tbl.NextTID()) + uint64(headroom))
+	if ltid > 32 {
+		ltid = 32
+	}
+
+	ix := &Index{
+		opts:     opts,
+		f:        f,
+		segs:     segs,
+		codec:    codec,
+		tbl:      tbl,
+		ltid:     ltid,
+		posByTID: make(map[model.TID]int64),
+	}
+	if ix.tupleChain, err = segs.Create(); err != nil {
+		return nil, err
+	}
+	if ix.attrChain, err = segs.Create(); err != nil {
+		return nil, err
+	}
+
+	// Lay out one vector list per attribute.
+	infos := tbl.Catalog().Attrs()
+	tupleEntries := tbl.Total()
+	builders := make([]*listBuilder, len(infos))
+	var positional []model.AttrID
+	for id, info := range infos {
+		attrCodec := codec
+		alpha := opts.Alpha
+		if o, ok := opts.AlphaOverride[model.AttrID(id)]; ok {
+			if attrCodec, err = signature.NewCodec(opts.N, o); err != nil {
+				return nil, fmt.Errorf("core: attribute %q: %w", info.Name, err)
+			}
+			alpha = o
+		}
+		layout, quant, err := chooseLayout(opts, attrCodec, info, ltid, tupleEntries)
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %q: %w", info.Name, err)
+		}
+		chain, err := segs.Create()
+		if err != nil {
+			return nil, err
+		}
+		st := attrState{layout: layout, chain: chain, alpha: alpha, quant: quant, exists: true}
+		ix.attrs = append(ix.attrs, st)
+		b, err := newListBuilder(ix, model.AttrID(id))
+		if err != nil {
+			return nil, err
+		}
+		builders[id] = b
+		if layout.Type == vector.TypeIII || layout.Type == vector.TypeIV {
+			positional = append(positional, model.AttrID(id))
+		}
+	}
+
+	// Single pass over the table: emit tuple-list elements and vector-list
+	// elements in tuple order.
+	var tupleW bitio.Writer
+	lastTID := model.TID(0)
+	first := true
+	err = tbl.Scan(func(ptr int64, tp *model.Tuple) error {
+		if !first && tp.TID <= lastTID {
+			return fmt.Errorf("core: table not in tid order (%d after %d)", tp.TID, lastTID)
+		}
+		first, lastTID = false, tp.TID
+		if tp.TID > ix.maxTID() {
+			return fmt.Errorf("core: tid %d exceeds packed width %d bits", tp.TID, ix.ltid)
+		}
+		if uint64(ptr) >= tombstonePtr {
+			return fmt.Errorf("core: table offset %d exceeds %d ptr bits", ptr, ptrBits)
+		}
+		pos := int64(len(ix.entries))
+		tupleW.WriteBits(uint64(tp.TID), ix.ltid)
+		tupleW.WriteBits(uint64(ptr), ptrBits)
+		if tupleW.Len() >= flushThreshold {
+			if err := ix.flushTupleList(&tupleW); err != nil {
+				return err
+			}
+		}
+		ix.entries = append(ix.entries, tupleEntry{tid: tp.TID, ptr: ptr})
+		ix.posByTID[tp.TID] = pos
+
+		// Defined attributes.
+		for _, a := range tp.Attrs() {
+			if err := builders[a].add(tp.TID, tp.Values[a]); err != nil {
+				return err
+			}
+		}
+		// Positional lists need explicit ndf elements for this tuple.
+		for _, a := range positional {
+			if _, ok := tp.Values[a]; ok {
+				continue
+			}
+			if err := builders[a].addNDF(tp.TID); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.flushTupleList(&tupleW); err != nil {
+		return nil, err
+	}
+	for _, b := range builders {
+		if err := b.flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (ix *Index) flushTupleList(w *bitio.Writer) error {
+	if w.Len() == 0 {
+		return nil
+	}
+	n, err := storage.AppendBits(ix.segs, ix.tupleChain, ix.tupleBits, w.Bytes(), w.Len())
+	if err != nil {
+		return err
+	}
+	ix.tupleBits = n
+	w.Reset()
+	return nil
+}
+
+// listBuilder accumulates one attribute's vector list during Build and
+// flushes it to the attribute's chain in batches.
+type listBuilder struct {
+	ix   *Index
+	attr model.AttrID
+	enc  *vector.Encoder
+	w    bitio.Writer
+}
+
+func newListBuilder(ix *Index, attr model.AttrID) (*listBuilder, error) {
+	enc, err := vector.NewEncoder(ix.attrs[attr].layout)
+	if err != nil {
+		return nil, err
+	}
+	return &listBuilder{ix: ix, attr: attr, enc: enc}, nil
+}
+
+// add appends the element(s) for one defined value.
+func (b *listBuilder) add(tid model.TID, v model.Value) error {
+	st := &b.ix.attrs[b.attr]
+	switch st.layout.Kind {
+	case model.KindText:
+		sigs := make([]signature.Sig, len(v.Strs))
+		for i, s := range v.Strs {
+			sigs[i] = st.layout.Codec.Encode(s)
+		}
+		if err := b.enc.EncodeText(&b.w, tid, sigs); err != nil {
+			return err
+		}
+	case model.KindNumeric:
+		if err := b.enc.EncodeNumeric(&b.w, tid, st.quant.Encode(v.Num), false); err != nil {
+			return err
+		}
+	}
+	return b.maybeFlush()
+}
+
+// addNDF appends an explicit ndf element (positional lists only).
+func (b *listBuilder) addNDF(tid model.TID) error {
+	st := &b.ix.attrs[b.attr]
+	var err error
+	if st.layout.Kind == model.KindText {
+		err = b.enc.EncodeText(&b.w, tid, nil)
+	} else {
+		err = b.enc.EncodeNumeric(&b.w, tid, 0, true)
+	}
+	if err != nil {
+		return err
+	}
+	return b.maybeFlush()
+}
+
+func (b *listBuilder) maybeFlush() error {
+	if b.w.Len() < flushThreshold {
+		return nil
+	}
+	return b.flush()
+}
+
+func (b *listBuilder) flush() error {
+	if b.w.Len() == 0 {
+		return nil
+	}
+	st := &b.ix.attrs[b.attr]
+	n, err := storage.AppendBits(b.ix.segs, st.chain, st.bitLen, b.w.Bytes(), b.w.Len())
+	if err != nil {
+		return err
+	}
+	st.bitLen = n
+	b.w.Reset()
+	return nil
+}

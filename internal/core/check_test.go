@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+func TestCheckCleanIndex(t *testing.T) {
+	fx := newFixture(t, 150, Options{}, 401)
+	rep, err := fx.ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean index reported problems: %v", rep.Problems)
+	}
+	if rep.Live != 150 || rep.Entries != 150 {
+		t.Fatalf("live=%d entries=%d", rep.Live, rep.Entries)
+	}
+	if rep.VectorElems == 0 {
+		t.Fatal("no vector elements verified")
+	}
+}
+
+func TestCheckAfterChurn(t *testing.T) {
+	fx := newFixture(t, 100, Options{}, 402)
+	for i := 0; i < 30; i++ {
+		if _, err := fx.ix.Insert(fx.randValues()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tid := model.TID(0); tid < 40; tid += 3 {
+		if err := fx.ix.Delete(tid); err != nil && err != ErrNotFound {
+			t.Fatal(err)
+		}
+	}
+	rep, err := fx.ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("churned index reported problems: %v", rep.Problems)
+	}
+	if rep.Live >= rep.Entries {
+		t.Fatal("tombstones not reflected")
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	fx := newFixture(t, 60, Options{}, 403)
+	// Corrupt one live tuple-list ptr to point at a wrong (valid) record.
+	var pos int64 = -1
+	for p, e := range fx.ix.entries {
+		if !e.deleted && p > 0 {
+			pos = int64(p)
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("no live entry")
+	}
+	wrongPtr := uint64(fx.ix.entries[0].ptr)
+	bitOff := pos*int64(fx.ix.elemBits()) + int64(fx.ix.ltid)
+	if err := storage.WriteBitsAt(fx.ix.segs, fx.ix.tupleChain, bitOff, wrongPtr, ptrBits); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fx.ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("corrupted ptr not detected")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "tuple list says") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unexpected problem set: %v", rep.Problems)
+	}
+}
+
+func TestAttrsReport(t *testing.T) {
+	fx := newFixture(t, 120, Options{}, 404)
+	reports := fx.ix.Attrs()
+	if len(reports) != fx.tbl.Catalog().NumAttrs() {
+		t.Fatalf("%d reports for %d attrs", len(reports), fx.tbl.Catalog().NumAttrs())
+	}
+	for _, r := range reports {
+		if r.Name == "" {
+			t.Fatalf("attr %d missing name", r.ID)
+		}
+		if r.Alpha != 0.20 {
+			t.Fatalf("attr %s alpha %v", r.Name, r.Alpha)
+		}
+		if r.DF > 0 && r.BitLen == 0 && r.ListType.String() == "I" {
+			t.Fatalf("attr %s has df %d but an empty Type I list", r.Name, r.DF)
+		}
+	}
+}

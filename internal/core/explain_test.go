@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+)
+
+func TestExplainSearch(t *testing.T) {
+	fx := newFixture(t, 200, Options{}, 501)
+	m := metric.Default()
+	q := fx.randQuery(t, 3, 10)
+	ex, err := fx.ix.ExplainSearch(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results must equal a plain search.
+	plain, _, err := fx.ix.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Results) != len(plain) {
+		t.Fatalf("%d vs %d results", len(ex.Results), len(plain))
+	}
+	for i := range plain {
+		if math.Abs(ex.Results[i].Dist-plain[i].Dist) > 1e-9 {
+			t.Fatalf("result %d: %v vs %v", i, ex.Results[i].Dist, plain[i].Dist)
+		}
+	}
+	if ex.Scanned != fx.tbl.Live() {
+		t.Fatalf("scanned %d of %d", ex.Scanned, fx.tbl.Live())
+	}
+	if len(ex.Terms) != len(q.Terms) {
+		t.Fatalf("%d term explains", len(ex.Terms))
+	}
+	for i, te := range ex.Terms {
+		if te.Defined+te.NDF != ex.Scanned {
+			t.Fatalf("term %d: defined %d + ndf %d != scanned %d", i, te.Defined, te.NDF, ex.Scanned)
+		}
+		if te.Defined > 0 {
+			if te.MinEst < 0 || te.MeanEst < te.MinEst || te.MeanEst > te.MaxEst {
+				t.Fatalf("term %d: est stats inconsistent: min %v mean %v max %v",
+					i, te.MinEst, te.MeanEst, te.MaxEst)
+			}
+			// Tightness is a mean of (lower bound / exact) over fetched
+			// tuples, so it must land in [0, 1+ε].
+			if te.Tightness < 0 || te.Tightness > 1+1e-9 {
+				t.Fatalf("term %d: tightness %v outside [0,1]", i, te.Tightness)
+			}
+		}
+		if te.Alpha == 0 {
+			t.Fatalf("term %d: alpha missing", i)
+		}
+	}
+	if ex.PoolMaxFinal <= 0 && len(ex.Results) > 0 && ex.Results[len(ex.Results)-1].Dist > 0 {
+		t.Fatal("PoolMaxFinal not recorded")
+	}
+}
+
+func TestExplainUnknownAttribute(t *testing.T) {
+	fx := newFixture(t, 30, Options{}, 502)
+	newAttr, _ := fx.tbl.Catalog().AddAttr("phantom", model.KindText)
+	m := metric.Default()
+	q := (&model.Query{K: 3}).TextTerm(newAttr, "nothing")
+	ex, err := fx.ix.ExplainSearch(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Terms[0].NDF != ex.Scanned || ex.Terms[0].Defined != 0 {
+		t.Fatalf("phantom attribute explain: %+v", ex.Terms[0])
+	}
+}

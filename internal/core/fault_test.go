@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// buildOnFaulty builds a small table+index where the index device fails
+// after `ops` operations.
+func buildOnFaulty(t *testing.T, ops int64) (*table.Table, *storage.FaultDevice, *storage.Pool) {
+	t.Helper()
+	pool := storage.NewPool(0, 1<<20)
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cat.AddAttr("a", model.KindText)
+	b, _ := cat.AddAttr("b", model.KindNumeric)
+	for i := 0; i < 50; i++ {
+		_, _, err := tbl.Append(map[model.AttrID]model.Value{
+			a: model.Text(fmt.Sprintf("value %d", i)),
+			b: model.Num(float64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl, storage.NewFaultDevice(storage.NewMemDevice(), ops), pool
+}
+
+func TestBuildPropagatesDeviceErrors(t *testing.T) {
+	// Whatever the budget, Build must either succeed or return the injected
+	// error — never panic or mis-build.
+	for ops := int64(0); ops < 400; ops += 13 {
+		tbl, dev, pool := buildOnFaulty(t, ops)
+		ix, err := Build(tbl, storage.NewFile(pool, dev), Options{})
+		if err != nil {
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("ops=%d: unexpected error %v", ops, err)
+			}
+			continue
+		}
+		// A successful build on a still-armed device must answer queries.
+		q := (&model.Query{K: 3}).TextTerm(0, "value 7")
+		if _, _, err := ix.Search(q, metric.Default()); err != nil && !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("ops=%d: search error %v", ops, err)
+		}
+	}
+}
+
+func TestSearchPropagatesDeviceErrors(t *testing.T) {
+	tbl, dev, pool := buildOnFaulty(t, -1) // unlimited during build
+	ix, err := Build(tbl, storage.NewFile(pool, dev), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.InvalidateFile(1) // force physical reads on the index device
+	dev.Trip()
+	q := (&model.Query{K: 3}).TextTerm(0, "value 7")
+	if _, _, err := ix.Search(q, metric.Default()); err == nil {
+		t.Fatal("search on tripped device succeeded")
+	} else if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestInsertPropagatesDeviceErrors(t *testing.T) {
+	tbl, dev, pool := buildOnFaulty(t, -1)
+	ix, err := Build(tbl, storage.NewFile(pool, dev), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Trip()
+	_, err = ix.Insert(map[model.AttrID]model.Value{0: model.Text("new")})
+	if err == nil {
+		t.Fatal("insert on tripped device succeeded")
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

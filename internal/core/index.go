@@ -1,0 +1,481 @@
+// Package core implements the iVA-file (§III-D, §IV): the inverted vector
+// approximation file. An iVA-file consists of
+//
+//   - one tuple list: <tid, ptr> elements in increasing tid order, where ptr
+//     is the tuple's byte offset in the table file (all-ones marks a
+//     deleted tuple),
+//   - one attribute list: per-attribute metadata (list location and tail,
+//     layout widths, quantizer domain) — the paper's
+//     <ptr1, ptr2, df, str, α> elements, and
+//   - one vector list per attribute holding the approximation vectors
+//     (nG-signatures for text, relative-domain codes for numbers) in one of
+//     the four organizations of §III-D.
+//
+// Queries run the parallel filter-and-refine plan of Algorithm 1; updates
+// follow §IV-B (tail appends, tombstone deletes, periodic rebuild).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/sparsewide/iva/internal/bitio"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+	"github.com/sparsewide/iva/internal/vaq"
+	"github.com/sparsewide/iva/internal/vector"
+)
+
+// Options configure an iVA-file build.
+type Options struct {
+	// Alpha is the relative vector length α (Table I default: 20%).
+	Alpha float64
+	// N is the gram length n (Table I default: 2).
+	N int
+	// NumericBytes is r, the stored width of a numeric value in bytes;
+	// numeric vectors take ⌈α·r⌉ bytes. Default 8 (float64).
+	NumericBytes int
+	// SegmentSize is the extent size of the index file in bytes.
+	SegmentSize int
+	// TIDHeadroom reserves id space above the build-time maximum tid so
+	// that inserts keep fitting the packed tid width between rebuilds.
+	// Zero selects max(1024, |T|/4).
+	TIDHeadroom int64
+	// ForceType, when nonzero, disables the §III-D size-based selection
+	// and uses this organization for every attribute it is legal for
+	// (ablation: Type I everywhere). Illegal combinations fall back to
+	// Type I.
+	ForceType vector.ListType
+	// AbsoluteDomains makes numeric quantizers use a fixed absolute domain
+	// instead of the relative domain (ablation of §III-C). The domain used
+	// is [-AbsDomainBound, +AbsDomainBound].
+	AbsoluteDomains bool
+	AbsDomainBound  float64
+	// AlphaOverride sets a per-attribute relative vector length, as the
+	// paper's attribute-list element allows (§III-D stores α per
+	// attribute). Attributes absent from the map use the global Alpha.
+	AlphaOverride map[model.AttrID]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.20
+	}
+	if o.N == 0 {
+		o.N = 2
+	}
+	if o.NumericBytes == 0 {
+		o.NumericBytes = 8
+	}
+	if o.SegmentSize == 0 {
+		// One page per segment: a mostly-empty attribute wastes at most a
+		// page of slack, while the Build-time 64 KiB flush batches keep
+		// each list's segments in long contiguous runs for scanning.
+		o.SegmentSize = 4 << 10
+	}
+	if o.AbsDomainBound == 0 {
+		o.AbsDomainBound = math.MaxInt32
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: alpha = %v, want in (0,1]", o.Alpha)
+	}
+	if o.N < 1 || o.N > 8 {
+		return fmt.Errorf("core: n = %d, want in [1,8]", o.N)
+	}
+	if o.NumericBytes < 1 || o.NumericBytes > 8 {
+		return fmt.Errorf("core: numeric bytes = %d, want in [1,8]", o.NumericBytes)
+	}
+	return nil
+}
+
+// ErrNeedsRebuild is returned by update operations when a packed field
+// width (tid or string count) can no longer represent a new element; the
+// caller must rebuild the index (Store.Rebuild does this).
+var ErrNeedsRebuild = errors.New("core: packed field overflow, index rebuild required")
+
+// ErrNotFound is returned when a tid does not name a live tuple.
+var ErrNotFound = errors.New("core: tuple not found")
+
+const (
+	superblockSize = 4096
+	indexMagic     = 0x69564146 // "iVAF"
+	indexVersion   = 1
+	ptrBits        = 40 // table offsets up to 1 TiB
+)
+
+// tombstonePtr marks a deleted tuple in the tuple list.
+const tombstonePtr = uint64(1)<<ptrBits - 1
+
+// attrState is the in-memory attribute-list element.
+type attrState struct {
+	layout vector.Layout
+	chain  storage.ChainID
+	bitLen int64
+	alpha  float64        // the attribute's relative vector length
+	quant  *vaq.Quantizer // numeric attributes
+	exists bool           // attribute has a vector list
+}
+
+// tupleEntry mirrors one on-disk tuple-list element.
+type tupleEntry struct {
+	tid     model.TID
+	ptr     int64
+	deleted bool
+}
+
+// Index is an open iVA-file bound to its table.
+type Index struct {
+	opts  Options
+	f     *storage.File
+	segs  *storage.SegStore
+	codec *signature.Codec
+	tbl   *table.Table
+
+	mu         sync.RWMutex
+	attrs      []attrState
+	attrChain  storage.ChainID
+	tupleChain storage.ChainID
+	tupleBits  int64
+	ltid       int
+	entries    []tupleEntry
+	posByTID   map[model.TID]int64
+	deleted    int64
+}
+
+// Table returns the table the index is bound to.
+func (ix *Index) Table() *table.Table { return ix.tbl }
+
+// Codec returns the signature codec (for diagnostics and tests).
+func (ix *Index) Codec() *signature.Codec { return ix.codec }
+
+// Options returns the build options in effect.
+func (ix *Index) Options() Options { return ix.opts }
+
+// SizeBytes returns the index file's size.
+func (ix *Index) SizeBytes() int64 { return ix.f.Size() }
+
+// Entries returns the tuple-list length (live + tombstoned).
+func (ix *Index) Entries() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int64(len(ix.entries))
+}
+
+// Deleted returns the number of tombstoned tuples awaiting cleaning.
+func (ix *Index) Deleted() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.deleted
+}
+
+// Live reports whether tid names a non-deleted tuple.
+func (ix *Index) Live(tid model.TID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.posByTID[tid]
+	return ok
+}
+
+// LiveTIDs returns the ids of all live tuples in tuple-list order.
+func (ix *Index) LiveTIDs() []model.TID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]model.TID, 0, len(ix.entries)-int(ix.deleted))
+	for _, e := range ix.entries {
+		if !e.deleted {
+			out = append(out, e.tid)
+		}
+	}
+	return out
+}
+
+// DeletedFraction returns deleted/entries, the quantity compared against the
+// cleaning trigger threshold β of §V-C.
+func (ix *Index) DeletedFraction() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.entries) == 0 {
+		return 0
+	}
+	return float64(ix.deleted) / float64(len(ix.entries))
+}
+
+// ListType reports the organization chosen for an attribute (diagnostics
+// and the list-selection experiments).
+func (ix *Index) ListType(a model.AttrID) (vector.ListType, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(a) >= len(ix.attrs) || !ix.attrs[a].exists {
+		return 0, false
+	}
+	return ix.attrs[a].layout.Type, true
+}
+
+// codecFor returns the index's default codec or a fresh one for a
+// per-attribute α override.
+func (ix *Index) codecFor(alpha float64) (*signature.Codec, error) {
+	if alpha == ix.codec.Alpha() {
+		return ix.codec, nil
+	}
+	return signature.NewCodec(ix.opts.N, alpha)
+}
+
+// elemBits is the width of one tuple-list element.
+func (ix *Index) elemBits() int { return ix.ltid + ptrBits }
+
+// maxTID is the largest id the packed tuple list can hold.
+func (ix *Index) maxTID() model.TID { return model.TID(uint64(1)<<uint(ix.ltid) - 1) }
+
+// chooseLayout builds the layout for one attribute from catalog statistics.
+// codec is the attribute's signature codec (the index default, or one built
+// for a per-attribute α override).
+func chooseLayout(opts Options, codec *signature.Codec, info table.AttrInfo, ltid int, tupleEntries int64) (vector.Layout, *vaq.Quantizer, error) {
+	alpha := codec.Alpha()
+	switch info.Kind {
+	case model.KindText:
+		lnum := bitio.BitsFor(uint64(info.MaxStrs)) + 1 // headroom for growth
+		if lnum < 2 {
+			lnum = 2
+		}
+		if lnum > 16 {
+			lnum = 16
+		}
+		typ := vector.ChooseText(ltid, lnum, info.DF, info.Str, tupleEntries, 0)
+		if opts.ForceType != 0 {
+			typ = opts.ForceType
+			if typ == vector.TypeIV {
+				typ = vector.TypeI
+			}
+		}
+		return vector.Layout{
+			Type: typ, Kind: model.KindText,
+			LTid: ltid, LNum: lnum, Codec: codec,
+		}, nil, nil
+	case model.KindNumeric:
+		vecBits := 8 * int(math.Ceil(alpha*float64(opts.NumericBytes)))
+		if vecBits < 2 {
+			vecBits = 2
+		}
+		if vecBits > 63 {
+			vecBits = 63
+		}
+		min, max := info.Min, info.Max
+		if !info.HasDomain {
+			min, max = 0, 0
+		}
+		if opts.AbsoluteDomains {
+			min, max = -opts.AbsDomainBound, opts.AbsDomainBound
+		}
+		quant, err := vaq.New(min, max, vecBits)
+		if err != nil {
+			return vector.Layout{}, nil, err
+		}
+		typ := vector.ChooseNumeric(ltid, vecBits, info.DF, tupleEntries)
+		if opts.ForceType != 0 {
+			typ = opts.ForceType
+			if typ == vector.TypeII || typ == vector.TypeIII {
+				typ = vector.TypeI
+			}
+		}
+		return vector.Layout{
+			Type: typ, Kind: model.KindNumeric,
+			LTid: ltid, VecBits: vecBits, NDFCode: quant.NDFReserved(),
+		}, quant, nil
+	default:
+		return vector.Layout{}, nil, fmt.Errorf("core: unknown kind %v", info.Kind)
+	}
+}
+
+// --- superblock and attribute-list persistence -----------------------------
+
+func (ix *Index) writeSuperblock() error {
+	var b [superblockSize]byte
+	binary.LittleEndian.PutUint32(b[0:], indexMagic)
+	binary.LittleEndian.PutUint32(b[4:], indexVersion)
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(ix.opts.Alpha))
+	binary.LittleEndian.PutUint32(b[16:], uint32(ix.opts.N))
+	b[20] = byte(ix.ltid)
+	b[21] = ptrBits
+	binary.LittleEndian.PutUint32(b[24:], uint32(ix.tupleChain))
+	binary.LittleEndian.PutUint64(b[28:], uint64(ix.tupleBits))
+	binary.LittleEndian.PutUint64(b[36:], uint64(len(ix.entries)))
+	binary.LittleEndian.PutUint64(b[44:], uint64(ix.deleted))
+	binary.LittleEndian.PutUint32(b[52:], uint32(ix.attrChain))
+	binary.LittleEndian.PutUint32(b[56:], uint32(len(ix.attrs)))
+	binary.LittleEndian.PutUint32(b[60:], uint32(ix.opts.NumericBytes))
+	binary.LittleEndian.PutUint32(b[64:], uint32(ix.opts.SegmentSize))
+	return ix.f.WriteAt(b[:], 0)
+}
+
+// attrElemSize is the fixed on-disk size of one attribute-list element.
+const attrElemSize = 64
+
+func (ix *Index) writeAttrList() error {
+	buf := make([]byte, attrElemSize*len(ix.attrs))
+	for i, a := range ix.attrs {
+		e := buf[i*attrElemSize:]
+		if !a.exists {
+			e[0] = 0
+			continue
+		}
+		e[0] = byte(a.layout.Type)
+		e[1] = byte(a.layout.Kind)
+		e[2] = byte(a.layout.LTid)
+		e[3] = byte(a.layout.LNum)
+		e[4] = byte(a.layout.VecBits)
+		binary.LittleEndian.PutUint32(e[8:], uint32(a.chain))
+		binary.LittleEndian.PutUint64(e[12:], uint64(a.bitLen))
+		binary.LittleEndian.PutUint64(e[20:], a.layout.NDFCode)
+		if a.quant != nil {
+			min, max := a.quant.Domain()
+			binary.LittleEndian.PutUint64(e[28:], math.Float64bits(min))
+			binary.LittleEndian.PutUint64(e[36:], math.Float64bits(max))
+		}
+		binary.LittleEndian.PutUint64(e[44:], math.Float64bits(a.alpha))
+	}
+	return ix.segs.WriteAt(ix.attrChain, buf, 0)
+}
+
+func (ix *Index) readAttrList(n int) error {
+	buf := make([]byte, attrElemSize*n)
+	if err := ix.segs.ReadAt(ix.attrChain, buf, 0); err != nil {
+		return err
+	}
+	ix.attrs = make([]attrState, n)
+	for i := 0; i < n; i++ {
+		e := buf[i*attrElemSize:]
+		if e[0] == 0 {
+			continue
+		}
+		a := attrState{exists: true}
+		a.layout.Type = vector.ListType(e[0])
+		a.layout.Kind = model.Kind(e[1])
+		a.layout.LTid = int(e[2])
+		a.layout.LNum = int(e[3])
+		a.layout.VecBits = int(e[4])
+		a.chain = storage.ChainID(binary.LittleEndian.Uint32(e[8:]))
+		a.bitLen = int64(binary.LittleEndian.Uint64(e[12:]))
+		a.layout.NDFCode = binary.LittleEndian.Uint64(e[20:])
+		a.alpha = math.Float64frombits(binary.LittleEndian.Uint64(e[44:]))
+		if a.alpha == 0 {
+			a.alpha = ix.opts.Alpha
+		}
+		if a.layout.Kind == model.KindText {
+			codec, err := ix.codecFor(a.alpha)
+			if err != nil {
+				return fmt.Errorf("core: attr %d codec: %w", i, err)
+			}
+			a.layout.Codec = codec
+		} else {
+			min := math.Float64frombits(binary.LittleEndian.Uint64(e[28:]))
+			max := math.Float64frombits(binary.LittleEndian.Uint64(e[36:]))
+			q, err := vaq.New(min, max, a.layout.VecBits)
+			if err != nil {
+				return fmt.Errorf("core: attr %d quantizer: %w", i, err)
+			}
+			a.quant = q
+		}
+		if err := a.layout.Validate(); err != nil {
+			return fmt.Errorf("core: attr %d: %w", i, err)
+		}
+		ix.attrs[i] = a
+	}
+	return nil
+}
+
+// Sync checkpoints all metadata (superblock, attribute list) and flushes.
+func (ix *Index) Sync() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.writeAttrList(); err != nil {
+		return err
+	}
+	if err := ix.writeSuperblock(); err != nil {
+		return err
+	}
+	return ix.f.Sync()
+}
+
+// Open attaches to an iVA-file previously built over tbl.
+func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	var b [superblockSize]byte
+	if err := f.ReadAt(b[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != indexVersion {
+		return nil, fmt.Errorf("core: index version %d unsupported", v)
+	}
+	opts.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	opts.N = int(binary.LittleEndian.Uint32(b[16:]))
+	opts.NumericBytes = int(binary.LittleEndian.Uint32(b[60:]))
+	opts.SegmentSize = int(binary.LittleEndian.Uint32(b[64:]))
+	codec, err := signature.NewCodec(opts.N, opts.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := storage.NewSegStore(f, superblockSize, opts.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:       opts,
+		f:          f,
+		segs:       segs,
+		codec:      codec,
+		tbl:        tbl,
+		ltid:       int(b[20]),
+		tupleChain: storage.ChainID(binary.LittleEndian.Uint32(b[24:])),
+		tupleBits:  int64(binary.LittleEndian.Uint64(b[28:])),
+		deleted:    int64(binary.LittleEndian.Uint64(b[44:])),
+		attrChain:  storage.ChainID(binary.LittleEndian.Uint32(b[52:])),
+		posByTID:   make(map[model.TID]int64),
+	}
+	if pb := int(b[21]); pb != ptrBits {
+		return nil, fmt.Errorf("core: index built with %d ptr bits, binary uses %d", pb, ptrBits)
+	}
+	entryCount := int64(binary.LittleEndian.Uint64(b[36:]))
+	nattrs := int(binary.LittleEndian.Uint32(b[56:]))
+	if err := ix.readAttrList(nattrs); err != nil {
+		return nil, err
+	}
+	if err := ix.loadTupleList(entryCount); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// loadTupleList reads the on-disk tuple list into the in-memory mirror.
+func (ix *Index) loadTupleList(entryCount int64) error {
+	r := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	ix.entries = make([]tupleEntry, 0, entryCount)
+	for i := int64(0); i < entryCount; i++ {
+		tid, err := r.ReadBits(ix.ltid)
+		if err != nil {
+			return err
+		}
+		ptr, err := r.ReadBits(ptrBits)
+		if err != nil {
+			return err
+		}
+		e := tupleEntry{tid: model.TID(tid), ptr: int64(ptr), deleted: ptr == tombstonePtr}
+		ix.entries = append(ix.entries, e)
+		if !e.deleted {
+			ix.posByTID[e.tid] = i
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/topk"
+	"github.com/sparsewide/iva/internal/vector"
+)
+
+// SearchStats reports where one query's work went, matching the paper's
+// filtering/refining decomposition (Figs. 9 and 15).
+type SearchStats struct {
+	// Scanned is the number of live tuple-list entries filtered.
+	Scanned int64
+	// TableAccesses is the number of random table-file fetches (Fig. 8).
+	TableAccesses int64
+	// FilterWall and RefineWall split the measured wall time.
+	FilterWall time.Duration
+	RefineWall time.Duration
+	// FilterIO and RefineIO split the physical page I/O.
+	FilterIO storage.Snapshot
+	RefineIO storage.Snapshot
+}
+
+// Total returns the query's full wall time.
+func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall }
+
+// termState is one query term prepared for scanning.
+type termState struct {
+	term   model.QueryTerm
+	st     *attrState             // nil when the attribute has no vector list
+	cursor *vector.Cursor         // nil when st == nil
+	qs     *signature.QueryString // text terms
+}
+
+// Search answers a top-k structured similarity query with Algorithm 1: the
+// tuple list and the vector lists of the queried attributes are scanned in a
+// synchronized pass; each tuple's estimated distance (a lower bound, by
+// Prop. 3.3 and §III-C) gates a random access to the table file where the
+// exact distance is computed against the temporary result pool.
+func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, SearchStats, error) {
+	var stats SearchStats
+	if err := q.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if m == nil {
+		m = metric.Default()
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	pstats := ix.f.Pool().Stats()
+	startIO := pstats.Snapshot()
+	startAccesses := ix.tbl.Accesses()
+	wallStart := time.Now()
+
+	terms := make([]termState, len(q.Terms))
+	for i, term := range q.Terms {
+		ts := termState{term: term}
+		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
+			st := &ix.attrs[term.Attr]
+			if st.layout.Kind != term.Kind {
+				return nil, stats, fmt.Errorf("core: query term on attribute %d is %v, attribute is %v",
+					term.Attr, term.Kind, st.layout.Kind)
+			}
+			cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+			if err != nil {
+				return nil, stats, err
+			}
+			ts.st, ts.cursor = st, cur
+		}
+		if term.Kind == model.KindText {
+			// Per-attribute α overrides give attributes their own codecs;
+			// the query string must hash grams under the same parameters
+			// the data strings were encoded with.
+			codec := ix.codec
+			if ts.st != nil && ts.st.layout.Codec != nil {
+				codec = ts.st.layout.Codec
+			}
+			ts.qs = codec.NewQueryString(term.Str)
+		}
+		terms[i] = ts
+	}
+
+	pool := topk.New(q.K)
+	diffs := make([]float64, len(terms))
+	var refineWall time.Duration
+	var refineIO storage.Snapshot
+
+	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
+		tidBits, err := tr.ReadBits(ix.ltid)
+		if err != nil {
+			return nil, stats, err
+		}
+		ptrBitsVal, err := tr.ReadBits(ptrBits)
+		if err != nil {
+			return nil, stats, err
+		}
+		if ptrBitsVal == tombstonePtr {
+			continue // deleted tuple: no filtering, cursors skip in passing
+		}
+		tid := model.TID(tidBits)
+		stats.Scanned++
+
+		for i := range terms {
+			d, err := terms[i].estimate(m, tid, pos)
+			if err != nil {
+				return nil, stats, err
+			}
+			diffs[i] = d
+		}
+		estDist := m.Distance(q.Terms, diffs)
+		if !pool.Admits(estDist) {
+			continue
+		}
+
+		// Refine: random access to the table file, exact distance.
+		rStart := time.Now()
+		rIO := pstats.Snapshot()
+		tp, err := ix.tbl.Fetch(int64(ptrBitsVal))
+		if err != nil {
+			return nil, stats, err
+		}
+		actual := m.TupleDistance(q, tp)
+		pool.Insert(tid, actual)
+		refineIO = refineIO.Add(pstats.Snapshot().Sub(rIO))
+		refineWall += time.Since(rStart)
+	}
+
+	total := time.Since(wallStart)
+	stats.TableAccesses = ix.tbl.Accesses() - startAccesses
+	stats.RefineWall = refineWall
+	stats.FilterWall = total - refineWall
+	stats.RefineIO = refineIO
+	stats.FilterIO = pstats.Snapshot().Sub(startIO).Sub(refineIO)
+	return pool.Results(), stats, nil
+}
+
+// estimate computes the lower-bound difference for one term on the tuple at
+// (tid, pos): est over signatures for text, slice distance for numbers, and
+// the ndf penalty when the element is absent.
+func (ts *termState) estimate(m *metric.Metric, tid model.TID, pos int64) (float64, error) {
+	d, _, err := ts.estimateInfo(m, tid, pos)
+	return d, err
+}
+
+// estimateInfo is estimate plus whether the tuple was ndf on the attribute
+// (used by ExplainSearch's instrumentation).
+func (ts *termState) estimateInfo(m *metric.Metric, tid model.TID, pos int64) (float64, bool, error) {
+	if ts.cursor == nil {
+		// Attribute unknown to the index: every tuple is ndf on it.
+		return m.NDFPenalty, true, nil
+	}
+	e, err := ts.cursor.MoveTo(tid, pos)
+	if err != nil {
+		return 0, false, err
+	}
+	if e.NDF {
+		return m.NDFPenalty, true, nil
+	}
+	switch ts.term.Kind {
+	case model.KindText:
+		best := math.Inf(1)
+		for i := range e.Sigs {
+			if d := ts.qs.Est(e.Sigs[i]); d < best {
+				best = d
+			}
+			if best == 0 {
+				break
+			}
+		}
+		return best, false, nil
+	case model.KindNumeric:
+		return ts.st.quant.MinDist(ts.term.Num, e.Code), false, nil
+	}
+	return m.NDFPenalty, true, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// TestSequentialPlanExplodesOnText reproduces the §IV-A argument for the
+// parallel plan: with a text term in the query, signature vectors admit no
+// upper bound, the sequential plan's pruning bar is +Inf, and every live
+// tuple becomes a candidate — while Algorithm 1 fetches far fewer.
+func TestSequentialPlanExplodesOnText(t *testing.T) {
+	fx := newFixture(t, 300, Options{}, 601)
+	m := metric.Default()
+	q := fx.randQuery(t, 3, 10)
+	hasText := false
+	for _, term := range q.Terms {
+		if term.Kind == model.KindText {
+			hasText = true
+		}
+	}
+	for !hasText {
+		q = fx.randQuery(t, 3, 10)
+		for _, term := range q.Terms {
+			if term.Kind == model.KindText {
+				hasText = true
+			}
+		}
+	}
+	ps, err := fx.ix.SequentialPlanStats(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ps.KthUpperBound, 1) {
+		t.Fatalf("pruning bar = %v, want +Inf for a text query", ps.KthUpperBound)
+	}
+	if ps.SequentialCandidates != ps.Scanned {
+		t.Fatalf("sequential candidates %d != scanned %d: text filtering should fail",
+			ps.SequentialCandidates, ps.Scanned)
+	}
+	if ps.ParallelFetches >= ps.SequentialCandidates {
+		t.Fatalf("parallel plan fetched %d, not fewer than sequential %d",
+			ps.ParallelFetches, ps.SequentialCandidates)
+	}
+}
+
+// TestSequentialPlanWorksOnNumeric shows the flip side: for numeric-only
+// queries, slice codes do have upper bounds and the classic plan prunes.
+func TestSequentialPlanWorksOnNumeric(t *testing.T) {
+	fx := newFixture(t, 300, Options{}, 602)
+	m := metric.Default()
+	// Query the dense numeric attribute (numAttrs[0] is defined everywhere).
+	q := (&model.Query{K: 10}).NumTerm(fx.numAttrs[0], 250)
+	ps, err := fx.ix.SequentialPlanStats(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(ps.KthUpperBound, 1) {
+		t.Fatalf("numeric-only query has infinite pruning bar")
+	}
+	if ps.SequentialCandidates >= ps.Scanned {
+		t.Fatalf("no pruning: %d of %d", ps.SequentialCandidates, ps.Scanned)
+	}
+	// The candidate set must still contain every true top-k member: the
+	// parallel plan's results all have lower bounds <= their exact
+	// distances <= the k-th upper bound. Sanity: candidates >= k.
+	if ps.SequentialCandidates < int64(q.K) {
+		t.Fatalf("sequential candidates %d < k", ps.SequentialCandidates)
+	}
+}

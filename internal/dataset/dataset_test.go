@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+func TestDefaultsMatchPaperStatistics(t *testing.T) {
+	g := New(Config{Tuples: 2000, Seed: 1})
+	cfg := g.Config()
+	if cfg.TextAttrs != 1081 || cfg.NumAttrs != 66 {
+		t.Fatalf("attribute universe %d text + %d num, want 1081 + 66", cfg.TextAttrs, cfg.NumAttrs)
+	}
+	if g.NumAttrsTotal() != 1147 {
+		t.Fatalf("total attrs = %d, want 1147", g.NumAttrsTotal())
+	}
+	// Kind census must match the config exactly.
+	text, num := 0, 0
+	for r := 0; r < g.NumAttrsTotal(); r++ {
+		if g.AttrKind(r) == model.KindNumeric {
+			num++
+		} else {
+			text++
+		}
+	}
+	if text != 1081 || num != 66 {
+		t.Fatalf("kinds: %d text, %d num", text, num)
+	}
+
+	// Mean defined attributes per tuple ≈ 16.3 (±15%).
+	totalAttrs, totalStrs, totalStrBytes := 0, 0, 0
+	for i := 0; i < 2000; i++ {
+		vals := g.Values(i)
+		totalAttrs += len(vals)
+		for _, v := range vals {
+			if v.Kind == model.KindText {
+				for _, s := range v.Strs {
+					totalStrs++
+					totalStrBytes += len(s)
+				}
+			}
+		}
+	}
+	meanAttrs := float64(totalAttrs) / 2000
+	if meanAttrs < 13.5 || meanAttrs > 19 {
+		t.Fatalf("mean attrs/tuple = %v, want ≈16.3", meanAttrs)
+	}
+	meanLen := float64(totalStrBytes) / float64(totalStrs)
+	if meanLen < 13 || meanLen > 21 {
+		t.Fatalf("mean string length = %v, want ≈16.8", meanLen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(Config{Tuples: 100, Seed: 7})
+	g2 := New(Config{Tuples: 100, Seed: 7})
+	for i := 0; i < 100; i++ {
+		a, b := g1.Values(i), g2.Values(i)
+		if len(a) != len(b) {
+			t.Fatalf("tuple %d: sizes differ", i)
+		}
+		for r, v := range a {
+			if !v.Equal(b[r]) {
+				t.Fatalf("tuple %d attr %d: %v != %v", i, r, v, b[r])
+			}
+		}
+	}
+	// Different seeds must differ somewhere.
+	g3 := New(Config{Tuples: 100, Seed: 8})
+	same := true
+	for i := 0; i < 10 && same; i++ {
+		a, b := g1.Values(i), g3.Values(i)
+		if len(a) != len(b) {
+			same = false
+			break
+		}
+		for r, v := range a {
+			if o, ok := b[r]; !ok || !v.Equal(o) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestZipfPopularitySkew(t *testing.T) {
+	g := New(Config{Tuples: 1500, Seed: 3})
+	counts := make([]int, g.NumAttrsTotal())
+	for i := 0; i < 1500; i++ {
+		for r := range g.Values(i) {
+			counts[r]++
+		}
+	}
+	// Head attributes must be far more popular than the tail.
+	head := counts[0] + counts[1] + counts[2]
+	tail := 0
+	for _, c := range counts[len(counts)/2:] {
+		tail += c
+	}
+	if head < tail {
+		t.Fatalf("no popularity skew: head-3 %d vs tail-half %d", head, tail)
+	}
+	if counts[0] < 500 {
+		t.Fatalf("most popular attribute defined only %d/1500 times", counts[0])
+	}
+}
+
+func TestValuesAreValid(t *testing.T) {
+	g := New(Config{Tuples: 500, Seed: 5})
+	for i := 0; i < 500; i++ {
+		for r, v := range g.Values(i) {
+			if err := v.Validate(); err != nil {
+				t.Fatalf("tuple %d attr %d: %v", i, r, err)
+			}
+			if v.Kind != g.AttrKind(r) {
+				t.Fatalf("tuple %d attr %d: kind mismatch", i, r)
+			}
+		}
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	pool := storage.NewPool(0, 4<<20)
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(Config{Tuples: 300, TextAttrs: 40, NumAttrs: 8, Seed: 11})
+	ids, err := g.Populate(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 48 {
+		t.Fatalf("%d ids", len(ids))
+	}
+	if tbl.Live() != 300 {
+		t.Fatalf("live = %d", tbl.Live())
+	}
+	// Stored values must round-trip against the generator.
+	i := 0
+	err = tbl.Scan(func(_ int64, tp *model.Tuple) error {
+		want := g.Values(i)
+		if len(tp.Values) != len(want) {
+			t.Fatalf("tuple %d: %d values, want %d", i, len(tp.Values), len(want))
+		}
+		for rank, v := range want {
+			got, ok := tp.Get(ids[rank])
+			if !ok || !got.Equal(v) {
+				t.Fatalf("tuple %d rank %d: %v vs %v", i, rank, got, v)
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesFollowData(t *testing.T) {
+	pool := storage.NewPool(0, 4<<20)
+	cat := table.NewCatalog()
+	tbl, _ := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	g := New(Config{Tuples: 400, TextAttrs: 40, NumAttrs: 8, Seed: 13})
+	ids, err := g.Populate(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nvals := range []int{1, 3, 5} {
+		qs, warm := g.Queries(QueryConfig{Values: nvals, K: 10, Count: 50, Seed: 1}, ids)
+		if len(qs) != 50 || warm != 10 {
+			t.Fatalf("nvals=%d: %d queries, warm %d", nvals, len(qs), warm)
+		}
+		for qi, q := range qs {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("query %d invalid: %v", qi, err)
+			}
+			if len(q.Terms) != nvals {
+				t.Fatalf("query %d has %d terms, want %d", qi, len(q.Terms), nvals)
+			}
+		}
+	}
+	// Deterministic given the seed.
+	qs1, _ := g.Queries(QueryConfig{Values: 3, Seed: 9}, ids)
+	qs2, _ := g.Queries(QueryConfig{Values: 3, Seed: 9}, ids)
+	for i := range qs1 {
+		if len(qs1[i].Terms) != len(qs2[i].Terms) {
+			t.Fatal("query sets not deterministic")
+		}
+		for j := range qs1[i].Terms {
+			if qs1[i].Terms[j] != qs2[i].Terms[j] {
+				t.Fatal("query terms not deterministic")
+			}
+		}
+	}
+}
+
+func TestVocabWordDeterministic(t *testing.T) {
+	g := New(Config{Tuples: 1, Seed: 21})
+	if g.VocabWord(3, 5) != g.VocabWord(3, 5) {
+		t.Fatal("VocabWord not deterministic")
+	}
+	if g.VocabWord(3, 5) == g.VocabWord(3, 6) {
+		t.Fatal("distinct vocab entries identical")
+	}
+	if len(g.VocabWord(0, 0)) > model.MaxStringLen {
+		t.Fatal("vocab word exceeds max string length")
+	}
+}

@@ -1,0 +1,228 @@
+// Package gram implements the n-gram machinery behind the nG-signature:
+// n-gram extraction with '#'/'$' padding, positional n-gram multisets, the
+// common-gram-set lower bound est' of Gravano et al. (the paper's Eq. 1–2),
+// and the exact dynamic-programming edit distance used by the refine step.
+package gram
+
+// PrefixPad and SuffixPad are the two symbols outside the text alphabet used
+// to extend a string before extracting its n-grams (§III-B.1).
+const (
+	PrefixPad = '#'
+	SuffixPad = '$'
+)
+
+// Grams returns all n-grams of s in order: the string is extended with n−1
+// PrefixPad bytes and n−1 SuffixPad bytes, and every window of n consecutive
+// bytes of the extension is one gram. A string of length m has m+n−1 grams.
+func Grams(s string, n int) []string {
+	if n < 1 {
+		panic("gram: n < 1")
+	}
+	if n == 1 {
+		out := make([]string, len(s))
+		for i := 0; i < len(s); i++ {
+			out[i] = s[i : i+1]
+		}
+		return out
+	}
+	ext := make([]byte, 0, len(s)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		ext = append(ext, PrefixPad)
+	}
+	ext = append(ext, s...)
+	for i := 0; i < n-1; i++ {
+		ext = append(ext, SuffixPad)
+	}
+	count := len(ext) - n + 1
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, string(ext[i:i+n]))
+	}
+	return out
+}
+
+// Set is a positional n-gram multiset: gram → number of occurrences
+// (the paper's g(s), a set of (count, gram) pairs).
+type Set map[string]int
+
+// NewSet returns the n-gram multiset of s.
+func NewSet(s string, n int) Set {
+	set := make(Set)
+	for _, g := range Grams(s, n) {
+		set[g]++
+	}
+	return set
+}
+
+// Size returns |Ω| = Σ counts.
+func (g Set) Size() int {
+	total := 0
+	for _, a := range g {
+		total += a
+	}
+	return total
+}
+
+// CommonSize returns |cg(s1,s2)| = Σ min(a1,a2) over shared grams.
+func (g Set) CommonSize(o Set) int {
+	total := 0
+	for gram, a := range g {
+		if b, ok := o[gram]; ok {
+			if b < a {
+				total += b
+			} else {
+				total += a
+			}
+		}
+	}
+	return total
+}
+
+// EstPrime computes est'(sq, sd) (Eq. 1): the n-gram lower bound of the edit
+// distance between the two strings,
+//
+//	est' = (max(|sq|,|sd|) − |cg(sq,sd)| − 1)/n + 1,
+//
+// clamped at 0 (identical strings yield a non-positive raw value).
+func EstPrime(sq, sd string, n int) float64 {
+	cg := NewSet(sq, n).CommonSize(NewSet(sd, n))
+	return EstFromCommon(len(sq), len(sd), cg, n)
+}
+
+// EstFromCommon evaluates Eq. 1 given the two lengths and the (possibly
+// estimated) common-gram count. It is shared with the signature package,
+// which substitutes the hit-gram count for the common-gram count (Eq. 3).
+func EstFromCommon(lq, ld, common, n int) float64 {
+	m := lq
+	if ld > m {
+		m = ld
+	}
+	est := float64(m-common-1)/float64(n) + 1
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// EditDistance returns the Levenshtein distance between a and b: the minimum
+// number of single-character insertions, deletions and substitutions that
+// transform a into b. This is the exact metric of the refine step.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Keep the inner loop over the shorter string.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost        // substitution
+			if v := prev[j] + 1; v < d { // deletion
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d { // insertion
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// EditDistanceBounded returns min(EditDistance(a,b), bound+1) while doing
+// less work when the distance exceeds bound. Queries that only need to know
+// whether a tuple beats the pool's current maximum use this.
+func EditDistanceBounded(a, b string, bound int) int {
+	if bound < 0 {
+		bound = 0
+	}
+	la, lb := len(a), len(b)
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > bound {
+		return bound + 1
+	}
+	if a == b {
+		return 0
+	}
+	if lb > la {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb == 0 {
+		// la <= bound is guaranteed by the length-difference check above.
+		return la
+	}
+	const inf = 1 << 29
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		// Only cells with |i-j| <= bound can end ≤ bound.
+		lo := i - bound
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + bound
+		if hi > lb {
+			hi = lb
+		}
+		cur[0] = i
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		ca := a[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > bound {
+		return bound + 1
+	}
+	return prev[lb]
+}

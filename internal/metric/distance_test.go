@@ -1,0 +1,92 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+)
+
+func exampleTuple() *model.Tuple {
+	tp := model.NewTuple(1)
+	tp.Set(0, model.Text("canon", "cannon"))
+	tp.Set(1, model.Num(230))
+	return tp
+}
+
+func TestTermDiffText(t *testing.T) {
+	m := Default()
+	tp := exampleTuple()
+	// min edit distance over the value's strings: ed(canon, canon) = 0.
+	d := m.TermDiff(model.QueryTerm{Attr: 0, Kind: model.KindText, Str: "canon"}, tp)
+	if d != 0 {
+		t.Fatalf("exact match diff = %v", d)
+	}
+	// ed(cano, canon) = 1; ed(cano, cannon) = 2 → min 1.
+	d = m.TermDiff(model.QueryTerm{Attr: 0, Kind: model.KindText, Str: "cano"}, tp)
+	if d != 1 {
+		t.Fatalf("near match diff = %v", d)
+	}
+}
+
+func TestTermDiffNumeric(t *testing.T) {
+	m := Default()
+	tp := exampleTuple()
+	d := m.TermDiff(model.QueryTerm{Attr: 1, Kind: model.KindNumeric, Num: 200}, tp)
+	if d != 30 {
+		t.Fatalf("numeric diff = %v", d)
+	}
+}
+
+func TestTermDiffNDF(t *testing.T) {
+	m := Default()
+	tp := exampleTuple()
+	// Undefined attribute → penalty.
+	d := m.TermDiff(model.QueryTerm{Attr: 9, Kind: model.KindText, Str: "x"}, tp)
+	if d != m.NDFPenalty {
+		t.Fatalf("ndf diff = %v, want %v", d, m.NDFPenalty)
+	}
+	// Kind mismatch (text query on a numeric cell) also counts as ndf.
+	d = m.TermDiff(model.QueryTerm{Attr: 1, Kind: model.KindText, Str: "x"}, tp)
+	if d != m.NDFPenalty {
+		t.Fatalf("kind-mismatch diff = %v, want %v", d, m.NDFPenalty)
+	}
+}
+
+func TestTupleDistance(t *testing.T) {
+	m := New(L1{}, Equal{})
+	tp := exampleTuple()
+	q := (&model.Query{K: 1}).
+		TextTerm(0, "cano"). // diff 1
+		NumTerm(1, 235)      // diff 5
+	if d := m.TupleDistance(q, tp); d != 6 {
+		t.Fatalf("L1 distance = %v, want 6", d)
+	}
+}
+
+func TestAllNDFDistance(t *testing.T) {
+	q := (&model.Query{K: 1}).TextTerm(0, "a").NumTerm(1, 2).TextTerm(2, "c")
+	m := New(L2{}, Equal{})
+	want := math.Sqrt(3 * m.NDFPenalty * m.NDFPenalty)
+	if d := m.AllNDFDistance(q); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("all-ndf L2 = %v, want %v", d, want)
+	}
+	mInf := New(LInf{}, Equal{})
+	if d := mInf.AllNDFDistance(q); d != mInf.NDFPenalty {
+		t.Fatalf("all-ndf Linf = %v", d)
+	}
+}
+
+// TestAllNDFIsUpperBoundForUndefined checks the invariant the SII baseline
+// relies on: a tuple defining none of the query attributes has exactly the
+// all-ndf distance.
+func TestAllNDFIsExactForUndefinedTuple(t *testing.T) {
+	tp := model.NewTuple(5)
+	tp.Set(42, model.Num(1)) // defines only an unrelated attribute
+	q := (&model.Query{K: 1}).TextTerm(0, "a").NumTerm(1, 2)
+	for _, m := range []*Metric{New(L1{}, Equal{}), New(L2{}, Equal{}), New(LInf{}, Equal{})} {
+		if got, want := m.TupleDistance(q, tp), m.AllNDFDistance(q); got != want {
+			t.Fatalf("%s: %v != %v", m.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package metric implements the similarity-distance side of §III-A: the
+// per-attribute differences d[A](T,Q), importance weights λ, and the
+// monotone combining function f. The iVA-file is metric-oblivious — it only
+// relies on f satisfying the monotonous property (Property 3.1: growing any
+// per-attribute difference cannot shrink the distance) — so metrics are an
+// interface and the paper's six evaluation settings ({EQU,ITF}×{L1,L2,L∞})
+// are provided implementations.
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sparsewide/iva/internal/gram"
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// DefaultNDFPenalty is the predefined constant difference between a defined
+// query value and an undefined data value (the paper's example uses 20).
+const DefaultNDFPenalty = 20.0
+
+// Combiner is the monotone function f over the weighted per-attribute
+// differences λi·di. Implementations must satisfy Property 3.1.
+type Combiner interface {
+	// Combine folds the weighted differences into a similarity distance.
+	Combine(weighted []float64) float64
+	// Name identifies the metric in experiment output.
+	Name() string
+}
+
+// L1 is the weighted Manhattan metric: Σ λi·di.
+type L1 struct{}
+
+// Combine implements Combiner.
+func (L1) Combine(w []float64) float64 {
+	sum := 0.0
+	for _, d := range w {
+		sum += d
+	}
+	return sum
+}
+
+// Name implements Combiner.
+func (L1) Name() string { return "L1" }
+
+// L2 is the weighted Euclidean metric: sqrt(Σ (λi·di)²). This is the
+// paper's default (Table I).
+type L2 struct{}
+
+// Combine implements Combiner.
+func (L2) Combine(w []float64) float64 {
+	sum := 0.0
+	for _, d := range w {
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Name implements Combiner.
+func (L2) Name() string { return "L2" }
+
+// LInf is the weighted Chebyshev metric: max λi·di.
+type LInf struct{}
+
+// Combine implements Combiner.
+func (LInf) Combine(w []float64) float64 {
+	m := 0.0
+	for _, d := range w {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Name implements Combiner.
+func (LInf) Name() string { return "Linf" }
+
+// ByName returns the combiner named "L1", "L2" or "Linf".
+func ByName(name string) (Combiner, error) {
+	switch name {
+	case "L1":
+		return L1{}, nil
+	case "L2":
+		return L2{}, nil
+	case "Linf", "L∞":
+		return LInf{}, nil
+	default:
+		return nil, fmt.Errorf("metric: unknown combiner %q", name)
+	}
+}
+
+// Weighter assigns the importance weight λ of an attribute.
+type Weighter interface {
+	Weight(a model.AttrID) float64
+	Name() string
+}
+
+// Equal weights every attribute 1 (the paper's EQU setting).
+type Equal struct{}
+
+// Weight implements Weighter.
+func (Equal) Weight(model.AttrID) float64 { return 1 }
+
+// Name implements Weighter.
+func (Equal) Name() string { return "EQU" }
+
+// ITF is the inverse-tuple-frequency weighting of §V-B.3:
+//
+//	λ(A) = ln((1+|T|)/(1+|T|_A))
+//
+// where |T|_A is the number of tuples defining A. Attributes defined
+// everywhere weigh ~0; rare attributes weigh more.
+type ITF struct {
+	total func() int64
+	df    func(model.AttrID) int64
+}
+
+// NewITF builds an ITF weighter from a live-tuple-count source and a
+// per-attribute df lookup (typically backed by the table and its catalog).
+// Both are functions so the weights track inserts and deletes.
+func NewITF(total func() int64, df func(model.AttrID) int64) *ITF {
+	return &ITF{total: total, df: df}
+}
+
+// Weight implements Weighter.
+func (w *ITF) Weight(a model.AttrID) float64 {
+	return math.Log(float64(1+w.total()) / float64(1+w.df(a)))
+}
+
+// Name implements Weighter.
+func (w *ITF) Name() string { return "ITF" }
+
+// Metric bundles a combiner, a weighter and the ndf penalty into the
+// D(T,Q) evaluator used by both the filter and refine steps.
+type Metric struct {
+	Combiner   Combiner
+	Weighter   Weighter
+	NDFPenalty float64
+}
+
+// New returns a metric with the default ndf penalty.
+func New(c Combiner, w Weighter) *Metric {
+	return &Metric{Combiner: c, Weighter: w, NDFPenalty: DefaultNDFPenalty}
+}
+
+// Default returns the paper's Table I setting: Euclidean with equal weights.
+func Default() *Metric { return New(L2{}, Equal{}) }
+
+// Distance combines raw per-attribute differences (parallel to terms) into
+// the similarity distance, applying term or scheme weights.
+func (m *Metric) Distance(terms []model.QueryTerm, diffs []float64) float64 {
+	weighted := make([]float64, len(diffs))
+	for i, d := range diffs {
+		weighted[i] = m.TermWeight(terms[i]) * d
+	}
+	return m.Combiner.Combine(weighted)
+}
+
+// TermWeight resolves the λ of one query term: an explicit positive term
+// weight wins, otherwise the weighting scheme applies.
+func (m *Metric) TermWeight(t model.QueryTerm) float64 {
+	if t.Weight > 0 {
+		return t.Weight
+	}
+	return m.Weighter.Weight(t.Attr)
+}
+
+// Name returns a label like "EQU+L2" matching the paper's S1..S6 naming.
+func (m *Metric) Name() string {
+	return m.Weighter.Name() + "+" + m.Combiner.Name()
+}
+
+// TermDiff computes the exact per-attribute difference d[A](T,Q) of §III-A
+// for one query term against a fetched tuple: the smallest edit distance to
+// any data string for text, |Δ| for numeric, and the ndf penalty when the
+// tuple does not define the attribute or defines it with the other kind.
+func (m *Metric) TermDiff(term model.QueryTerm, tp *model.Tuple) float64 {
+	v, ok := tp.Get(term.Attr)
+	if !ok || v.Kind != term.Kind {
+		return m.NDFPenalty
+	}
+	switch term.Kind {
+	case model.KindNumeric:
+		return math.Abs(term.Num - v.Num)
+	case model.KindText:
+		best := math.Inf(1)
+		for _, s := range v.Strs {
+			if d := float64(gram.EditDistance(term.Str, s)); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	return m.NDFPenalty
+}
+
+// TupleDistance evaluates the exact similarity distance D(T,Q) used by the
+// refine step and by the DST baseline.
+func (m *Metric) TupleDistance(q *model.Query, tp *model.Tuple) float64 {
+	diffs := make([]float64, len(q.Terms))
+	for i, term := range q.Terms {
+		diffs[i] = m.TermDiff(term, tp)
+	}
+	return m.Distance(q.Terms, diffs)
+}
+
+// AllNDFDistance returns the distance of a tuple that defines none of the
+// query's attributes: every difference is the ndf penalty. It is exact
+// without fetching the tuple, which the SII baseline exploits.
+func (m *Metric) AllNDFDistance(q *model.Query) float64 {
+	diffs := make([]float64, len(q.Terms))
+	for i := range diffs {
+		diffs[i] = m.NDFPenalty
+	}
+	return m.Distance(q.Terms, diffs)
+}

@@ -1,0 +1,233 @@
+// Package model defines the data model shared by every layer of the
+// repository: sparse-wide-table values, tuples, attribute descriptors and
+// structured similarity queries, exactly as defined in §III-A of the iVA-file
+// paper.
+//
+// A cell value v(T,A) is either the special undefined marker ndf, a numeric
+// value, or a non-empty set of finite-length strings (a text value may carry
+// several strings, e.g. Industry = {"Computer", "Software"} in the paper's
+// Fig. 1). A query value v(Q,A) is a single number or a single string.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrID identifies an attribute of the sparse wide table. Attribute ids are
+// dense: they index the attribute list positionally (the paper eliminates
+// explicit attribute ids from attribute-list elements the same way).
+type AttrID uint32
+
+// TID identifies a tuple. TIDs increase monotonically; deleted tuples leave
+// gaps that a rebuild does not reuse.
+type TID uint32
+
+// Kind is the type of an attribute (and of a defined value).
+type Kind uint8
+
+// Attribute kinds.
+const (
+	KindNumeric Kind = iota
+	KindText
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNumeric:
+		return "numeric"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// MaxStringLen is the maximum length in bytes of a single data string. The
+// nG-signature stores the string length in one byte (cL), so the table layer
+// rejects longer strings. CWMS strings are short (paper: 16.8 bytes mean).
+const MaxStringLen = 255
+
+// Value is a defined cell value: a number or a non-empty set of strings.
+// The undefined value ndf is represented by absence from Tuple.Values
+// (a sparse representation; the table never materializes ndf cells).
+type Value struct {
+	Kind Kind
+	Num  float64  // valid when Kind == KindNumeric
+	Strs []string // valid when Kind == KindText; len >= 1
+}
+
+// Num returns a numeric value.
+func Num(v float64) Value { return Value{Kind: KindNumeric, Num: v} }
+
+// Text returns a text value holding the given strings.
+func Text(strs ...string) Value { return Value{Kind: KindText, Strs: strs} }
+
+// Validate reports whether the value is well formed.
+func (v Value) Validate() error {
+	switch v.Kind {
+	case KindNumeric:
+		return nil
+	case KindText:
+		if len(v.Strs) == 0 {
+			return fmt.Errorf("model: text value with no strings")
+		}
+		for _, s := range v.Strs {
+			if len(s) == 0 {
+				return fmt.Errorf("model: empty string in text value")
+			}
+			if len(s) > MaxStringLen {
+				return fmt.Errorf("model: string of %d bytes exceeds %d", len(s), MaxStringLen)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("model: invalid kind %d", v.Kind)
+	}
+}
+
+func (v Value) String() string {
+	if v.Kind == KindNumeric {
+		return fmt.Sprintf("%g", v.Num)
+	}
+	return "{" + strings.Join(v.Strs, ", ") + "}"
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	if v.Kind == KindNumeric {
+		return v.Num == o.Num
+	}
+	if len(v.Strs) != len(o.Strs) {
+		return false
+	}
+	for i := range v.Strs {
+		if v.Strs[i] != o.Strs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is a sparse tuple: only defined attributes appear in Values.
+type Tuple struct {
+	TID    TID
+	Values map[AttrID]Value
+}
+
+// NewTuple returns an empty tuple with the given id.
+func NewTuple(tid TID) *Tuple {
+	return &Tuple{TID: tid, Values: make(map[AttrID]Value)}
+}
+
+// Set defines attribute a with value v.
+func (t *Tuple) Set(a AttrID, v Value) {
+	if t.Values == nil {
+		t.Values = make(map[AttrID]Value)
+	}
+	t.Values[a] = v
+}
+
+// Get returns the value on attribute a; ok is false when v(T,a) = ndf.
+func (t *Tuple) Get(a AttrID) (Value, bool) {
+	v, ok := t.Values[a]
+	return v, ok
+}
+
+// Attrs returns the defined attribute ids in increasing order.
+func (t *Tuple) Attrs() []AttrID {
+	ids := make([]AttrID, 0, len(t.Values))
+	for a := range t.Values {
+		ids = append(ids, a)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Clone returns a deep copy of the tuple.
+func (t *Tuple) Clone() *Tuple {
+	c := NewTuple(t.TID)
+	for a, v := range t.Values {
+		if v.Kind == KindText {
+			strs := make([]string, len(v.Strs))
+			copy(strs, v.Strs)
+			v.Strs = strs
+		}
+		c.Values[a] = v
+	}
+	return c
+}
+
+// QueryTerm is one defined value of a structured query: a single number or a
+// single string on one attribute, with an importance weight λ > 0.
+type QueryTerm struct {
+	Attr   AttrID
+	Kind   Kind
+	Num    float64 // when Kind == KindNumeric
+	Str    string  // when Kind == KindText
+	Weight float64 // λ; 0 means "use the configured weighting scheme"
+}
+
+// Query is a top-k structured similarity query (§III-A).
+type Query struct {
+	Terms []QueryTerm
+	K     int
+}
+
+// NumTerm appends a numeric term to the query.
+func (q *Query) NumTerm(a AttrID, v float64) *Query {
+	q.Terms = append(q.Terms, QueryTerm{Attr: a, Kind: KindNumeric, Num: v})
+	return q
+}
+
+// TextTerm appends a text term to the query.
+func (q *Query) TextTerm(a AttrID, s string) *Query {
+	q.Terms = append(q.Terms, QueryTerm{Attr: a, Kind: KindText, Str: s})
+	return q
+}
+
+// Validate reports whether the query is well formed.
+func (q *Query) Validate() error {
+	if q.K <= 0 {
+		return fmt.Errorf("model: query k = %d, want > 0", q.K)
+	}
+	if len(q.Terms) == 0 {
+		return fmt.Errorf("model: query with no terms")
+	}
+	seen := make(map[AttrID]bool, len(q.Terms))
+	for _, term := range q.Terms {
+		if seen[term.Attr] {
+			return fmt.Errorf("model: duplicate query term on attribute %d", term.Attr)
+		}
+		seen[term.Attr] = true
+		if term.Kind == KindText {
+			if term.Str == "" {
+				return fmt.Errorf("model: empty query string on attribute %d", term.Attr)
+			}
+			if len(term.Str) > MaxStringLen {
+				return fmt.Errorf("model: query string of %d bytes exceeds %d", len(term.Str), MaxStringLen)
+			}
+		}
+		if term.Weight < 0 {
+			return fmt.Errorf("model: negative weight on attribute %d", term.Attr)
+		}
+	}
+	return nil
+}
+
+// Result is one element of a top-k answer.
+type Result struct {
+	TID  TID
+	Dist float64
+}
+
+// AttrDesc describes one attribute of the table (catalog entry).
+type AttrDesc struct {
+	ID   AttrID
+	Name string
+	Kind Kind
+}

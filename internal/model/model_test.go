@@ -1,0 +1,134 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueConstructors(t *testing.T) {
+	n := Num(3.5)
+	if n.Kind != KindNumeric || n.Num != 3.5 {
+		t.Fatalf("Num = %+v", n)
+	}
+	s := Text("a", "b")
+	if s.Kind != KindText || len(s.Strs) != 2 {
+		t.Fatalf("Text = %+v", s)
+	}
+}
+
+func TestValueValidate(t *testing.T) {
+	cases := []struct {
+		v  Value
+		ok bool
+	}{
+		{Num(0), true},
+		{Text("x"), true},
+		{Text("x", "y"), true},
+		{Text(), false},
+		{Text(""), false},
+		{Text(strings.Repeat("a", MaxStringLen)), true},
+		{Text(strings.Repeat("a", MaxStringLen+1)), false},
+		{Value{Kind: 9}, false},
+	}
+	for i, c := range cases {
+		if err := c.v.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Num(1).Equal(Num(1)) || Num(1).Equal(Num(2)) {
+		t.Fatal("numeric equality broken")
+	}
+	if !Text("a", "b").Equal(Text("a", "b")) {
+		t.Fatal("text equality broken")
+	}
+	if Text("a", "b").Equal(Text("b", "a")) {
+		t.Fatal("order-insensitive comparison")
+	}
+	if Text("a").Equal(Num(0)) {
+		t.Fatal("cross-kind equality")
+	}
+	if Text("a").Equal(Text("a", "a")) {
+		t.Fatal("length-insensitive comparison")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Num(2.5).String(); got != "2.5" {
+		t.Errorf("Num String = %q", got)
+	}
+	if got := Text("a", "b").String(); got != "{a, b}" {
+		t.Errorf("Text String = %q", got)
+	}
+}
+
+func TestTupleSetGetAttrs(t *testing.T) {
+	tp := NewTuple(7)
+	tp.Set(3, Num(1))
+	tp.Set(1, Text("x"))
+	tp.Set(2, Num(9))
+	if _, ok := tp.Get(5); ok {
+		t.Fatal("undefined attribute reported defined")
+	}
+	attrs := tp.Attrs()
+	if len(attrs) != 3 || attrs[0] != 1 || attrs[1] != 2 || attrs[2] != 3 {
+		t.Fatalf("Attrs = %v, want sorted [1 2 3]", attrs)
+	}
+	// Set on a zero-value tuple must not panic.
+	var z Tuple
+	z.Set(1, Num(2))
+	if v, ok := z.Get(1); !ok || v.Num != 2 {
+		t.Fatal("zero-value tuple Set/Get broken")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tp := NewTuple(1)
+	tp.Set(0, Text("original"))
+	c := tp.Clone()
+	c.Values[0].Strs[0] = "mutated"
+	if v, _ := tp.Get(0); v.Strs[0] != "original" {
+		t.Fatal("Clone shares string storage")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	q := (&Query{K: 5}).NumTerm(1, 2.5).TextTerm(2, "abc")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 2 || q.Terms[0].Kind != KindNumeric || q.Terms[1].Str != "abc" {
+		t.Fatalf("terms = %+v", q.Terms)
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	cases := []struct {
+		q  *Query
+		ok bool
+	}{
+		{(&Query{K: 1}).NumTerm(0, 1), true},
+		{(&Query{K: 0}).NumTerm(0, 1), false},               // k = 0
+		{&Query{K: 1}, false},                               // no terms
+		{(&Query{K: 1}).NumTerm(0, 1).NumTerm(0, 2), false}, // duplicate attr
+		{(&Query{K: 1}).TextTerm(0, ""), false},             // empty string
+		{(&Query{K: 1}).TextTerm(0, strings.Repeat("a", 300)), false},
+		{&Query{K: 1, Terms: []QueryTerm{{Attr: 0, Weight: -1}}}, false},
+	}
+	for i, c := range cases {
+		if err := c.q.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNumeric.String() != "numeric" || KindText.String() != "text" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}

@@ -1,0 +1,111 @@
+package scan
+
+import (
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+func newScanner(t *testing.T) (*Scanner, model.AttrID, model.AttrID) {
+	t.Helper()
+	pool := storage.NewPool(0, 1<<20)
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _ := cat.AddAttr("name", model.KindText)
+	price, _ := cat.AddAttr("price", model.KindNumeric)
+	s, err := New(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, name, price
+}
+
+func TestSearchExact(t *testing.T) {
+	s, name, price := newScanner(t)
+	for i, n := range []string{"canon", "sony", "nikon"} {
+		if _, err := s.Insert(map[model.AttrID]model.Value{
+			name:  model.Text(n),
+			price: model.Num(float64(100 * (i + 1))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := metric.Default()
+	q := (&model.Query{K: 2}).TextTerm(name, "cannon").NumTerm(price, 100)
+	res, stats, err := s.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	// "canon" at price 100: ed 1, |Δ| 0 → dist 1. Must win.
+	if res[0].TID != 0 || res[0].Dist != 1 {
+		t.Fatalf("top = %+v", res[0])
+	}
+	if stats.Scanned != 3 {
+		t.Fatalf("scanned %d", stats.Scanned)
+	}
+}
+
+func TestDeleteHidesTuple(t *testing.T) {
+	s, name, _ := newScanner(t)
+	tid, _ := s.Insert(map[model.AttrID]model.Value{name: model.Text("gone")})
+	s.Insert(map[model.AttrID]model.Value{name: model.Text("stays")})
+	if err := s.Delete(tid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(tid); err != table.ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Delete(999); err != table.ErrNotFound {
+		t.Fatalf("unknown delete: %v", err)
+	}
+	m := metric.Default()
+	res, stats, err := s.Search((&model.Query{K: 5}).TextTerm(name, "gone"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 1 {
+		t.Fatalf("scanned %d, want 1", stats.Scanned)
+	}
+	for _, r := range res {
+		if r.TID == tid {
+			t.Fatal("deleted tuple in results")
+		}
+	}
+	if s.Deleted() != 1 {
+		t.Fatalf("Deleted = %d", s.Deleted())
+	}
+}
+
+func TestUpdateGetsFreshTID(t *testing.T) {
+	s, name, _ := newScanner(t)
+	tid, _ := s.Insert(map[model.AttrID]model.Value{name: model.Text("v1")})
+	newTID, err := s.Update(tid, map[model.AttrID]model.Value{name: model.Text("v2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTID == tid {
+		t.Fatal("update reused tid")
+	}
+	m := metric.Default()
+	res, _, _ := s.Search((&model.Query{K: 1}).TextTerm(name, "v2"), m)
+	if res[0].TID != newTID || res[0].Dist != 0 {
+		t.Fatalf("updated tuple not found: %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _, _ := newScanner(t)
+	m := metric.Default()
+	if _, _, err := s.Search(&model.Query{K: 0}, m); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package signature implements the nG-signature of §III-B: the approximation
+// vector that represents a data string in the iVA-file.
+//
+// A signature c(s) has two parts: the low bits cL(s) record the string
+// length (one byte here; the table layer caps strings at 255 bytes), and the
+// high bits cH[l,t](s) are the bitwise OR of h[l,t](ω) over all n-grams ω of
+// s, where h[l,t] hashes a gram to an l-bit vector with exactly t one bits.
+//
+// Given a query string sq, the hit-gram count |hg(sq,c(sd))| (Def. 3.3)
+// estimates the common-gram count, and Eq. 3 turns it into an edit-distance
+// estimate that never exceeds the true edit distance (Prop. 3.3), so
+// filtering with it produces no false negatives.
+//
+// The signature width follows the paper's relative-vector-length parameter:
+// cH takes ⌈α·(|s|+n−1)⌉ bytes, and t is chosen per (m=|s|+n−1, l) to
+// minimize the expected relative error ê = (1−(1−t/l)^m)^t (Eq. 5); the
+// chosen values are memoized in an in-memory table, as §III-B.3 suggests.
+package signature
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/sparsewide/iva/internal/gram"
+)
+
+// Sig is an encoded nG-signature. H packs the cH bits in the bitio word
+// layout: stream bit i is bit 63−(i mod 64) of H[i/64].
+type Sig struct {
+	Len int      // string length in bytes (the cL part)
+	H   []uint64 // cH[l,t] bits
+}
+
+// Codec encodes strings into nG-signatures for a fixed gram length n and
+// relative vector length α.
+type Codec struct {
+	n     int
+	alpha float64
+
+	mu sync.RWMutex
+	tc map[tKey]int // (m,l) → optimal t
+}
+
+type tKey struct{ m, l int }
+
+// NewCodec returns a codec. n must be ≥ 1 and α in (0, 1].
+func NewCodec(n int, alpha float64) (*Codec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("signature: n = %d, want >= 1", n)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("signature: alpha = %v, want in (0,1]", alpha)
+	}
+	return &Codec{n: n, alpha: alpha, tc: make(map[tKey]int)}, nil
+}
+
+// N returns the gram length.
+func (c *Codec) N() int { return c.n }
+
+// Alpha returns the relative vector length.
+func (c *Codec) Alpha() float64 { return c.alpha }
+
+// LenBits is the width of the cL length field.
+const LenBits = 8
+
+// SigBits returns the cH width in bits for a data string of the given byte
+// length: 8·⌈α·(len+n−1)⌉, with a one-byte floor.
+func (c *Codec) SigBits(strLen int) int {
+	m := strLen + c.n - 1
+	b := int(math.Ceil(c.alpha * float64(m)))
+	if b < 1 {
+		b = 1
+	}
+	return 8 * b
+}
+
+// TotalBits returns the full signature width (cL + cH) for a string length.
+func (c *Codec) TotalBits(strLen int) int { return LenBits + c.SigBits(strLen) }
+
+// OptimalT returns the t ∈ [1, l−1] minimizing the expected relative error
+// ê = (1−(1−t/l)^m)^t for m grams hashed into l bits. Results are memoized.
+func (c *Codec) OptimalT(m, l int) int {
+	key := tKey{m, l}
+	c.mu.RLock()
+	t, ok := c.tc[key]
+	c.mu.RUnlock()
+	if ok {
+		return t
+	}
+	best, bestErr := 1, math.Inf(1)
+	for cand := 1; cand < l; cand++ {
+		e := ExpectedError(m, l, cand)
+		if e < bestErr {
+			best, bestErr = cand, e
+		}
+	}
+	c.mu.Lock()
+	c.tc[key] = best
+	c.mu.Unlock()
+	return best
+}
+
+// ExpectedError evaluates ê = (1−(1−t/l)^m)^t (Eq. 5): the expected relative
+// error of est against est' caused by false hits.
+func ExpectedError(m, l, t int) float64 {
+	p := 1 - math.Pow(1-float64(t)/float64(l), float64(m))
+	return math.Pow(p, float64(t))
+}
+
+// Encode returns the nG-signature of data string s.
+func (c *Codec) Encode(s string) Sig {
+	l := c.SigBits(len(s))
+	m := len(s) + c.n - 1
+	t := c.OptimalT(m, l)
+	h := make([]uint64, (l+63)/64)
+	for _, g := range gram.Grams(s, c.n) {
+		orMask(h, g, l, t)
+	}
+	return Sig{Len: len(s), H: h}
+}
+
+// orMask ORs h[l,t](g) into dst.
+func orMask(dst []uint64, g string, l, t int) {
+	seed := fnv64(g)
+	set := 0
+	for i := uint64(0); set < t; i++ {
+		pos := int(splitmix64(seed+i) % uint64(l))
+		w, b := pos/64, 63-pos%64
+		bit := uint64(1) << uint(b)
+		if dst[w]&bit == 0 {
+			dst[w] |= bit
+			set++
+		} else if wordsFull(dst, l, t-set) {
+			// All l bits already set (possible for tiny l): nothing to add.
+			break
+		}
+	}
+}
+
+// hashMask returns h[l,t](g) as a fresh word slice.
+func hashMask(g string, l, t int) []uint64 {
+	h := make([]uint64, (l+63)/64)
+	orMask(h, g, l, t)
+	return h
+}
+
+// wordsFull reports whether all l bits of dst are set (guard against an
+// infinite loop when t approaches l on a saturated signature).
+func wordsFull(dst []uint64, l, _ int) bool {
+	full := 0
+	for _, w := range dst {
+		full += popcount(w)
+	}
+	return full >= l
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// fnv64 is FNV-1a over the gram bytes.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix64 scrambles x into a well-distributed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// maskSubset reports whether every set bit of mask is set in sig
+// (h[l,t](ω) AND cH == h[l,t](ω), Def. 3.1).
+func maskSubset(mask, sig []uint64) bool {
+	for i, m := range mask {
+		if sig[i]&m != m {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryString pre-processes a query string so that estimating against many
+// signatures is cheap. Signatures of different data-string lengths use
+// different (l,t) hash parameters, so per-(l,t) gram masks are cached
+// lazily as the scan encounters them.
+type QueryString struct {
+	codec *Codec
+	str   string
+	grams []gramCount
+
+	mu    sync.Mutex
+	masks map[tKey][][]uint64 // (l,t) → mask per gram (parallel to grams)
+}
+
+type gramCount struct {
+	g     string
+	count int
+}
+
+// NewQueryString prepares sq for estimation under the codec.
+func (c *Codec) NewQueryString(sq string) *QueryString {
+	set := gram.NewSet(sq, c.n)
+	grams := make([]gramCount, 0, len(set))
+	for g, a := range set {
+		grams = append(grams, gramCount{g, a})
+	}
+	return &QueryString{codec: c, str: sq, grams: grams, masks: make(map[tKey][][]uint64)}
+}
+
+// Str returns the query string.
+func (q *QueryString) Str() string { return q.str }
+
+func (q *QueryString) masksFor(l, t int) [][]uint64 {
+	key := tKey{l, t}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ms, ok := q.masks[key]; ok {
+		return ms
+	}
+	ms := make([][]uint64, len(q.grams))
+	for i, gc := range q.grams {
+		ms[i] = hashMask(gc.g, l, t)
+	}
+	q.masks[key] = ms
+	return ms
+}
+
+// Hits returns |hg(sq, c(sd))|: the total count of query grams that hit the
+// signature (Def. 3.3).
+func (q *QueryString) Hits(sig Sig) int {
+	l := q.codec.SigBits(sig.Len)
+	m := sig.Len + q.codec.n - 1
+	t := q.codec.OptimalT(m, l)
+	masks := q.masksFor(l, t)
+	hits := 0
+	for i, gc := range q.grams {
+		if maskSubset(masks[i], sig.H) {
+			hits += gc.count
+		}
+	}
+	return hits
+}
+
+// Est returns est(sq, c(sd)) (Eq. 3): a lower bound of ed(sq, sd).
+func (q *QueryString) Est(sig Sig) float64 {
+	return gram.EstFromCommon(len(q.str), sig.Len, q.Hits(sig), q.codec.n)
+}

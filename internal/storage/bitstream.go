@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// ChainBitReader reads a bit-packed stream stored in a segment chain. It
+// buffers a window of the chain's logical payload so that sequential scans
+// (the dominant access pattern of vector lists) hit the buffer pool once per
+// window rather than once per field.
+type ChainBitReader struct {
+	s      *SegStore
+	c      ChainID
+	bitLen int64 // total readable bits
+
+	buf      []byte
+	bufStart int64 // logical byte offset of buf[0]
+	bufLen   int   // valid bytes in buf
+	pos      int64 // current bit position
+}
+
+// DefaultWindow is the read-ahead window of ChainBitReader in bytes. It
+// plays the role of the "small disk cache" §IV-A relies on to keep the
+// interleaved scanning of several vector lists efficient: each refill pays
+// one positioning move and then streams sequentially.
+const DefaultWindow = 64 << 10
+
+// NewChainBitReader returns a reader over the first bitLen bits of chain c.
+func NewChainBitReader(s *SegStore, c ChainID, bitLen int64) *ChainBitReader {
+	return &ChainBitReader{s: s, c: c, bitLen: bitLen, buf: make([]byte, DefaultWindow), bufStart: -1}
+}
+
+// BitLen returns the stream length in bits.
+func (r *ChainBitReader) BitLen() int64 { return r.bitLen }
+
+// Pos returns the current bit position.
+func (r *ChainBitReader) Pos() int64 { return r.pos }
+
+// Remaining returns the unread bit count.
+func (r *ChainBitReader) Remaining() int64 { return r.bitLen - r.pos }
+
+// SeekBit positions the reader at the absolute bit offset.
+func (r *ChainBitReader) SeekBit(off int64) error {
+	if off < 0 || off > r.bitLen {
+		return fmt.Errorf("storage: bit seek %d outside [0,%d]", off, r.bitLen)
+	}
+	r.pos = off
+	return nil
+}
+
+// SkipBits advances the position.
+func (r *ChainBitReader) SkipBits(n int64) error {
+	return r.SeekBit(r.pos + n)
+}
+
+func (r *ChainBitReader) byteAt(byteOff int64) (byte, error) {
+	if r.bufStart < 0 || byteOff < r.bufStart || byteOff >= r.bufStart+int64(r.bufLen) {
+		// Refill the window starting at byteOff.
+		want := len(r.buf)
+		capBytes, err := r.s.Len(r.c)
+		if err != nil {
+			return 0, err
+		}
+		if byteOff >= capBytes {
+			return 0, fmt.Errorf("storage: bit read past chain capacity")
+		}
+		if int64(want) > capBytes-byteOff {
+			want = int(capBytes - byteOff)
+		}
+		if err := r.s.ReadAt(r.c, r.buf[:want], byteOff); err != nil {
+			return 0, err
+		}
+		r.bufStart = byteOff
+		r.bufLen = want
+	}
+	return r.buf[byteOff-r.bufStart], nil
+}
+
+// ReadBits reads width (≤64) bits MSB-first.
+func (r *ChainBitReader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("storage: invalid bit width %d", width))
+	}
+	if r.pos+int64(width) > r.bitLen {
+		return 0, fmt.Errorf("storage: bit read past end (pos=%d width=%d len=%d)", r.pos, width, r.bitLen)
+	}
+	var v uint64
+	for width > 0 {
+		b, err := r.byteAt(r.pos >> 3)
+		if err != nil {
+			return 0, err
+		}
+		off := int(r.pos & 7)
+		room := 8 - off
+		take := width
+		if take > room {
+			take = room
+		}
+		chunk := (b >> (room - take)) & (1<<take - 1)
+		v = v<<take | uint64(chunk)
+		r.pos += int64(take)
+		width -= take
+	}
+	return v, nil
+}
+
+// ReadWords reads width bits into dst using the bitio word layout (bit i of
+// the stream is bit 63-i%64 of dst[i/64]).
+func (r *ChainBitReader) ReadWords(dst []uint64, width int) error {
+	i := 0
+	for width >= 64 {
+		v, err := r.ReadBits(64)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+		i++
+		width -= 64
+	}
+	if width > 0 {
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		dst[i] = v << (64 - width)
+	}
+	return nil
+}
+
+// SetBitLen grows the readable region (after a tail append).
+func (r *ChainBitReader) SetBitLen(n int64) { r.bitLen = n }
+
+// WriteBitsAt overwrites `width` bits (≤64) of chain c at absolute bit
+// offset off with the low bits of v (MSB-first). The chain must already
+// cover the range. Used to tombstone tuple-list ptrs in place (§IV-B
+// deletion).
+func WriteBitsAt(s *SegStore, c ChainID, off int64, v uint64, width int) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("storage: invalid width %d", width)
+	}
+	startByte := off >> 3
+	endByte := (off + int64(width) + 7) >> 3
+	buf := make([]byte, endByte-startByte)
+	if err := s.ReadAt(c, buf, startByte); err != nil {
+		return err
+	}
+	for i := 0; i < width; i++ {
+		p := int(off&7) + i
+		bit := (v >> uint(width-1-i)) & 1
+		mask := byte(1) << (7 - uint(p&7))
+		if bit != 0 {
+			buf[p>>3] |= mask
+		} else {
+			buf[p>>3] &^= mask
+		}
+	}
+	return s.WriteAt(c, buf, startByte)
+}
+
+// AppendBits appends the first nbits of src (a bitio.Writer buffer) to chain
+// c whose current bit length is bitLen, and returns the new bit length. The
+// first appended byte is merged with the stream's trailing partial byte.
+func AppendBits(s *SegStore, c ChainID, bitLen int64, src []byte, nbits int) (int64, error) {
+	if nbits == 0 {
+		return bitLen, nil
+	}
+	startByte := bitLen >> 3
+	rem := int(bitLen & 7)
+	if rem == 0 {
+		// Byte-aligned: write src directly.
+		n := (nbits + 7) / 8
+		if err := s.WriteAt(c, src[:n], startByte); err != nil {
+			return 0, err
+		}
+		return bitLen + int64(nbits), nil
+	}
+	// Merge: shift src right by rem bits and OR into the trailing byte.
+	var last [1]byte
+	if err := s.ReadAt(c, last[:], startByte); err != nil {
+		return 0, err
+	}
+	total := rem + nbits
+	out := make([]byte, (total+7)/8)
+	out[0] = last[0] & (0xFF << (8 - rem)) // keep existing high bits
+	for i := 0; i < nbits; i++ {
+		bit := (src[i>>3] >> (7 - uint(i&7))) & 1
+		if bit != 0 {
+			p := rem + i
+			out[p>>3] |= 1 << (7 - uint(p&7))
+		}
+	}
+	if err := s.WriteAt(c, out, startByte); err != nil {
+		return 0, err
+	}
+	return bitLen + int64(nbits), nil
+}

@@ -1,0 +1,189 @@
+// Package storage provides the paged storage substrate shared by the table
+// file and the index files: block devices (in-memory and OS-file backed), a
+// shared LRU buffer pool with physical-I/O accounting (the paper evaluates
+// with a single 10 MB file cache over both the index and the table file), a
+// 2009-HDD disk cost model used to report paper-shaped query times, and
+// segmented (extent-chain) files so that per-attribute vector lists can grow
+// at the tail between rebuilds, as §IV-B's insertion path requires.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Device is a random-access block of bytes. It is the lowest layer; all
+// access above it goes through a File and the shared buffer pool.
+type Device interface {
+	// ReadAt reads len(p) bytes at offset off. Reads beyond the current
+	// size return zero bytes for the missing tail (devices are sparse).
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes len(p) bytes at offset off, growing the device.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size returns the current device size in bytes.
+	Size() int64
+	// Truncate resizes the device.
+	Truncate(size int64) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// MemDevice is an in-memory Device. The zero value is an empty device.
+type MemDevice struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i := range p {
+		p[i] = 0
+	}
+	if off >= int64(len(d.buf)) {
+		return len(p), nil
+	}
+	copy(p, d.buf[off:])
+	return len(p), nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(d.buf)) {
+		if end > int64(cap(d.buf)) {
+			nb := make([]byte, end, end+end/2)
+			copy(nb, d.buf)
+			d.buf = nb
+		} else {
+			d.buf = d.buf[:end]
+		}
+	}
+	copy(d.buf[off:], p)
+	return len(p), nil
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.buf))
+}
+
+// Truncate implements Device.
+func (d *MemDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("storage: negative truncate %d", size)
+	}
+	if size <= int64(len(d.buf)) {
+		d.buf = d.buf[:size]
+		return nil
+	}
+	nb := make([]byte, size)
+	copy(nb, d.buf)
+	d.buf = nb
+	return nil
+}
+
+// Sync implements Device.
+func (d *MemDevice) Sync() error { return nil }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// FileDevice is an OS-file backed Device.
+type FileDevice struct {
+	f    *os.File
+	mu   sync.Mutex
+	size int64
+}
+
+// OpenFileDevice opens (creating if necessary) the file at path.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	return &FileDevice{f: f, size: st.Size()}, nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	size := d.size
+	d.mu.Unlock()
+	for i := range p {
+		p[i] = 0
+	}
+	if off >= size {
+		return len(p), nil
+	}
+	n := len(p)
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	if _, err := d.f.ReadAt(p[:n], off); err != nil {
+		return 0, fmt.Errorf("storage: read: %w", err)
+	}
+	return len(p), nil
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	n, err := d.f.WriteAt(p, off)
+	if err != nil {
+		return n, fmt.Errorf("storage: write: %w", err)
+	}
+	d.mu.Lock()
+	if end := off + int64(n); end > d.size {
+		d.size = end
+	}
+	d.mu.Unlock()
+	return n, nil
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// Truncate implements Device.
+func (d *FileDevice) Truncate(size int64) error {
+	if err := d.f.Truncate(size); err != nil {
+		return fmt.Errorf("storage: truncate: %w", err)
+	}
+	d.mu.Lock()
+	d.size = size
+	d.mu.Unlock()
+	return nil
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// File is a byte-addressable view of a device routed through the shared
+// buffer pool. All reads and writes above the device layer use File so that
+// every experiment's I/O is counted and cached uniformly.
+type File struct {
+	pool *Pool
+	dev  Device
+	id   uint32
+
+	mu   sync.Mutex
+	size int64 // logical size in bytes (may trail the device page tail)
+}
+
+// NewFile attaches dev to pool and returns a File over it. The logical size
+// starts at the device size.
+func NewFile(pool *Pool, dev Device) *File {
+	id := pool.Register(dev)
+	return &File{pool: pool, dev: dev, id: id, size: dev.Size()}
+}
+
+// Pool returns the buffer pool the file is attached to.
+func (f *File) Pool() *Pool { return f.pool }
+
+// Size returns the logical file size in bytes.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// SetSize overrides the logical size (used when a header records the true
+// size of a file whose device is page-padded).
+func (f *File) SetSize(n int64) {
+	f.mu.Lock()
+	f.size = n
+	f.mu.Unlock()
+}
+
+// ReadAt reads len(p) bytes at offset off through the buffer pool. Reads
+// beyond the logical size return zeros (the caller is expected to stay
+// within structures it wrote).
+func (f *File) ReadAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative read offset %d", off)
+	}
+	ps := int64(f.pool.PageSize())
+	for len(p) > 0 {
+		page := off / ps
+		in := off % ps
+		data, err := f.pool.readPage(f.id, page)
+		if err != nil {
+			return err
+		}
+		n := copy(p, data[in:])
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt writes p at offset off through the buffer pool (read-modify-write
+// on partial pages), growing the logical size as needed.
+func (f *File) WriteAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("storage: negative write offset %d", off)
+	}
+	end := off + int64(len(p))
+	ps := int64(f.pool.PageSize())
+	for len(p) > 0 {
+		page := off / ps
+		in := off % ps
+		n := int(ps - in)
+		if n > len(p) {
+			n = len(p)
+		}
+		var buf []byte
+		if in == 0 && n == int(ps) {
+			buf = p[:n]
+		} else {
+			data, err := f.pool.readPage(f.id, page)
+			if err != nil {
+				return err
+			}
+			buf = make([]byte, ps)
+			copy(buf, data)
+			copy(buf[in:], p[:n])
+		}
+		if err := f.pool.writePage(f.id, page, buf[:ps:ps]); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	f.mu.Lock()
+	if end > f.size {
+		f.size = end
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Append writes p at the logical end of the file and returns the offset the
+// data was written at.
+func (f *File) Append(p []byte) (int64, error) {
+	f.mu.Lock()
+	off := f.size
+	f.mu.Unlock()
+	if err := f.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Truncate resets the file to the given size, invalidating cached pages.
+func (f *File) Truncate(size int64) error {
+	ps := int64(f.pool.PageSize())
+	devSize := (size + ps - 1) / ps * ps
+	if err := f.dev.Truncate(devSize); err != nil {
+		return err
+	}
+	f.pool.InvalidateFile(f.id)
+	f.mu.Lock()
+	f.size = size
+	f.mu.Unlock()
+	return nil
+}
+
+// Sync flushes the underlying device.
+func (f *File) Sync() error { return f.dev.Sync() }
+
+// Close detaches from the pool and closes the device.
+func (f *File) Close() error {
+	f.pool.Unregister(f.id)
+	return f.dev.Close()
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultPageSize is the page size used when a Pool is created with size 0.
+const DefaultPageSize = 4096
+
+// Pool is a shared LRU buffer pool over one or more paged files. The paper's
+// experiments run with one 10 MB cache shared by the index file and the
+// table file; a single Pool instance plays that role here.
+//
+// Pages are write-through: WritePage updates both the cached copy and the
+// device, so a crash between Sync calls loses no committed page (the store
+// above provides checkpoint consistency, not WAL recovery; see DESIGN.md §6).
+type Pool struct {
+	pageSize int
+	capPages int
+	stats    *Stats
+
+	mu    sync.Mutex
+	lru   *list.List // of *poolPage, front = most recent
+	pages map[pageKey]*list.Element
+	files map[uint32]*fileState
+	next  uint32
+}
+
+type pageKey struct {
+	file uint32
+	page int64
+}
+
+type poolPage struct {
+	key  pageKey
+	data []byte
+}
+
+type fileState struct {
+	dev      Device
+	lastRead int64 // last physically read page, -1 initially
+}
+
+// NewPool returns a pool with the given page size and total cache capacity
+// in bytes. Zero values select DefaultPageSize and 10 MiB.
+func NewPool(pageSize int, capBytes int64) *Pool {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if capBytes <= 0 {
+		capBytes = 10 << 20
+	}
+	capPages := int(capBytes / int64(pageSize))
+	if capPages < 4 {
+		capPages = 4
+	}
+	return &Pool{
+		pageSize: pageSize,
+		capPages: capPages,
+		stats:    &Stats{},
+		lru:      list.New(),
+		pages:    make(map[pageKey]*list.Element),
+		files:    make(map[uint32]*fileState),
+	}
+}
+
+// PageSize returns the pool's page size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns the pool's I/O counters.
+func (p *Pool) Stats() *Stats { return p.stats }
+
+// Register attaches a device to the pool and returns its file handle id.
+func (p *Pool) Register(dev Device) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	p.files[id] = &fileState{dev: dev, lastRead: -1}
+	return id
+}
+
+// Unregister detaches a device, dropping its cached pages. The device is not
+// closed.
+func (p *Pool) Unregister(id uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.files, id)
+	for e := p.lru.Front(); e != nil; {
+		next := e.Next()
+		pg := e.Value.(*poolPage)
+		if pg.key.file == id {
+			p.lru.Remove(e)
+			delete(p.pages, pg.key)
+		}
+		e = next
+	}
+}
+
+// readPage returns the contents of page `page` of file `id`, loading it from
+// the device on a miss. The returned slice is the cached page; callers must
+// not retain it across other pool calls.
+func (p *Pool) readPage(id uint32, page int64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := pageKey{id, page}
+	if e, ok := p.pages[key]; ok {
+		p.lru.MoveToFront(e)
+		p.stats.recordHit()
+		return e.Value.(*poolPage).data, nil
+	}
+	fs, ok := p.files[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown file %d", id)
+	}
+	data := make([]byte, p.pageSize)
+	if _, err := fs.dev.ReadAt(data, page*int64(p.pageSize)); err != nil {
+		return nil, err
+	}
+	p.stats.recordRead(classifyRead(fs.lastRead, page))
+	fs.lastRead = page
+	p.insert(key, data)
+	return data, nil
+}
+
+// writePage stores data as page `page` of file `id` and writes it through to
+// the device. len(data) must equal the page size.
+func (p *Pool) writePage(id uint32, page int64, data []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("storage: writePage with %d bytes, page size %d", len(data), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fs, ok := p.files[id]
+	if !ok {
+		return fmt.Errorf("storage: unknown file %d", id)
+	}
+	if _, err := fs.dev.WriteAt(data, page*int64(p.pageSize)); err != nil {
+		return err
+	}
+	p.stats.recordWrite()
+	key := pageKey{id, page}
+	if e, ok := p.pages[key]; ok {
+		copy(e.Value.(*poolPage).data, data)
+		p.lru.MoveToFront(e)
+		return nil
+	}
+	cp := make([]byte, p.pageSize)
+	copy(cp, data)
+	p.insert(key, cp)
+	return nil
+}
+
+// insert adds a page, evicting the LRU page if at capacity. Caller holds mu.
+func (p *Pool) insert(key pageKey, data []byte) {
+	for p.lru.Len() >= p.capPages {
+		back := p.lru.Back()
+		pg := back.Value.(*poolPage)
+		p.lru.Remove(back)
+		delete(p.pages, pg.key)
+	}
+	p.pages[key] = p.lru.PushFront(&poolPage{key: key, data: data})
+}
+
+// InvalidateFile drops all cached pages of the file (used after rebuilds
+// that rewrite a device wholesale).
+func (p *Pool) InvalidateFile(id uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Front(); e != nil; {
+		next := e.Next()
+		pg := e.Value.(*poolPage)
+		if pg.key.file == id {
+			p.lru.Remove(e)
+			delete(p.pages, pg.key)
+		}
+		e = next
+	}
+	if fs, ok := p.files[id]; ok {
+		fs.lastRead = -1
+	}
+}
+
+// CachedPages reports the number of pages currently resident.
+func (p *Pool) CachedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// The iVA-file keeps one vector list per attribute plus a tuple list, and
+// §IV-B appends new elements at each list's tail. A flat file cannot grow
+// more than one region at its end, so lists are stored as chains of
+// fixed-size segments (extents): each segment carries a header pointing to
+// the next segment of the same chain, and a chain exposes its payload bytes
+// as one contiguous logical stream.
+
+// SegID identifies a segment within a SegStore. Segment 0 is valid; the
+// sentinel NoSegment terminates a chain.
+type SegID uint32
+
+// NoSegment is the nil segment pointer.
+const NoSegment SegID = 0xFFFFFFFF
+
+// ChainID names a chain by its head segment.
+type ChainID = SegID
+
+const segHeaderLen = 8 // next SegID (4 bytes) + magic/reserved (4 bytes)
+
+const segMagic = 0x53474D54 // "SGMT"
+
+// SegStore allocates fixed-size segments inside a File and stitches them
+// into independently growable chains.
+type SegStore struct {
+	f       *File
+	segSize int // total segment size including header
+	base    int64
+
+	mu     sync.Mutex
+	nseg   int64               // segments allocated (derived from file size)
+	chains map[ChainID][]SegID // lazily loaded chain → ordered segments
+	tails  map[ChainID]SegID   // chain → last segment
+}
+
+// NewSegStore lays segments of segSize bytes inside f starting at byte
+// offset base (the region before base is the caller's superblock).
+// segSize must exceed the header length; typical values are 16–64 KiB.
+func NewSegStore(f *File, base int64, segSize int) (*SegStore, error) {
+	if segSize <= segHeaderLen+8 {
+		return nil, fmt.Errorf("storage: segment size %d too small", segSize)
+	}
+	s := &SegStore{
+		f:       f,
+		segSize: segSize,
+		base:    base,
+		chains:  make(map[ChainID][]SegID),
+		tails:   make(map[ChainID]SegID),
+	}
+	if sz := f.Size(); sz > base {
+		s.nseg = (sz - base + int64(segSize) - 1) / int64(segSize)
+	}
+	return s, nil
+}
+
+// PayloadSize returns the usable bytes per segment.
+func (s *SegStore) PayloadSize() int { return s.segSize - segHeaderLen }
+
+// SegmentSize returns the full segment size including its header.
+func (s *SegStore) SegmentSize() int { return s.segSize }
+
+// Segments returns the number of segments allocated so far.
+func (s *SegStore) Segments() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nseg
+}
+
+func (s *SegStore) segOffset(id SegID) int64 {
+	return s.base + int64(id)*int64(s.segSize)
+}
+
+// allocLocked appends a fresh segment with no successor. Caller holds mu.
+func (s *SegStore) allocLocked() (SegID, error) {
+	id := SegID(s.nseg)
+	if id >= NoSegment {
+		return 0, fmt.Errorf("storage: segment space exhausted")
+	}
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(NoSegment))
+	binary.LittleEndian.PutUint32(hdr[4:8], segMagic)
+	if err := s.f.WriteAt(hdr[:], s.segOffset(id)); err != nil {
+		return 0, err
+	}
+	s.nseg++
+	return id, nil
+}
+
+func (s *SegStore) readNext(id SegID) (SegID, error) {
+	var hdr [segHeaderLen]byte
+	if err := s.f.ReadAt(hdr[:], s.segOffset(id)); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != segMagic {
+		return 0, fmt.Errorf("storage: segment %d has bad magic", id)
+	}
+	return SegID(binary.LittleEndian.Uint32(hdr[0:4])), nil
+}
+
+func (s *SegStore) writeNext(id, next SegID) error {
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(next))
+	binary.LittleEndian.PutUint32(hdr[4:8], segMagic)
+	return s.f.WriteAt(hdr[:], s.segOffset(id))
+}
+
+// Create starts a new chain and returns its id.
+func (s *SegStore) Create() (ChainID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.allocLocked()
+	if err != nil {
+		return 0, err
+	}
+	s.chains[id] = []SegID{id}
+	s.tails[id] = id
+	return id, nil
+}
+
+// loadLocked materializes the segment list of chain c. Caller holds mu.
+func (s *SegStore) loadLocked(c ChainID) ([]SegID, error) {
+	if segs, ok := s.chains[c]; ok {
+		return segs, nil
+	}
+	var segs []SegID
+	for cur := c; cur != NoSegment; {
+		segs = append(segs, cur)
+		next, err := s.readNext(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	s.chains[c] = segs
+	s.tails[c] = segs[len(segs)-1]
+	return segs, nil
+}
+
+// Len returns the allocated payload capacity of chain c in bytes.
+func (s *SegStore) Len(c ChainID) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := s.loadLocked(c)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(segs)) * int64(s.PayloadSize()), nil
+}
+
+// ReadAt fills p from chain c's logical payload stream starting at off.
+// Reading past the allocated capacity is an error.
+func (s *SegStore) ReadAt(c ChainID, p []byte, off int64) error {
+	s.mu.Lock()
+	segs, err := s.loadLocked(c)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	pay := int64(s.PayloadSize())
+	for len(p) > 0 {
+		idx := off / pay
+		if idx >= int64(len(segs)) {
+			return fmt.Errorf("storage: read past chain %d capacity", c)
+		}
+		in := off % pay
+		n := int(pay - in)
+		if n > len(p) {
+			n = len(p)
+		}
+		at := s.segOffset(segs[idx]) + segHeaderLen + in
+		if err := s.f.ReadAt(p[:n], at); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt writes p into chain c's logical payload stream at off, extending
+// the chain with fresh segments as needed.
+func (s *SegStore) WriteAt(c ChainID, p []byte, off int64) error {
+	s.mu.Lock()
+	segs, err := s.loadLocked(c)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	pay := int64(s.PayloadSize())
+	need := (off + int64(len(p)) + pay - 1) / pay
+	for int64(len(segs)) < need {
+		ns, err := s.allocLocked()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		tail := segs[len(segs)-1]
+		if err := s.writeNext(tail, ns); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		segs = append(segs, ns)
+	}
+	s.chains[c] = segs
+	s.tails[c] = segs[len(segs)-1]
+	s.mu.Unlock()
+
+	for len(p) > 0 {
+		idx := off / pay
+		in := off % pay
+		n := int(pay - in)
+		if n > len(p) {
+			n = len(p)
+		}
+		at := s.segOffset(segs[idx]) + segHeaderLen + in
+		if err := s.f.WriteAt(p[:n], at); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Forget drops in-memory chain caches (used after a rebuild replaces the
+// underlying file contents).
+func (s *SegStore) Forget() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chains = make(map[ChainID][]SegID)
+	s.tails = make(map[ChainID]SegID)
+	if sz := s.f.Size(); sz > s.base {
+		s.nseg = (sz - s.base + int64(s.segSize) - 1) / int64(s.segSize)
+	} else {
+		s.nseg = 0
+	}
+}

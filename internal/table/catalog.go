@@ -1,0 +1,213 @@
+// Package table implements the sparse-wide-table storage substrate the
+// iVA-file indexes: a catalog of attributes and a row-wise heap file in the
+// interpreted-schema style of Beckmann et al. (the paper's assumed layout).
+// Each record is self-describing — it stores only its defined
+// (attribute id, value) pairs — so a tuple with 16 of 1,147 attributes costs
+// 16 cells, not 1,147.
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// AttrInfo is the catalog entry of one attribute. DF, Str and the numeric
+// relative domain drive vector-list type selection and quantizer
+// construction in the index layer.
+type AttrInfo struct {
+	Name string
+	Kind model.Kind
+
+	DF      int64 // number of live tuples defining the attribute
+	Str     int64 // total number of strings over all live tuples (text only)
+	MaxStrs int64 // largest string count in one value ever seen (text only)
+
+	// Relative numeric domain (§III-C). The domain only widens between
+	// rebuilds; Rebuild re-derives it from live data.
+	HasDomain bool
+	Min, Max  float64
+}
+
+// Catalog maps attribute names to dense ids and maintains per-attribute
+// statistics. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	attrs  []AttrInfo
+	byName map[string]model.AttrID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]model.AttrID)}
+}
+
+// AddAttr registers an attribute, returning its id. Registering an existing
+// name with the same kind returns the existing id; a kind conflict errors.
+func (c *Catalog) AddAttr(name string, kind model.Kind) (model.AttrID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("table: empty attribute name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.byName[name]; ok {
+		if c.attrs[id].Kind != kind {
+			return 0, fmt.Errorf("table: attribute %q is %v, not %v", name, c.attrs[id].Kind, kind)
+		}
+		return id, nil
+	}
+	id := model.AttrID(len(c.attrs))
+	c.attrs = append(c.attrs, AttrInfo{Name: name, Kind: kind})
+	c.byName[name] = id
+	return id, nil
+}
+
+// Lookup returns the id of a named attribute.
+func (c *Catalog) Lookup(name string) (model.AttrID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Info returns a copy of the catalog entry for id.
+func (c *Catalog) Info(id model.AttrID) (AttrInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(id) >= len(c.attrs) {
+		return AttrInfo{}, fmt.Errorf("table: unknown attribute %d", id)
+	}
+	return c.attrs[id], nil
+}
+
+// NumAttrs returns the number of registered attributes.
+func (c *Catalog) NumAttrs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.attrs)
+}
+
+// noteValue folds one defined value into the statistics (sign=+1 on insert,
+// −1 on delete). Numeric deletes do not shrink the domain; Rebuild does.
+func (c *Catalog) noteValue(id model.AttrID, v model.Value, sign int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(id) >= len(c.attrs) {
+		return fmt.Errorf("table: unknown attribute %d", id)
+	}
+	a := &c.attrs[id]
+	if a.Kind != v.Kind {
+		return fmt.Errorf("table: attribute %q is %v, value is %v", a.Name, a.Kind, v.Kind)
+	}
+	a.DF += sign
+	switch v.Kind {
+	case model.KindText:
+		a.Str += sign * int64(len(v.Strs))
+		if sign > 0 && int64(len(v.Strs)) > a.MaxStrs {
+			a.MaxStrs = int64(len(v.Strs))
+		}
+	case model.KindNumeric:
+		if sign > 0 {
+			if !a.HasDomain {
+				a.HasDomain, a.Min, a.Max = true, v.Num, v.Num
+			} else {
+				if v.Num < a.Min {
+					a.Min = v.Num
+				}
+				if v.Num > a.Max {
+					a.Max = v.Num
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ResetStats zeroes DF/Str/domain for every attribute (used by Rebuild
+// before re-inserting live tuples).
+func (c *Catalog) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.attrs {
+		c.attrs[i].DF, c.attrs[i].Str, c.attrs[i].MaxStrs = 0, 0, 0
+		c.attrs[i].HasDomain, c.attrs[i].Min, c.attrs[i].Max = false, 0, 0
+	}
+}
+
+// Encode serializes the catalog to a self-describing binary blob.
+func (c *Catalog) Encode() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, catalogMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.attrs)))
+	for _, a := range c.attrs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a.Name)))
+		buf = append(buf, a.Name...)
+		buf = append(buf, byte(a.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.DF))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.Str))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.MaxStrs))
+		flag := byte(0)
+		if a.HasDomain {
+			flag = 1
+		}
+		buf = append(buf, flag)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Min))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Max))
+	}
+	return buf
+}
+
+const catalogMagic = 0x43544C47 // "CTLG"
+
+// DecodeCatalog parses a blob produced by Encode.
+func DecodeCatalog(buf []byte) (*Catalog, error) {
+	if len(buf) < 8 || binary.LittleEndian.Uint32(buf) != catalogMagic {
+		return nil, fmt.Errorf("table: bad catalog magic")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	p := 8
+	c := NewCatalog()
+	for i := 0; i < n; i++ {
+		if p+2 > len(buf) {
+			return nil, fmt.Errorf("table: truncated catalog")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[p:]))
+		p += 2
+		if p+nameLen+1+8+8+8+1+16 > len(buf) {
+			return nil, fmt.Errorf("table: truncated catalog entry %d", i)
+		}
+		a := AttrInfo{Name: string(buf[p : p+nameLen])}
+		p += nameLen
+		a.Kind = model.Kind(buf[p])
+		p++
+		a.DF = int64(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		a.Str = int64(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		a.MaxStrs = int64(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		a.HasDomain = buf[p] == 1
+		p++
+		a.Min = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		a.Max = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		c.byName[a.Name] = model.AttrID(len(c.attrs))
+		c.attrs = append(c.attrs, a)
+	}
+	return c, nil
+}
+
+// Attrs returns a copy of all catalog entries, indexed by AttrID.
+func (c *Catalog) Attrs() []AttrInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]AttrInfo, len(c.attrs))
+	copy(out, c.attrs)
+	return out
+}

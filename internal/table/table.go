@@ -1,0 +1,370 @@
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+// ErrNotFound is returned by lookups for tuple ids that are not live.
+var ErrNotFound = errors.New("table: tuple not found")
+
+// Table is the sparse wide table: a catalog plus a row-wise heap file of
+// self-describing records. The paper's indexes point into it with byte
+// offsets (the ptr of a tuple-list element), and its random-access fetch
+// count is the "table file accesses" metric of Fig. 8.
+type Table struct {
+	f   *storage.File
+	cat *Catalog
+
+	mu       sync.Mutex
+	nextTID  model.TID
+	live     int64        // live (non-deleted) tuples
+	total    int64        // records present in the file, incl. deleted
+	dataEnd  int64        // next append offset
+	accesses atomic.Int64 // random tuple fetches (Fig. 8 metric)
+}
+
+const (
+	tableMagic   = 0x53575442 // "SWTB"
+	headerSize   = 64
+	maxRecordLen = 1 << 24
+)
+
+// New creates an empty table over f. Existing file contents are discarded.
+func New(f *storage.File, cat *Catalog) (*Table, error) {
+	if err := f.Truncate(0); err != nil {
+		return nil, err
+	}
+	t := &Table{f: f, cat: cat, dataEnd: headerSize}
+	if err := t.writeHeader(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to a table previously written to f with the given catalog.
+func Open(f *storage.File, cat *Catalog) (*Table, error) {
+	var hdr [headerSize]byte
+	if err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != tableMagic {
+		return nil, fmt.Errorf("table: bad magic")
+	}
+	t := &Table{
+		f:       f,
+		cat:     cat,
+		nextTID: model.TID(binary.LittleEndian.Uint32(hdr[4:8])),
+		live:    int64(binary.LittleEndian.Uint64(hdr[8:16])),
+		total:   int64(binary.LittleEndian.Uint64(hdr[16:24])),
+		dataEnd: int64(binary.LittleEndian.Uint64(hdr[24:32])),
+	}
+	return t, nil
+}
+
+func (t *Table) writeHeader() error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], tableMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(t.nextTID))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(t.live))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(t.total))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(t.dataEnd))
+	return t.f.WriteAt(hdr[:], 0)
+}
+
+// Sync persists the header and flushes the device.
+func (t *Table) Sync() error {
+	t.mu.Lock()
+	err := t.writeHeader()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.f.Sync()
+}
+
+// Catalog returns the table's catalog.
+func (t *Table) Catalog() *Catalog { return t.cat }
+
+// Live returns the number of live tuples (|T| in the paper).
+func (t *Table) Live() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.live
+}
+
+// Total returns the number of records in the file including deleted ones.
+func (t *Table) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// NextTID returns the id the next inserted tuple will receive.
+func (t *Table) NextTID() model.TID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextTID
+}
+
+// Bytes returns the table file's logical size.
+func (t *Table) Bytes() int64 { return t.f.Size() }
+
+// Accesses returns the number of random tuple fetches since the last reset.
+func (t *Table) Accesses() int64 { return t.accesses.Load() }
+
+// ResetAccesses zeroes the fetch counter.
+func (t *Table) ResetAccesses() { t.accesses.Store(0) }
+
+// encodeRecord serializes a tuple. Layout (little-endian):
+//
+//	u32 bodyLen | u32 tid | u16 nattrs |
+//	repeat: u32 attrID, u8 kind, payload
+//	  numeric payload: f64 bits
+//	  text payload:    u8 nstrs, repeat (u8 len, bytes)
+func encodeRecord(tid model.TID, values map[model.AttrID]model.Value) ([]byte, error) {
+	if len(values) > math.MaxUint16 {
+		return nil, fmt.Errorf("table: tuple with %d attributes", len(values))
+	}
+	buf := make([]byte, 4, 64+16*len(values))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(tid))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(values)))
+	for _, a := range sortedAttrs(values) {
+		v := values[a]
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case model.KindNumeric:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Num))
+		case model.KindText:
+			if len(v.Strs) > 255 {
+				return nil, fmt.Errorf("table: text value with %d strings exceeds 255", len(v.Strs))
+			}
+			buf = append(buf, byte(len(v.Strs)))
+			for _, s := range v.Strs {
+				buf = append(buf, byte(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	return buf, nil
+}
+
+func sortedAttrs(values map[model.AttrID]model.Value) []model.AttrID {
+	t := model.Tuple{Values: values}
+	return t.Attrs()
+}
+
+func decodeRecord(buf []byte) (*model.Tuple, error) {
+	if len(buf) < 6 {
+		return nil, fmt.Errorf("table: truncated record")
+	}
+	tid := model.TID(binary.LittleEndian.Uint32(buf[0:4]))
+	n := int(binary.LittleEndian.Uint16(buf[4:6]))
+	p := 6
+	tp := model.NewTuple(tid)
+	for i := 0; i < n; i++ {
+		if p+5 > len(buf) {
+			return nil, fmt.Errorf("table: truncated attribute %d", i)
+		}
+		a := model.AttrID(binary.LittleEndian.Uint32(buf[p:]))
+		kind := model.Kind(buf[p+4])
+		p += 5
+		switch kind {
+		case model.KindNumeric:
+			if p+8 > len(buf) {
+				return nil, fmt.Errorf("table: truncated numeric value")
+			}
+			tp.Set(a, model.Num(math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))))
+			p += 8
+		case model.KindText:
+			if p >= len(buf) {
+				return nil, fmt.Errorf("table: truncated text value")
+			}
+			ns := int(buf[p])
+			p++
+			strs := make([]string, 0, ns)
+			for j := 0; j < ns; j++ {
+				if p >= len(buf) {
+					return nil, fmt.Errorf("table: truncated string header")
+				}
+				sl := int(buf[p])
+				p++
+				if p+sl > len(buf) {
+					return nil, fmt.Errorf("table: truncated string body")
+				}
+				strs = append(strs, string(buf[p:p+sl]))
+				p += sl
+			}
+			tp.Set(a, model.Text(strs...))
+		default:
+			return nil, fmt.Errorf("table: unknown value kind %d", kind)
+		}
+	}
+	return tp, nil
+}
+
+// Append inserts a tuple, assigning it the next tid, and returns the tid and
+// the record's byte offset (the tuple-list ptr). Catalog statistics are
+// updated.
+func (t *Table) Append(values map[model.AttrID]model.Value) (model.TID, int64, error) {
+	t.mu.Lock()
+	tid := t.nextTID
+	t.mu.Unlock()
+	ptr, err := t.AppendWithTID(tid, values)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tid, ptr, nil
+}
+
+// AppendWithTID inserts a tuple with an explicit tid (used by Rebuild to
+// preserve ids). The table's next tid advances past it.
+func (t *Table) AppendWithTID(tid model.TID, values map[model.AttrID]model.Value) (int64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("table: empty tuple")
+	}
+	rec, err := encodeRecord(tid, values)
+	if err != nil {
+		return 0, err
+	}
+	for a, v := range values {
+		if err := t.cat.noteValue(a, v, +1); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ptr := t.dataEnd
+	if err := t.f.WriteAt(rec, ptr); err != nil {
+		return 0, err
+	}
+	t.dataEnd += int64(len(rec))
+	t.total++
+	t.live++
+	if tid >= t.nextTID {
+		t.nextTID = tid + 1
+	}
+	return ptr, nil
+}
+
+// NoteDelete subtracts a deleted tuple's values from the catalog statistics
+// and decrements the live count. The record itself stays until Rebuild.
+func (t *Table) NoteDelete(values map[model.AttrID]model.Value) error {
+	for a, v := range values {
+		if err := t.cat.noteValue(a, v, -1); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	t.live--
+	t.mu.Unlock()
+	return nil
+}
+
+// Fetch reads the tuple stored at ptr. Every call counts as one random
+// table-file access.
+func (t *Table) Fetch(ptr int64) (*model.Tuple, error) {
+	t.accesses.Add(1)
+	return t.readAt(ptr)
+}
+
+func (t *Table) readAt(ptr int64) (*model.Tuple, error) {
+	var lenBuf [4]byte
+	if err := t.f.ReadAt(lenBuf[:], ptr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxRecordLen {
+		return nil, fmt.Errorf("table: bad record length %d at %d", n, ptr)
+	}
+	body := make([]byte, n)
+	if err := t.f.ReadAt(body, ptr+4); err != nil {
+		return nil, err
+	}
+	return decodeRecord(body)
+}
+
+// Scan iterates every record in file order (including records of deleted
+// tuples; the caller filters with its tombstone set). Scanning is sequential
+// and does not count as random table accesses.
+func (t *Table) Scan(fn func(ptr int64, tp *model.Tuple) error) error {
+	t.mu.Lock()
+	end := t.dataEnd
+	t.mu.Unlock()
+	for ptr := int64(headerSize); ptr < end; {
+		var lenBuf [4]byte
+		if err := t.f.ReadAt(lenBuf[:], ptr); err != nil {
+			return err
+		}
+		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n == 0 || n > maxRecordLen {
+			return fmt.Errorf("table: bad record length %d at %d", n, ptr)
+		}
+		body := make([]byte, n)
+		if err := t.f.ReadAt(body, ptr+4); err != nil {
+			return err
+		}
+		tp, err := decodeRecord(body)
+		if err != nil {
+			return err
+		}
+		if err := fn(ptr, tp); err != nil {
+			return err
+		}
+		ptr += 4 + n
+	}
+	return nil
+}
+
+// Rebuild rewrites the table into dst keeping only tuples for which keep
+// returns true, preserving tids, and returns the new table plus the mapping
+// tid → new ptr. Catalog statistics (including numeric relative domains) are
+// recomputed from the surviving data, as §III-C and §IV-B prescribe.
+func (t *Table) Rebuild(dst *storage.File, keep func(model.TID) bool) (*Table, map[model.TID]int64, error) {
+	t.cat.ResetStats()
+	nt, err := New(dst, t.cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	ptrs := make(map[model.TID]int64)
+	maxTID := model.TID(0)
+	err = t.Scan(func(_ int64, tp *model.Tuple) error {
+		if !keep(tp.TID) {
+			return nil
+		}
+		ptr, err := nt.AppendWithTID(tp.TID, tp.Values)
+		if err != nil {
+			return err
+		}
+		ptrs[tp.TID] = ptr
+		if tp.TID > maxTID {
+			maxTID = tp.TID
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Keep the id space monotone across rebuilds.
+	nt.mu.Lock()
+	if t.nextTID > nt.nextTID {
+		nt.nextTID = t.nextTID
+	}
+	nt.mu.Unlock()
+	if err := nt.Sync(); err != nil {
+		return nil, nil, err
+	}
+	return nt, ptrs, nil
+}

@@ -1,0 +1,112 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+)
+
+func TestEmptyPool(t *testing.T) {
+	p := New(3)
+	if p.Size() != 0 || p.Full() {
+		t.Fatal("new pool not empty")
+	}
+	if !math.IsInf(p.MaxDist(), 1) {
+		t.Fatalf("MaxDist of non-full pool = %v, want +Inf", p.MaxDist())
+	}
+	if !p.Admits(1e18) {
+		t.Fatal("non-full pool must admit anything")
+	}
+}
+
+func TestInsertReplacesMax(t *testing.T) {
+	p := New(2)
+	p.Insert(1, 10)
+	p.Insert(2, 20)
+	if p.MaxDist() != 20 {
+		t.Fatalf("MaxDist = %v", p.MaxDist())
+	}
+	if !p.Insert(3, 5) {
+		t.Fatal("better result rejected")
+	}
+	if p.MaxDist() != 10 {
+		t.Fatalf("MaxDist after replace = %v", p.MaxDist())
+	}
+	if p.Insert(4, 10) {
+		t.Fatal("equal-distance result accepted into full pool")
+	}
+	res := p.Results()
+	if res[0].TID != 3 || res[1].TID != 1 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestKOne(t *testing.T) {
+	p := New(1)
+	p.Insert(7, 3)
+	p.Insert(8, 1)
+	p.Insert(9, 2)
+	res := p.Results()
+	if len(res) != 1 || res[0].TID != 8 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	p := New(0)
+	if p.K() != 1 {
+		t.Fatalf("K = %d, want clamped to 1", p.K())
+	}
+}
+
+func TestAgainstSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		n := rng.Intn(200)
+		p := New(k)
+		var all []model.Result
+		for i := 0; i < n; i++ {
+			r := model.Result{TID: model.TID(i), Dist: float64(rng.Intn(50))}
+			all = append(all, r)
+			p.Insert(r.TID, r.Dist)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+		want := k
+		if n < k {
+			want = n
+		}
+		got := p.Results()
+		if len(got) != want {
+			t.Fatalf("trial %d: size %d, want %d", trial, len(got), want)
+		}
+		// The distance multiset must match the reference top-k exactly.
+		for i := range got {
+			if got[i].Dist != all[i].Dist {
+				t.Fatalf("trial %d pos %d: dist %v, want %v", trial, i, got[i].Dist, all[i].Dist)
+			}
+		}
+		// Results must be sorted.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatalf("trial %d: results unsorted", trial)
+			}
+		}
+	}
+}
+
+func TestAdmitsMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := New(5)
+	for i := 0; i < 500; i++ {
+		d := rng.Float64() * 100
+		admits := p.Admits(d)
+		inserted := p.Insert(model.TID(i), d)
+		if admits != inserted {
+			t.Fatalf("step %d: Admits=%v but Insert=%v (d=%v)", i, admits, inserted, d)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package vector
+
+import (
+	"fmt"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+)
+
+// Cursor is the scanning pointer of §IV-A over one attribute's vector list.
+// The query loop advances the tuple-list pointer one element at a time and
+// calls MoveTo(tid, pos) for each related attribute; the cursor either
+// yields the decoded element of that tuple or reports ndf.
+//
+// For tid-addressed lists (Types I and II) the cursor freezes when it is
+// positioned on an element whose tid exceeds the current tuple — it keeps
+// the element pending and reports ndf until the scan catches up. Elements
+// whose tids were skipped by the driver (deleted tuples) are discarded in
+// passing. For positional lists (Types III and IV) the cursor advances to
+// the element at the requested tuple-list position, skipping intervening
+// elements' bits.
+//
+// MoveTo must be called with strictly increasing positions (and,
+// correspondingly, increasing tids): a cursor is a forward scan, not an
+// index.
+type Cursor struct {
+	lay Layout
+	src BitSource
+
+	// Type I/II freeze state: the last element header read but not yet
+	// consumed.
+	pending    bool
+	pendingTID model.TID
+
+	// Type III/IV positional state: tuple-list position of the next
+	// element in the stream.
+	nextPos int64
+
+	lastPos int64 // last requested position, for ordering checks
+	started bool
+}
+
+// NewCursor returns a cursor at the start of a list.
+func NewCursor(lay Layout, src BitSource) (*Cursor, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cursor{lay: lay, src: src}, nil
+}
+
+// MoveTo synchronizes the cursor with the tuple at tuple-list position pos
+// holding id tid, and returns that tuple's decoded element.
+func (c *Cursor) MoveTo(tid model.TID, pos int64) (Entry, error) {
+	if c.started && pos <= c.lastPos {
+		return Entry{}, fmt.Errorf("vector: MoveTo positions must increase (%d after %d)", pos, c.lastPos)
+	}
+	c.started = true
+	c.lastPos = pos
+	switch c.lay.Type {
+	case TypeI:
+		return c.moveTID(tid, false)
+	case TypeII:
+		return c.moveTID(tid, true)
+	case TypeIII:
+		return c.movePositionalText(pos)
+	case TypeIV:
+		return c.movePositionalNumeric(pos)
+	}
+	return Entry{}, fmt.Errorf("vector: bad list type %v", c.lay.Type)
+}
+
+// moveTID implements Types I and II. withCount selects the Type II layout.
+func (c *Cursor) moveTID(tid model.TID, withCount bool) (Entry, error) {
+	for {
+		if !c.pending {
+			if c.src.Remaining() < int64(c.lay.LTid) {
+				// Tail reached: everything further is ndf (§IV-A step 5).
+				return Entry{NDF: true}, nil
+			}
+			v, err := c.src.ReadBits(c.lay.LTid)
+			if err != nil {
+				return Entry{}, err
+			}
+			c.pending = true
+			c.pendingTID = model.TID(v)
+		}
+		switch {
+		case c.pendingTID > tid:
+			// Freeze: current tuple has no element here.
+			return Entry{NDF: true}, nil
+		case c.pendingTID < tid:
+			// Element of a tuple the driver skipped (deleted): discard.
+			if err := c.discardBody(withCount); err != nil {
+				return Entry{}, err
+			}
+			c.pending = false
+		default:
+			return c.consumeMatch(tid, withCount)
+		}
+	}
+}
+
+// consumeMatch decodes the pending element (and, for Type I text values
+// with multiple strings, all consecutive elements sharing the tid).
+func (c *Cursor) consumeMatch(tid model.TID, withCount bool) (Entry, error) {
+	c.pending = false
+	if c.lay.Kind == model.KindNumeric {
+		code, err := c.src.ReadBits(c.lay.VecBits)
+		if err != nil {
+			return Entry{}, err
+		}
+		return Entry{Code: code}, nil
+	}
+	var sigs []signature.Sig
+	if withCount {
+		n, err := c.src.ReadBits(c.lay.LNum)
+		if err != nil {
+			return Entry{}, err
+		}
+		for i := uint64(0); i < n; i++ {
+			s, err := c.readSig()
+			if err != nil {
+				return Entry{}, err
+			}
+			sigs = append(sigs, s)
+		}
+		return Entry{Sigs: sigs}, nil
+	}
+	// Type I: one signature per element; collect consecutive same-tid
+	// elements.
+	for {
+		s, err := c.readSig()
+		if err != nil {
+			return Entry{}, err
+		}
+		sigs = append(sigs, s)
+		if c.src.Remaining() < int64(c.lay.LTid) {
+			break
+		}
+		v, err := c.src.ReadBits(c.lay.LTid)
+		if err != nil {
+			return Entry{}, err
+		}
+		next := model.TID(v)
+		if next != tid {
+			c.pending = true
+			c.pendingTID = next
+			break
+		}
+	}
+	return Entry{Sigs: sigs}, nil
+}
+
+// discardBody skips the body of the pending element (header already read).
+func (c *Cursor) discardBody(withCount bool) error {
+	if c.lay.Kind == model.KindNumeric {
+		return c.src.SkipBits(int64(c.lay.VecBits))
+	}
+	if withCount {
+		n, err := c.src.ReadBits(c.lay.LNum)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := c.skipSig(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.skipSig()
+}
+
+// movePositionalText implements Type III.
+func (c *Cursor) movePositionalText(pos int64) (Entry, error) {
+	for c.nextPos < pos {
+		// Skip the element of an intervening tuple.
+		n, err := c.src.ReadBits(c.lay.LNum)
+		if err != nil {
+			return Entry{}, err
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := c.skipSig(); err != nil {
+				return Entry{}, err
+			}
+		}
+		c.nextPos++
+	}
+	n, err := c.src.ReadBits(c.lay.LNum)
+	if err != nil {
+		return Entry{}, err
+	}
+	c.nextPos++
+	if n == 0 {
+		return Entry{NDF: true}, nil
+	}
+	sigs := make([]signature.Sig, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := c.readSig()
+		if err != nil {
+			return Entry{}, err
+		}
+		sigs = append(sigs, s)
+	}
+	return Entry{Sigs: sigs}, nil
+}
+
+// movePositionalNumeric implements Type IV: fixed-width elements allow a
+// direct seek.
+func (c *Cursor) movePositionalNumeric(pos int64) (Entry, error) {
+	if err := c.src.SeekBit(pos * int64(c.lay.VecBits)); err != nil {
+		return Entry{}, err
+	}
+	code, err := c.src.ReadBits(c.lay.VecBits)
+	if err != nil {
+		return Entry{}, err
+	}
+	if code == c.lay.NDFCode {
+		return Entry{NDF: true}, nil
+	}
+	return Entry{Code: code}, nil
+}
+
+func (c *Cursor) readSig() (signature.Sig, error) {
+	lv, err := c.src.ReadBits(signature.LenBits)
+	if err != nil {
+		return signature.Sig{}, err
+	}
+	width := c.lay.Codec.SigBits(int(lv))
+	words := make([]uint64, (width+63)/64)
+	if err := c.src.ReadWords(words, width); err != nil {
+		return signature.Sig{}, err
+	}
+	return signature.Sig{Len: int(lv), H: words}, nil
+}
+
+func (c *Cursor) skipSig() error {
+	lv, err := c.src.ReadBits(signature.LenBits)
+	if err != nil {
+		return err
+	}
+	return c.src.SkipBits(int64(c.lay.Codec.SigBits(int(lv))))
+}

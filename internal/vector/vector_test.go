@@ -1,0 +1,368 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/bitio"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+)
+
+func textLayout(t testing.TB, typ ListType) Layout {
+	t.Helper()
+	codec, err := signature.NewCodec(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Layout{Type: typ, Kind: model.KindText, LTid: 10, LNum: 4, Codec: codec}
+}
+
+func numLayout(typ ListType) Layout {
+	return Layout{Type: typ, Kind: model.KindNumeric, LTid: 10, VecBits: 8, NDFCode: 255}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	codec, _ := signature.NewCodec(2, 0.2)
+	cases := []struct {
+		lay Layout
+		ok  bool
+	}{
+		{Layout{Type: TypeI, Kind: model.KindText, LTid: 10, Codec: codec}, true},
+		{Layout{Type: TypeII, Kind: model.KindText, LTid: 10, LNum: 4, Codec: codec}, true},
+		{Layout{Type: TypeIII, Kind: model.KindText, LNum: 4, Codec: codec}, true},
+		{Layout{Type: TypeIV, Kind: model.KindNumeric, VecBits: 8, NDFCode: 255}, true},
+		{Layout{Type: TypeII, Kind: model.KindNumeric, LTid: 10, LNum: 4, VecBits: 8}, false}, // II is text-only
+		{Layout{Type: TypeIV, Kind: model.KindText, Codec: codec}, false},                     // IV is numeric-only
+		{Layout{Type: TypeI, Kind: model.KindText, LTid: 0, Codec: codec}, false},
+		{Layout{Type: TypeI, Kind: model.KindText, LTid: 10}, false}, // no codec
+		{Layout{Type: TypeI, Kind: model.KindNumeric, LTid: 10, VecBits: 0}, false},
+		{Layout{Type: 9}, false},
+	}
+	for i, c := range cases {
+		err := c.lay.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestChooseText(t *testing.T) {
+	// Dense attribute (df ~ |T|, one string each): Type III avoids repeating
+	// tids.
+	if got := ChooseText(20, 4, 1000, 1000, 1000, 50000); got != TypeIII {
+		t.Errorf("dense: got %v, want III", got)
+	}
+	// Very sparse attribute with single strings: Type I (no counts needed).
+	if got := ChooseText(20, 4, 5, 5, 1000000, 250); got != TypeI {
+		t.Errorf("sparse: got %v, want I", got)
+	}
+	// Sparse with many strings per value: Type II amortizes the tid.
+	if got := ChooseText(20, 4, 10, 200, 1000000, 10000); got != TypeII {
+		t.Errorf("multi-string: got %v, want II", got)
+	}
+}
+
+func TestChooseNumeric(t *testing.T) {
+	if got := ChooseNumeric(20, 16, 10, 1000000); got != TypeI {
+		t.Errorf("sparse numeric: got %v, want I", got)
+	}
+	if got := ChooseNumeric(20, 16, 900000, 1000000); got != TypeIV {
+		t.Errorf("dense numeric: got %v, want IV", got)
+	}
+}
+
+// column is a test fixture: a sparse attribute over a run of tuples.
+type column struct {
+	tids []model.TID            // tuple-list order
+	strs map[model.TID][]string // text values (nil = ndf)
+	nums map[model.TID]uint64   // numeric codes
+	ndf  map[model.TID]bool
+}
+
+func buildTextList(t *testing.T, lay Layout, col column) ([]byte, int) {
+	t.Helper()
+	enc, err := NewEncoder(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	for _, tid := range col.tids {
+		var sigs []signature.Sig
+		for _, s := range col.strs[tid] {
+			sigs = append(sigs, lay.Codec.Encode(s))
+		}
+		if err := enc.EncodeText(&w, tid, sigs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+func buildNumList(t *testing.T, lay Layout, col column) ([]byte, int) {
+	t.Helper()
+	enc, err := NewEncoder(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	for _, tid := range col.tids {
+		if err := enc.EncodeNumeric(&w, tid, col.nums[tid], col.ndf[tid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+func randomTextColumn(rng *rand.Rand, n int, density float64, maxStrs int) column {
+	col := column{strs: map[model.TID][]string{}, ndf: map[model.TID]bool{}}
+	for i := 0; i < n; i++ {
+		tid := model.TID(i)
+		col.tids = append(col.tids, tid)
+		if rng.Float64() > density {
+			col.ndf[tid] = true
+			continue
+		}
+		k := 1 + rng.Intn(maxStrs)
+		strs := make([]string, k)
+		for j := range strs {
+			b := make([]byte, 1+rng.Intn(15))
+			for x := range b {
+				b[x] = byte('a' + rng.Intn(26))
+			}
+			strs[j] = string(b)
+		}
+		col.strs[tid] = strs
+	}
+	return col
+}
+
+func verifyTextScan(t *testing.T, lay Layout, col column, buf []byte, nbits int) {
+	t.Helper()
+	cur, err := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos, tid := range col.tids {
+		e, err := cur.MoveTo(tid, int64(pos))
+		if err != nil {
+			t.Fatalf("MoveTo(%d,%d): %v", tid, pos, err)
+		}
+		want := col.strs[tid]
+		if col.ndf[tid] {
+			if !e.NDF {
+				t.Fatalf("tid %d: want ndf, got %d sigs", tid, len(e.Sigs))
+			}
+			continue
+		}
+		if e.NDF {
+			t.Fatalf("tid %d: got ndf, want %d strings", tid, len(want))
+		}
+		if len(e.Sigs) != len(want) {
+			t.Fatalf("tid %d: %d sigs, want %d", tid, len(e.Sigs), len(want))
+		}
+		for i, s := range want {
+			ref := lay.Codec.Encode(s)
+			if e.Sigs[i].Len != ref.Len {
+				t.Fatalf("tid %d sig %d: len %d want %d", tid, i, e.Sigs[i].Len, ref.Len)
+			}
+			for wd := range ref.H {
+				if e.Sigs[i].H[wd] != ref.H[wd] {
+					t.Fatalf("tid %d sig %d word %d: %x want %x", tid, i, wd, e.Sigs[i].H[wd], ref.H[wd])
+				}
+			}
+		}
+	}
+}
+
+func TestTextListRoundTripAllTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, typ := range []ListType{TypeI, TypeII, TypeIII} {
+		for trial := 0; trial < 10; trial++ {
+			lay := textLayout(t, typ)
+			col := randomTextColumn(rng, 100, 0.4, 3)
+			buf, nbits := buildTextList(t, lay, col)
+			verifyTextScan(t, lay, col, buf, nbits)
+		}
+	}
+}
+
+func TestNumericListRoundTripBothTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, typ := range []ListType{TypeI, TypeIV} {
+		for trial := 0; trial < 10; trial++ {
+			lay := numLayout(typ)
+			col := column{nums: map[model.TID]uint64{}, ndf: map[model.TID]bool{}}
+			for i := 0; i < 100; i++ {
+				tid := model.TID(i)
+				col.tids = append(col.tids, tid)
+				if rng.Float64() > 0.5 {
+					col.ndf[tid] = true
+				} else {
+					col.nums[tid] = uint64(rng.Intn(255)) // 255 reserved for ndf
+				}
+			}
+			buf, nbits := buildNumList(t, lay, col)
+			cur, err := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pos, tid := range col.tids {
+				e, err := cur.MoveTo(tid, int64(pos))
+				if err != nil {
+					t.Fatalf("MoveTo(%d): %v", tid, err)
+				}
+				if col.ndf[tid] != e.NDF {
+					t.Fatalf("type %v tid %d: NDF=%v want %v", typ, tid, e.NDF, col.ndf[tid])
+				}
+				if !e.NDF && e.Code != col.nums[tid] {
+					t.Fatalf("type %v tid %d: code %d want %d", typ, tid, e.Code, col.nums[tid])
+				}
+			}
+		}
+	}
+}
+
+func TestCursorSkipsDeletedTuples(t *testing.T) {
+	// The query driver does not call MoveTo for deleted tuples; cursors must
+	// discard their elements in passing (Types I/II) or skip their positions
+	// (Type III/IV).
+	rng := rand.New(rand.NewSource(35))
+	for _, typ := range []ListType{TypeI, TypeII, TypeIII} {
+		lay := textLayout(t, typ)
+		col := randomTextColumn(rng, 60, 0.7, 2)
+		buf, nbits := buildTextList(t, lay, col)
+		cur, _ := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+		for pos, tid := range col.tids {
+			if tid%3 == 1 { // "deleted"
+				continue
+			}
+			e, err := cur.MoveTo(tid, int64(pos))
+			if err != nil {
+				t.Fatalf("type %v MoveTo(%d): %v", typ, tid, err)
+			}
+			if col.ndf[tid] != e.NDF {
+				t.Fatalf("type %v tid %d: NDF=%v want %v", typ, tid, e.NDF, col.ndf[tid])
+			}
+			if !e.NDF && len(e.Sigs) != len(col.strs[tid]) {
+				t.Fatalf("type %v tid %d: %d sigs want %d", typ, tid, len(e.Sigs), len(col.strs[tid]))
+			}
+		}
+	}
+}
+
+func TestCursorFreeze(t *testing.T) {
+	// Fig. 7's scenario: a Type II list with elements for tuples 0 and 5
+	// only; the cursor must freeze on tids 1..4 and unfreeze at 5.
+	lay := textLayout(t, TypeII)
+	col := column{
+		tids: []model.TID{0, 1, 2, 3, 4, 5},
+		strs: map[model.TID][]string{0: {"wideangle"}, 5: {"telephoto", "wideangle"}},
+		ndf:  map[model.TID]bool{1: true, 2: true, 3: true, 4: true},
+	}
+	buf, nbits := buildTextList(t, lay, col)
+	cur, _ := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+	for pos, tid := range col.tids {
+		e, err := cur.MoveTo(tid, int64(pos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch tid {
+		case 0:
+			if e.NDF || len(e.Sigs) != 1 {
+				t.Fatalf("tid 0: %+v", e)
+			}
+		case 5:
+			if e.NDF || len(e.Sigs) != 2 {
+				t.Fatalf("tid 5: %+v", e)
+			}
+		default:
+			if !e.NDF {
+				t.Fatalf("tid %d: want frozen ndf", tid)
+			}
+		}
+	}
+}
+
+func TestCursorPastTail(t *testing.T) {
+	// After the last element, every further tuple is ndf (Fig. 7 step 5).
+	lay := numLayout(TypeI)
+	col := column{
+		tids: []model.TID{0, 1, 2},
+		nums: map[model.TID]uint64{0: 42},
+		ndf:  map[model.TID]bool{1: true, 2: true},
+	}
+	buf, nbits := buildNumList(t, lay, col)
+	cur, _ := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+	e, _ := cur.MoveTo(0, 0)
+	if e.NDF || e.Code != 42 {
+		t.Fatalf("tid 0: %+v", e)
+	}
+	for pos, tid := range []model.TID{1, 2} {
+		e, err := cur.MoveTo(tid, int64(pos+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.NDF {
+			t.Fatalf("tid %d past tail: %+v", tid, e)
+		}
+	}
+}
+
+func TestMoveToOrderingEnforced(t *testing.T) {
+	lay := numLayout(TypeIV)
+	col := column{tids: []model.TID{0, 1}, nums: map[model.TID]uint64{0: 1, 1: 2}}
+	buf, nbits := buildNumList(t, lay, col)
+	cur, _ := NewCursor(lay, MemSource{R: bitio.NewReader(buf, nbits)})
+	if _, err := cur.MoveTo(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.MoveTo(0, 0); err == nil {
+		t.Fatal("backwards MoveTo accepted")
+	}
+}
+
+func TestEncoderWidthOverflow(t *testing.T) {
+	lay := numLayout(TypeI)
+	lay.LTid = 3 // max tid 7
+	enc, _ := NewEncoder(lay)
+	var w bitio.Writer
+	if err := enc.EncodeNumeric(&w, 8, 1, false); err != ErrWidthOverflow {
+		t.Fatalf("err = %v, want ErrWidthOverflow", err)
+	}
+	tl := textLayout(t, TypeII)
+	tl.LNum = 2 // max 3 strings
+	tenc, _ := NewEncoder(tl)
+	sigs := make([]signature.Sig, 4)
+	for i := range sigs {
+		sigs[i] = tl.Codec.Encode("x")
+	}
+	if err := tenc.EncodeText(&w, 1, sigs); err != ErrWidthOverflow {
+		t.Fatalf("err = %v, want ErrWidthOverflow", err)
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	enc, _ := NewEncoder(numLayout(TypeI))
+	var w bitio.Writer
+	if err := enc.EncodeText(&w, 0, nil); err == nil {
+		t.Fatal("EncodeText on numeric layout accepted")
+	}
+	tenc, _ := NewEncoder(textLayout(t, TypeI))
+	if err := tenc.EncodeNumeric(&w, 0, 0, false); err == nil {
+		t.Fatal("EncodeNumeric on text layout accepted")
+	}
+}
+
+func TestPaperFig6SizeOrdering(t *testing.T) {
+	// Sanity: the chosen type's size is minimal by construction. Exercise
+	// the formulas on the paper's Fig. 6 shape (5 tuples, mixed columns).
+	// "Color": 4 single-string values in 5 tuples.
+	if got := ChooseText(3, 2, 4, 4, 5, 4*8); got == 0 {
+		t.Fatal("no type chosen")
+	}
+	// "Num": 2 defined of 5, 4-bit vectors: I = (3+4)*2 = 14 vs IV = 4*5 = 20.
+	if got := ChooseNumeric(3, 4, 2, 5); got != TypeI {
+		t.Fatalf("Num column: got %v, want I", got)
+	}
+}

@@ -1,0 +1,214 @@
+package iva
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Sharded is a horizontally partitioned store: rows hash across N
+// independent shards, each with its own table and iVA-file, and queries run
+// against all shards in parallel with their top-k pools merged. §VI of the
+// paper points out that the iVA-file, being a flat non-hierarchical index,
+// partitions this way with no coordination structure — this type is that
+// observation made concrete (single-process here; each shard could equally
+// live on its own node).
+//
+// Global ids are (shard, local tid) packed as shard*ShardStride + tid.
+type Sharded struct {
+	shards []*Store
+}
+
+// ShardStride separates shard id spaces inside a global TID.
+const ShardStride TID = 1 << 26
+
+// CreateSharded makes n shards under dir (subdirectories shard-0 ... n-1),
+// or an in-memory partition when dir is empty.
+func CreateSharded(dir string, n int, opts Options) (*Sharded, error) {
+	if n < 1 || TID(n) > (1<<31)/ShardStride {
+		return nil, fmt.Errorf("iva: shard count %d out of range", n)
+	}
+	s := &Sharded{}
+	for i := 0; i < n; i++ {
+		sub := ""
+		if dir != "" {
+			sub = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+		}
+		st, err := Create(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, st)
+	}
+	return s, nil
+}
+
+// OpenSharded reopens a partition previously created with CreateSharded.
+func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
+	s := &Sharded{}
+	for i := 0; i < n; i++ {
+		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), opts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, st)
+	}
+	return s, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+func (s *Sharded) split(global TID) (shard int, local TID, err error) {
+	shard = int(global / ShardStride)
+	if shard >= len(s.shards) {
+		return 0, 0, ErrNotFound
+	}
+	return shard, global % ShardStride, nil
+}
+
+func (s *Sharded) join(shard int, local TID) TID {
+	return TID(shard)*ShardStride + local
+}
+
+// nextShard balances inserts by current live count.
+func (s *Sharded) nextShard() int {
+	best, bestLive := 0, int64(1<<62)
+	for i, st := range s.shards {
+		if live := st.Stats().Tuples; live < bestLive {
+			best, bestLive = i, live
+		}
+	}
+	return best
+}
+
+// Insert stores a row on the least-loaded shard and returns its global id.
+func (s *Sharded) Insert(row Row) (TID, error) {
+	shard := s.nextShard()
+	tid, err := s.shards[shard].Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	if tid >= ShardStride {
+		return 0, fmt.Errorf("iva: shard %d exceeded its id space", shard)
+	}
+	return s.join(shard, tid), nil
+}
+
+// Get returns a row by global id.
+func (s *Sharded) Get(global TID) (Row, error) {
+	shard, local, err := s.split(global)
+	if err != nil {
+		return nil, err
+	}
+	return s.shards[shard].Get(local)
+}
+
+// Delete removes a tuple by global id.
+func (s *Sharded) Delete(global TID) error {
+	shard, local, err := s.split(global)
+	if err != nil {
+		return err
+	}
+	return s.shards[shard].Delete(local)
+}
+
+// Update replaces a row, returning the new global id (possibly on another
+// shard: updates re-balance like inserts, matching §IV-B's fresh-id rule).
+func (s *Sharded) Update(global TID, row Row) (TID, error) {
+	if err := s.Delete(global); err != nil {
+		return 0, err
+	}
+	return s.Insert(row)
+}
+
+// Search runs the query on every shard in parallel and merges the per-shard
+// top-k pools into the global top-k. Each shard's answer is exact, so the
+// merge is exact too.
+func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
+	type shardOut struct {
+		res   []Result
+		stats QueryStats
+		err   error
+	}
+	outs := make([]shardOut, len(s.shards))
+	var wg sync.WaitGroup
+	for i, st := range s.shards {
+		wg.Add(1)
+		go func(i int, st *Store) {
+			defer wg.Done()
+			// Queries are stateless request descriptions; shards share one.
+			outs[i].res, outs[i].stats, outs[i].err = st.Search(q)
+		}(i, st)
+	}
+	wg.Wait()
+
+	var agg QueryStats
+	var all []Result
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, agg, fmt.Errorf("iva: shard %d: %w", i, o.err)
+		}
+		for _, r := range o.res {
+			all = append(all, Result{TID: s.join(i, r.TID), Dist: r.Dist})
+		}
+		agg.Scanned += o.stats.Scanned
+		agg.TableAccesses += o.stats.TableAccesses
+		// Shards run concurrently: the critical path is the slowest shard.
+		if o.stats.FilterTime > agg.FilterTime {
+			agg.FilterTime = o.stats.FilterTime
+		}
+		if o.stats.RefineTime > agg.RefineTime {
+			agg.RefineTime = o.stats.RefineTime
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].TID < all[j].TID
+	})
+	if len(all) > q.K() {
+		all = all[:q.K()]
+	}
+	return all, agg, nil
+}
+
+// Stats sums per-shard statistics.
+func (s *Sharded) Stats() StoreStats {
+	var agg StoreStats
+	for _, st := range s.shards {
+		ss := st.Stats()
+		agg.Tuples += ss.Tuples
+		agg.Deleted += ss.Deleted
+		agg.TableBytes += ss.TableBytes
+		agg.IndexBytes += ss.IndexBytes
+		agg.Rebuilds += ss.Rebuilds
+		if ss.Attributes > agg.Attributes {
+			agg.Attributes = ss.Attributes
+		}
+	}
+	return agg
+}
+
+// Sync checkpoints every shard.
+func (s *Sharded) Sync() error {
+	for i, st := range s.shards {
+		if err := st.Sync(); err != nil {
+			return fmt.Errorf("iva: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close releases every shard.
+func (s *Sharded) Close() error {
+	var first error
+	for i, st := range s.shards {
+		if err := st.Close(); err != nil && first == nil {
+			first = fmt.Errorf("iva: shard %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,152 @@
+package iva
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestShardedMatchesSingleStore(t *testing.T) {
+	// The partitioned search must return exactly the distances a single
+	// store returns for the same data.
+	single, err := Create("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := CreateSharded("", 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"canon", "sony", "nikon", "leica", "pentax", "kodak"}
+	for i := 0; i < 400; i++ {
+		row := Row{
+			"brand": Strings(names[rng.Intn(len(names))]),
+			"price": Num(float64(rng.Intn(1000))),
+		}
+		if _, err := single.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := NewQuery(1+rng.Intn(10)).
+			WhereText("brand", names[rng.Intn(len(names))]).
+			WhereNum("price", float64(rng.Intn(1000)))
+		a, _, err := single.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := sharded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(a), len(b))
+		}
+		for i := range a {
+			if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v vs %v", trial, i, a[i].Dist, b[i].Dist)
+			}
+		}
+	}
+}
+
+func TestShardedBalancesInserts(t *testing.T) {
+	s, err := CreateSharded("", 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 90; i++ {
+		if _, err := s.Insert(Row{"x": Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, st := range s.shards {
+		if live := st.Stats().Tuples; live != 30 {
+			t.Fatalf("shard %d holds %d tuples, want 30", i, live)
+		}
+	}
+}
+
+func TestShardedCRUD(t *testing.T) {
+	s, err := CreateSharded("", 2, Options{CleanThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tid, err := s.Insert(Row{"name": Strings("original")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := s.Get(tid)
+	if err != nil || row["name"].Texts()[0] != "original" {
+		t.Fatalf("Get: %v %v", row, err)
+	}
+	newTID, err := s.Update(tid, Row{"name": Strings("updated")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(tid); err != ErrNotFound {
+		t.Fatalf("old id still resolves: %v", err)
+	}
+	if err := s.Delete(newTID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(newTID); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Delete(50 * ShardStride); err != ErrNotFound {
+		t.Fatalf("out-of-range shard: %v", err)
+	}
+}
+
+func TestShardedPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cluster")
+	s, err := CreateSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tids []TID
+	for i := 0; i < 30; i++ {
+		tid, err := s.Insert(Row{"item": Strings(fmt.Sprintf("thing %d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Tuples; got != 30 {
+		t.Fatalf("reopened tuples = %d", got)
+	}
+	row, err := s2.Get(tids[17])
+	if err != nil || row["item"].Texts()[0] != "thing 17" {
+		t.Fatalf("Get after reopen: %v %v", row, err)
+	}
+	res, _, err := s2.Search(NewQuery(1).WhereText("item", "thing 5"))
+	if err != nil || len(res) != 1 || res[0].Dist != 0 {
+		t.Fatalf("search after reopen: %v %v", res, err)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := CreateSharded("", 0, Options{}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

@@ -1,0 +1,767 @@
+package iva
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/sparsewide/iva/internal/core"
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// ErrNotFound is returned for operations on tuple ids that are not live.
+var ErrNotFound = errors.New("iva: tuple not found")
+
+// Options configure a Store.
+type Options struct {
+	// Alpha is the relative vector length α controlling the filter/refine
+	// I/O trade-off (paper default 20%).
+	Alpha float64
+	// N is the n-gram length of the string signatures (paper default 2,
+	// the best choice for short text per Fig. 16).
+	N int
+	// CacheBytes is the shared file-cache size over the table and index
+	// files (paper setup: 10 MiB).
+	CacheBytes int64
+	// PageSize is the cache page size (default 4 KiB).
+	PageSize int
+	// Metric names the combining function: "L1", "L2" (default) or "Linf".
+	Metric string
+	// Weights names the attribute weighting scheme: "EQU" (default) or
+	// "ITF" (inverse tuple frequency).
+	Weights string
+	// NDFPenalty is the constant difference charged when a queried
+	// attribute is undefined in a tuple (paper example: 20).
+	NDFPenalty float64
+	// CleanThreshold is β: when deleted/total reaches it, the table and
+	// index files are rebuilt to shed tombstones (§IV-B). Default 0.02.
+	// Negative disables automatic rebuilds.
+	CleanThreshold float64
+	// AlphaPerAttr overrides the relative vector length for individual
+	// attributes by name (the paper's attribute list carries α per
+	// attribute). Overrides take effect when the named attribute exists at
+	// (re)build time; Rebuild applies them to attributes registered since.
+	AlphaPerAttr map[string]float64
+	// GrowthRebuildFactor triggers a rebuild when the live tuple count
+	// exceeds this multiple of the count at the last build — §III-C's
+	// "periodically renewing all approximation codes of an attribute with
+	// the new relative domain": numeric quantizer domains, list-type
+	// choices and packed widths are all re-derived as the data grows.
+	// Default 2 (amortized-constant doubling); negative disables.
+	GrowthRebuildFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.20
+	}
+	if o.N == 0 {
+		o.N = 2
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 10 << 20
+	}
+	if o.Metric == "" {
+		o.Metric = "L2"
+	}
+	if o.Weights == "" {
+		o.Weights = "EQU"
+	}
+	if o.NDFPenalty == 0 {
+		o.NDFPenalty = metric.DefaultNDFPenalty
+	}
+	if o.CleanThreshold == 0 {
+		o.CleanThreshold = 0.02
+	}
+	if o.GrowthRebuildFactor == 0 {
+		o.GrowthRebuildFactor = 2
+	}
+	return o
+}
+
+// Store is a sparse wide table with its iVA-file index.
+type Store struct {
+	dir  string // "" for in-memory stores
+	opts Options
+
+	mu      sync.Mutex
+	pool    *storage.Pool
+	cat     *table.Catalog
+	tbl     *table.Table
+	tblFile *storage.File
+	ix      *core.Index
+	ixFile  *storage.File
+	met     *metric.Metric
+
+	// engineMu guards the engine pointers (ix, tbl, met) across rebuilds:
+	// readers hold it shared for the duration of a query so a concurrent
+	// rebuild cannot close the files under them; rebuildLocked takes it
+	// exclusively for the swap.
+	engineMu sync.RWMutex
+
+	rebuilds    int64
+	builtTuples int64 // live count at the last (re)build
+	tidHeadroom int64 // extra id-space hint for the next (re)build
+	closed      bool
+}
+
+const (
+	tableFileName   = "table.swt"
+	indexFileName   = "iva.idx"
+	catalogFileName = "catalog.bin"
+)
+
+// coreOptions resolves the store options against the current catalog
+// (per-attribute α overrides are keyed by name publicly, by id internally).
+func (s *Store) coreOptions() core.Options {
+	opts := core.Options{Alpha: s.opts.Alpha, N: s.opts.N, TIDHeadroom: s.tidHeadroom}
+	if len(s.opts.AlphaPerAttr) > 0 {
+		opts.AlphaOverride = make(map[model.AttrID]float64, len(s.opts.AlphaPerAttr))
+		for name, alpha := range s.opts.AlphaPerAttr {
+			if id, ok := s.cat.Lookup(name); ok {
+				opts.AlphaOverride[id] = alpha
+			}
+		}
+	}
+	return opts
+}
+
+// Create makes a new store in dir, or a volatile in-memory store when dir
+// is empty. An existing directory must not already contain a store.
+func Create(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{dir: dir, opts: opts, pool: storage.NewPool(opts.PageSize, opts.CacheBytes)}
+	s.cat = table.NewCatalog()
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("iva: create %s: %w", dir, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, catalogFileName)); err == nil {
+			return nil, fmt.Errorf("iva: store already exists in %s", dir)
+		}
+	}
+	tblDev, err := s.device(tableFileName)
+	if err != nil {
+		return nil, err
+	}
+	s.tblFile = storage.NewFile(s.pool, tblDev)
+	if s.tbl, err = table.New(s.tblFile, s.cat); err != nil {
+		return nil, err
+	}
+	ixDev, err := s.device(indexFileName)
+	if err != nil {
+		return nil, err
+	}
+	s.ixFile = storage.NewFile(s.pool, ixDev)
+	if s.ix, err = core.Build(s.tbl, s.ixFile, s.coreOptions()); err != nil {
+		return nil, err
+	}
+	if err := s.buildMetric(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open attaches to a store previously created in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if dir == "" {
+		return nil, fmt.Errorf("iva: Open requires a directory; use Create for in-memory stores")
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, catalogFileName))
+	if err != nil {
+		return nil, fmt.Errorf("iva: open catalog: %w", err)
+	}
+	cat, err := table.DecodeCatalog(blob)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, pool: storage.NewPool(opts.PageSize, opts.CacheBytes), cat: cat}
+	tblDev, err := s.device(tableFileName)
+	if err != nil {
+		return nil, err
+	}
+	s.tblFile = storage.NewFile(s.pool, tblDev)
+	if s.tbl, err = table.Open(s.tblFile, cat); err != nil {
+		return nil, err
+	}
+	ixDev, err := s.device(indexFileName)
+	if err != nil {
+		return nil, err
+	}
+	s.ixFile = storage.NewFile(s.pool, ixDev)
+	if s.ix, err = core.Open(s.ixFile, s.tbl, s.coreOptions()); err != nil {
+		return nil, err
+	}
+	s.builtTuples = s.tbl.Live()
+	if err := s.buildMetric(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) device(name string) (storage.Device, error) {
+	if s.dir == "" {
+		return storage.NewMemDevice(), nil
+	}
+	return storage.OpenFileDevice(filepath.Join(s.dir, name))
+}
+
+func (s *Store) buildMetric() error {
+	comb, err := metric.ByName(s.opts.Metric)
+	if err != nil {
+		return err
+	}
+	var w metric.Weighter
+	switch s.opts.Weights {
+	case "EQU":
+		w = metric.Equal{}
+	case "ITF":
+		cat := s.cat
+		tbl := s.tbl
+		w = metric.NewITF(tbl.Live, func(a model.AttrID) int64 {
+			info, err := cat.Info(a)
+			if err != nil {
+				return 0
+			}
+			return info.DF
+		})
+	default:
+		return fmt.Errorf("iva: unknown weighting scheme %q", s.opts.Weights)
+	}
+	s.met = &metric.Metric{Combiner: comb, Weighter: w, NDFPenalty: s.opts.NDFPenalty}
+	return nil
+}
+
+// DefineAttr registers an attribute ahead of use (Insert also registers
+// attributes implicitly from value kinds).
+func (s *Store) DefineAttr(name string, kind Kind) error {
+	_, err := s.cat.AddAttr(name, kind.internal())
+	return err
+}
+
+// resolveRow maps names to ids, registering new attributes.
+func (s *Store) resolveRow(row Row) (map[model.AttrID]model.Value, error) {
+	if len(row) == 0 {
+		return nil, fmt.Errorf("iva: empty row")
+	}
+	out := make(map[model.AttrID]model.Value, len(row))
+	for name, v := range row {
+		id, err := s.cat.AddAttr(name, v.v.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.v.Validate(); err != nil {
+			return nil, fmt.Errorf("iva: attribute %q: %w", name, err)
+		}
+		out[id] = v.v
+	}
+	return out, nil
+}
+
+// Insert stores a row and returns its tuple id. New attribute names are
+// registered with the kind of their value. A packed-width overflow triggers
+// a transparent rebuild and retry.
+func (s *Store) Insert(row Row) (TID, error) {
+	vals, err := s.resolveRow(row)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tid, err := s.ix.Insert(vals)
+	if err == core.ErrNeedsRebuild {
+		if err = s.rebuildLocked(); err != nil {
+			return 0, err
+		}
+		tid, err = s.ix.Insert(vals)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := s.maybeGrowthRebuild(); err != nil {
+		return 0, err
+	}
+	return TID(tid), nil
+}
+
+// maybeGrowthRebuild applies the §III-C renewal policy: rebuild once the
+// store has grown past GrowthRebuildFactor times its size at the last
+// build, so relative domains, list types and packed widths track the data.
+func (s *Store) maybeGrowthRebuild() error {
+	f := s.opts.GrowthRebuildFactor
+	if f <= 0 {
+		return nil
+	}
+	live := s.tbl.Live()
+	bar := float64(s.builtTuples) * f
+	if bar < 64 {
+		bar = 64
+	}
+	if float64(live) < bar {
+		return nil
+	}
+	return s.rebuildLocked()
+}
+
+// InsertBatch stores several rows in one critical section — the bulk-feed
+// ingestion path. Rows receive consecutive ids, returned in order; on error
+// nothing is inserted. A packed-width overflow triggers one transparent
+// rebuild and retry.
+func (s *Store) InsertBatch(rows []Row) ([]TID, error) {
+	batch := make([]map[model.AttrID]model.Value, len(rows))
+	for i, row := range rows {
+		vals, err := s.resolveRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("iva: row %d: %w", i, err)
+		}
+		batch[i] = vals
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tids, err := s.ix.InsertBatch(batch)
+	if err == core.ErrNeedsRebuild {
+		// The rebuild must leave id space for the whole batch.
+		s.tidHeadroom = int64(len(batch)) * 2
+		if s.tidHeadroom < 1024 {
+			s.tidHeadroom = 1024
+		}
+		rerr := s.rebuildLocked()
+		s.tidHeadroom = 0
+		if rerr != nil {
+			return nil, rerr
+		}
+		tids, err = s.ix.InsertBatch(batch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.maybeGrowthRebuild(); err != nil {
+		return nil, err
+	}
+	out := make([]TID, len(tids))
+	for i, tid := range tids {
+		out[i] = TID(tid)
+	}
+	return out, nil
+}
+
+// Delete removes a tuple. When the tombstone fraction reaches the cleaning
+// threshold β, the store rebuilds its files (§IV-B).
+func (s *Store) Delete(tid TID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ix.Delete(model.TID(tid)); err != nil {
+		if err == core.ErrNotFound {
+			return ErrNotFound
+		}
+		return err
+	}
+	if s.opts.CleanThreshold > 0 && s.ix.DeletedFraction() >= s.opts.CleanThreshold {
+		return s.rebuildLocked()
+	}
+	return nil
+}
+
+// Update replaces a tuple's row under a fresh id, which is returned.
+func (s *Store) Update(tid TID, row Row) (TID, error) {
+	vals, err := s.resolveRow(row)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ix.Delete(model.TID(tid)); err != nil {
+		if err == core.ErrNotFound {
+			return 0, ErrNotFound
+		}
+		return 0, err
+	}
+	newTID, err := s.ix.Insert(vals)
+	if err == core.ErrNeedsRebuild {
+		if err = s.rebuildLocked(); err != nil {
+			return 0, err
+		}
+		newTID, err = s.ix.Insert(vals)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if s.opts.CleanThreshold > 0 && s.ix.DeletedFraction() >= s.opts.CleanThreshold {
+		if err := s.rebuildLocked(); err != nil {
+			return 0, err
+		}
+	} else if err := s.maybeGrowthRebuild(); err != nil {
+		return 0, err
+	}
+	return TID(newTID), nil
+}
+
+// Get returns a live tuple's row.
+func (s *Store) Get(tid TID) (Row, error) {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	tp, err := s.ix.Fetch(model.TID(tid))
+	if err != nil {
+		if err == core.ErrNotFound {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	row := make(Row, len(tp.Values))
+	for id, v := range tp.Values {
+		info, err := s.cat.Info(id)
+		if err != nil {
+			return nil, err
+		}
+		row[info.Name] = Value{v}
+	}
+	return row, nil
+}
+
+// QueryStats reports one query's work (see the paper's Figs. 8–10).
+type QueryStats struct {
+	// Scanned is the number of live tuples filtered.
+	Scanned int64
+	// TableAccesses is the number of random table-file reads.
+	TableAccesses int64
+	// FilterTime and RefineTime split the wall time between scanning the
+	// index and checking candidates in the table file.
+	FilterTime time.Duration
+	RefineTime time.Duration
+}
+
+// Search answers a top-k structured similarity query. Unknown attribute
+// names are treated as undefined everywhere (every tuple gets the ndf
+// penalty on them).
+func (s *Store) Search(q *Query) ([]Result, QueryStats, error) {
+	var qs QueryStats
+	if q.err != nil {
+		return nil, qs, q.err
+	}
+	mq := &model.Query{K: q.k}
+	for _, t := range q.terms {
+		id, ok := s.cat.Lookup(t.attr)
+		if !ok {
+			// Register lazily so the term participates (as all-ndf).
+			var err error
+			id, err = s.cat.AddAttr(t.attr, t.kind.internal())
+			if err != nil {
+				return nil, qs, err
+			}
+		}
+		mq.Terms = append(mq.Terms, model.QueryTerm{
+			Attr: id, Kind: t.kind.internal(), Num: t.num, Str: t.str, Weight: t.weight,
+		})
+	}
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	res, st, err := s.ix.Search(mq, s.met)
+	if err != nil {
+		return nil, qs, err
+	}
+	qs = QueryStats{
+		Scanned:       st.Scanned,
+		TableAccesses: st.TableAccesses,
+		FilterTime:    st.FilterWall,
+		RefineTime:    st.RefineWall,
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{TID: TID(r.TID), Dist: r.Dist}
+	}
+	return out, qs, nil
+}
+
+// Rebuild rewrites the table and index files, dropping tombstones and
+// re-deriving numeric domains and list layouts. It is called automatically
+// by the cleaning policy but may be invoked explicitly.
+func (s *Store) Rebuild() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildLocked()
+}
+
+func (s *Store) rebuildLocked() error {
+	newTblDev, err := s.device(tableFileName + ".new")
+	if err != nil {
+		return err
+	}
+	newTblFile := storage.NewFile(s.pool, newTblDev)
+	newTbl, _, err := s.tbl.Rebuild(newTblFile, func(tid model.TID) bool { return s.ix.Live(tid) })
+	if err != nil {
+		return err
+	}
+	newIxDev, err := s.device(indexFileName + ".new")
+	if err != nil {
+		return err
+	}
+	newIxFile := storage.NewFile(s.pool, newIxDev)
+	newIx, err := core.Build(newTbl, newIxFile, s.coreOptions())
+	if err != nil {
+		return err
+	}
+	// Swap in the new files; on disk, rename over the old names. The
+	// exclusive engine lock drains in-flight readers before the old files
+	// close under them.
+	s.engineMu.Lock()
+	oldTbl, oldIx := s.tblFile, s.ixFile
+	s.tbl, s.tblFile = newTbl, newTblFile
+	s.ix, s.ixFile = newIx, newIxFile
+	oldTbl.Close()
+	oldIx.Close()
+	merr := s.buildMetric()
+	s.engineMu.Unlock()
+	if merr != nil {
+		return merr
+	}
+	if s.dir != "" {
+		if err := os.Rename(filepath.Join(s.dir, tableFileName+".new"), filepath.Join(s.dir, tableFileName)); err != nil {
+			return err
+		}
+		if err := os.Rename(filepath.Join(s.dir, indexFileName+".new"), filepath.Join(s.dir, indexFileName)); err != nil {
+			return err
+		}
+	}
+	s.rebuilds++
+	s.builtTuples = s.tbl.Live()
+	return nil
+}
+
+// StoreStats summarize the store's current shape.
+type StoreStats struct {
+	Tuples     int64 // live tuples
+	Deleted    int64 // tombstoned tuples awaiting cleaning
+	Attributes int   // registered attributes
+	TableBytes int64
+	IndexBytes int64
+	Rebuilds   int64
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Tuples:     s.tbl.Live(),
+		Deleted:    s.ix.Deleted(),
+		Attributes: s.cat.NumAttrs(),
+		TableBytes: s.tbl.Bytes(),
+		IndexBytes: s.ix.SizeBytes(),
+		Rebuilds:   s.rebuilds,
+	}
+}
+
+// TermExplain reports one query term's filtering behavior (see Explain).
+type TermExplain struct {
+	Attr     string
+	Kind     Kind
+	ListType string
+	Alpha    float64
+	Defined  int64   // tuples with an indexed value on the attribute
+	NDF      int64   // tuples undefined on it
+	MeanEst  float64 // mean lower bound over defined tuples
+	MinEst   float64
+	MaxEst   float64
+	// Tightness is mean(lower bound / exact difference) over the tuples a
+	// real search fetches: 1.0 means the index's bounds are perfect, small
+	// values mean the signatures are too short to discriminate (raise α).
+	Tightness float64
+}
+
+// QueryExplain is the instrumented result of Explain.
+type QueryExplain struct {
+	Results      []Result
+	Scanned      int64
+	Fetched      int64
+	PoolMaxFinal float64 // the k-th distance: the bar estimates must beat
+	Terms        []TermExplain
+}
+
+// Explain runs a query with per-term instrumentation: how each attribute's
+// approximation vectors bounded the differences, and how tight those bounds
+// were. It is the tuning companion to the α/n options; it runs the scan
+// twice, so keep it off hot paths.
+func (s *Store) Explain(q *Query) (*QueryExplain, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	mq := &model.Query{K: q.k}
+	names := make(map[model.AttrID]string)
+	for _, t := range q.terms {
+		id, ok := s.cat.Lookup(t.attr)
+		if !ok {
+			var err error
+			if id, err = s.cat.AddAttr(t.attr, t.kind.internal()); err != nil {
+				return nil, err
+			}
+		}
+		names[id] = t.attr
+		mq.Terms = append(mq.Terms, model.QueryTerm{
+			Attr: id, Kind: t.kind.internal(), Num: t.num, Str: t.str, Weight: t.weight,
+		})
+	}
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	ex, err := s.ix.ExplainSearch(mq, s.met)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryExplain{
+		Scanned:      ex.Scanned,
+		Fetched:      ex.Fetched,
+		PoolMaxFinal: ex.PoolMaxFinal,
+	}
+	for _, r := range ex.Results {
+		out.Results = append(out.Results, Result{TID: TID(r.TID), Dist: r.Dist})
+	}
+	for _, te := range ex.Terms {
+		out.Terms = append(out.Terms, TermExplain{
+			Attr:      names[te.Attr],
+			Kind:      kindFrom(te.Kind),
+			ListType:  te.ListType.String(),
+			Alpha:     te.Alpha,
+			Defined:   te.Defined,
+			NDF:       te.NDF,
+			MeanEst:   te.MeanEst,
+			MinEst:    te.MinEst,
+			MaxEst:    te.MaxEst,
+			Tightness: te.Tightness,
+		})
+	}
+	return out, nil
+}
+
+// Scan enumerates every live tuple in tuple-list order (a sequential pass
+// over the table file). The callback returns false to stop early. The store
+// is locked for the duration; do not call Store methods from fn.
+func (s *Store) Scan(fn func(TID, Row) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stop := false
+	err := s.tbl.Scan(func(_ int64, tp *model.Tuple) error {
+		if stop || !s.ix.Live(tp.TID) {
+			return nil
+		}
+		row := make(Row, len(tp.Values))
+		for id, v := range tp.Values {
+			info, err := s.cat.Info(id)
+			if err != nil {
+				return err
+			}
+			row[info.Name] = Value{v}
+		}
+		if !fn(TID(tp.TID), row) {
+			stop = true
+		}
+		return nil
+	})
+	return err
+}
+
+// CheckReport summarizes a Check run.
+type CheckReport struct {
+	Entries     int64
+	Live        int64
+	Attributes  int
+	VectorElems int64
+	Problems    []string
+}
+
+// Ok reports whether the check found no problems.
+func (r CheckReport) Ok() bool { return len(r.Problems) == 0 }
+
+// Check cross-validates the whole index against the table file: tuple-list
+// order and pointers, every approximation vector against its stored value,
+// and catalog statistics. Run it after crashes or migrations.
+func (s *Store) Check() (CheckReport, error) {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	rep, err := s.ix.Check()
+	if err != nil {
+		return CheckReport{}, err
+	}
+	return CheckReport{
+		Entries:     rep.Entries,
+		Live:        rep.Live,
+		Attributes:  rep.Attributes,
+		VectorElems: rep.VectorElems,
+		Problems:    rep.Problems,
+	}, nil
+}
+
+// AttrInfo describes one indexed attribute's layout.
+type AttrInfo struct {
+	Name     string
+	Kind     Kind
+	ListType string  // "I", "II", "III" or "IV" (§III-D)
+	Alpha    float64 // relative vector length in effect
+	Bits     int64   // vector list size in bits
+	DF       int64   // tuples defining the attribute
+	Strings  int64   // total strings (text attributes)
+}
+
+// Attrs reports every indexed attribute's layout, useful for inspecting
+// the §III-D list-type selection and sizing on real data.
+func (s *Store) Attrs() []AttrInfo {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	var out []AttrInfo
+	for _, r := range s.ix.Attrs() {
+		out = append(out, AttrInfo{
+			Name:     r.Name,
+			Kind:     kindFrom(r.Kind),
+			ListType: r.ListType.String(),
+			Alpha:    r.Alpha,
+			Bits:     r.BitLen,
+			DF:       r.DF,
+			Strings:  r.Str,
+		})
+	}
+	return out
+}
+
+// Sync checkpoints all files (catalog, table header, index metadata).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.tbl.Sync(); err != nil {
+		return err
+	}
+	if err := s.ix.Sync(); err != nil {
+		return err
+	}
+	if s.dir != "" {
+		if err := os.WriteFile(filepath.Join(s.dir, catalogFileName), s.cat.Encode(), 0o644); err != nil {
+			return fmt.Errorf("iva: write catalog: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close checkpoints and releases the store. Closing twice is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	if err := s.tblFile.Close(); err != nil {
+		return err
+	}
+	return s.ixFile.Close()
+}
