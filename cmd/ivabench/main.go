@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ivabench [-exp name|all] [-tuples N] [-seed S] [-markdown] [-list]
+//	ivabench [-exp name|all] [-tuples N] [-seed S] [-markdown] [-list] [-metrics FILE]
 //
 // Examples:
 //
@@ -30,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		metrics  = flag.String("metrics", "", "after the run, dump the harness registry in Prometheus text format to FILE ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,16 @@ func main() {
 		} else {
 			fmt.Print(r.Render())
 			fmt.Printf("\n(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		}
+	}
+
+	if *metrics != "" {
+		text := bench.MetricsText()
+		if *metrics == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*metrics, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: writing metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	ivatool -dir DIR stats
 //	ivatool -dir DIR rebuild
 //	ivatool -dir DIR demo                                # load a small product catalog
+//	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog
 //
 // Attribute values that parse as numbers are numeric; everything else is
 // text. Multiple strings for one text attribute repeat the attribute:
@@ -23,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/sparsewide/iva"
 )
@@ -33,22 +35,24 @@ func main() {
 		k       = flag.Int("k", 10, "top-k for queries")
 		metricF = flag.String("metric", "L2", "distance metric: L1, L2, Linf")
 		weights = flag.String("weights", "EQU", "attribute weights: EQU, ITF")
+		addr    = flag.String("addr", "127.0.0.1:9090", "listen address for serve")
+		slow    = flag.Duration("slow", 250*time.Millisecond, "slow-query log threshold for serve")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if *dir == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ivatool -dir DIR <create|insert|query|get|delete|stats|rebuild|demo> ...")
+		fmt.Fprintln(os.Stderr, "usage: ivatool -dir DIR <create|insert|query|get|delete|stats|rebuild|demo|serve> ...")
 		os.Exit(2)
 	}
-	opts := iva.Options{Metric: *metricF, Weights: *weights}
+	opts := iva.Options{Metric: *metricF, Weights: *weights, SlowQueryThreshold: *slow}
 	cmd, rest := args[0], args[1:]
-	if err := run(cmd, rest, *dir, *k, opts); err != nil {
+	if err := run(cmd, rest, *dir, *k, *addr, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, args []string, dir string, k int, opts iva.Options) error {
+func run(cmd string, args []string, dir string, k int, addr string, opts iva.Options) error {
 	switch cmd {
 	case "create":
 		st, err := iva.Create(dir, opts)
@@ -161,6 +165,12 @@ func run(cmd string, args []string, dir string, k int, opts iva.Options) error {
 		fmt.Printf("table bytes %d\n", s.TableBytes)
 		fmt.Printf("index bytes %d\n", s.IndexBytes)
 		fmt.Printf("rebuilds    %d\n", s.Rebuilds)
+		fmt.Printf("cache hits  %d (%.1f%% hit rate)\n", s.IO.CacheHits, 100*s.IO.HitRate())
+		fmt.Printf("phys reads  %d (seq %d near %d rand %d)\n",
+			s.IO.PhysReads, s.IO.SeqReads, s.IO.NearReads, s.IO.RandReads)
+		fmt.Printf("phys writes %d\n", s.IO.PhysWrites)
+	case "serve":
+		return serve(st, addr)
 	case "rebuild":
 		if err := st.Rebuild(); err != nil {
 			return err

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/sparsewide/iva"
+)
+
+// serveMux mounts the store's observability endpoints:
+//
+//	/metrics         Prometheus text exposition (text/plain; version=0.0.4)
+//	/healthz         runs Store.Check, 200 "ok" or 503 with the problems
+//	/debug/querylog  the slow-query log as JSON, newest first
+func serveMux(st *iva.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := st.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := st.Check()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !rep.Ok() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, p := range rep.Problems {
+				fmt.Fprintf(w, "PROBLEM: %s\n", p)
+			}
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/querylog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := st.WriteSlowQueries(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// serve blocks on an HTTP listener exposing the store.
+func serve(st *iva.Store, addr string) error {
+	fmt.Printf("serving /metrics, /healthz, /debug/querylog on %s\n", addr)
+	return http.ListenAndServe(addr, serveMux(st))
+}

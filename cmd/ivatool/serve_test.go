@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sparsewide/iva"
+)
+
+// TestServeEndpoints drives a store under load through the HTTP surface:
+// /metrics must be valid Prometheus text with the latency histogram, cache
+// counters and phase timings; /healthz must pass Check; a slow query must
+// surface in /debug/querylog with its per-term trace.
+func TestServeEndpoints(t *testing.T) {
+	st, err := iva.Create(t.TempDir(), iva.Options{SlowQueryThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := st.Insert(iva.Row{
+			"brand": iva.Strings([]string{"canon", "nikon"}[i%2]),
+			"price": iva.Num(float64(100 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		q := iva.NewQuery(3).WhereText("brand", "cannon").WhereNum("price", float64(120+i))
+		if _, _, err := st.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(serveMux(st))
+	defer srv.Close()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp
+	}
+
+	metrics, resp := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"iva_query_duration_seconds_bucket{le=",
+		"iva_query_duration_seconds_count 5",
+		`iva_query_phase_duration_seconds_bucket{phase="filter"`,
+		`iva_query_phase_duration_seconds_bucket{phase="refine"`,
+		"iva_io_cache_hits_total",
+		"iva_io_phys_reads_total",
+		"iva_queries_total 5",
+		"iva_slow_queries_total 5",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	health, resp := get("/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(health) != "ok" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, health)
+	}
+
+	qlog, resp := get("/debug/querylog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/querylog status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/querylog content type %q", ct)
+	}
+	var entries []struct {
+		Query      string          `json:"query"`
+		DurationMS float64         `json:"duration_ms"`
+		Trace      json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(qlog), &entries); err != nil {
+		t.Fatalf("/debug/querylog invalid JSON %q: %v", qlog, err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d slow entries, want 5", len(entries))
+	}
+	for _, want := range []string{`"term:brand"`, `"term:price"`, `"filter"`, `"refine"`} {
+		if !strings.Contains(string(entries[0].Trace), want) {
+			t.Errorf("querylog trace missing %s", want)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Operations: the care-and-feeding surface of the store — bulk ingestion,
 // per-term query diagnostics (Explain), index introspection (Attrs), the
-// integrity checker (Check), and the §VI-style sharded deployment with
-// parallel fan-out search.
+// integrity checker (Check), the §VI-style sharded deployment with
+// parallel fan-out search, and the observability layer (Prometheus-style
+// metrics scrape plus the slow-query log with its per-term trace).
 //
 // Run with: go run ./examples/operations
 package main
@@ -10,6 +11,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
+	"time"
 
 	"github.com/sparsewide/iva"
 )
@@ -18,7 +21,9 @@ func main() {
 	// A sharded, in-memory deployment: four partitions, searched in
 	// parallel and merged exactly (the paper's §VI observation that a flat
 	// index partitions trivially).
-	cluster, err := iva.CreateSharded("", 4, iva.Options{})
+	// SlowQueryThreshold arms the slow-query log; a nanosecond threshold
+	// captures every query so the demo always has a trace to show.
+	cluster, err := iva.CreateSharded("", 4, iva.Options{SlowQueryThreshold: time.Nanosecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,4 +101,31 @@ func main() {
 	}
 	fmt.Printf("\nintegrity: %d entries, %d vectors verified, ok=%v\n",
 		rep.Entries, rep.VectorElems, rep.Ok())
+
+	// Metrics scrape: the same text a Prometheus server would pull from
+	// `ivatool serve` /metrics. Every shard reports under its own label;
+	// here we pick out the query counters and the cache hit ratio.
+	fmt.Println("\nmetrics scrape (selected series):")
+	for _, line := range strings.Split(cluster.MetricsText(), "\n") {
+		if strings.HasPrefix(line, "iva_queries_total") ||
+			strings.HasPrefix(line, "iva_fanout_queries_total") ||
+			strings.HasPrefix(line, "iva_io_cache_hit_ratio") ||
+			strings.HasPrefix(line, "iva_query_duration_seconds_count") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// The slow-query log keeps the full trace of each offending query:
+	// the fan-out root, one "query" span per shard, and under each the
+	// filter phase with its per-term scan counters.
+	fmt.Printf("\nslow-query log: %d entries; latest trace:\n", cluster.SlowQueryCount())
+	var sb strings.Builder
+	if err := cluster.WriteSlowQueries(&sb); err != nil {
+		log.Fatal(err)
+	}
+	excerpt := sb.String()
+	if len(excerpt) > 400 {
+		excerpt = excerpt[:400] + "..."
+	}
+	fmt.Println(excerpt)
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/sparsewide/iva/internal/metric"
 	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/obs"
 )
 
 // CPUFactor scales measured CPU time into the modeled milliseconds: the
@@ -82,6 +83,25 @@ func aggregate(samples []sample) EngineStats {
 	return s
 }
 
+// observe publishes one measured query into the harness registry so bench
+// runs expose the same counter surface as a live store: per-engine query
+// counts, wall-latency histograms, and the scanned/accessed totals that
+// previously lived only in ad-hoc per-run aggregates.
+func (e *Env) observe(engine string, sm sample) {
+	labels := obs.With(e.labels, "engine", engine)
+	Reg.Counter("bench_queries_total", "Queries measured per engine.", labels).Inc()
+	Reg.Counter("bench_scanned_tuples_total", "Tuples filtered across measured queries.", labels).Add(sm.scanned)
+	Reg.Counter("bench_table_accesses_total", "Random table accesses across measured queries.", labels).Add(sm.accesses)
+	Reg.Histogram("bench_query_duration_seconds", "Measured wall latency per engine.", labels, nil).
+		Observe((sm.filterWall + sm.refineWall) / 1000)
+	Reg.Histogram("bench_query_modeled_ms", "Modeled (2009-HDD) latency per engine.",
+		labels, []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}).
+		Observe(sm.filterMS + sm.refineMS)
+}
+
+// MetricsText renders the harness registry in Prometheus text format.
+func MetricsText() string { return Reg.Text() }
+
 func stddev(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0
@@ -110,7 +130,7 @@ func (e *Env) RunIVA(queries []*model.Query, warm int, m *metric.Metric) (Engine
 		if i < warm {
 			continue
 		}
-		samples = append(samples, sample{
+		sm := sample{
 			accesses:    st.TableAccesses,
 			scanned:     st.Scanned,
 			filterPages: st.FilterIO.PhysReads + st.FilterIO.CacheHits,
@@ -118,7 +138,9 @@ func (e *Env) RunIVA(queries []*model.Query, warm int, m *metric.Metric) (Engine
 			refineMS:    e.Disk.CostMS(st.RefineIO) + CPUFactor*float64(st.RefineWall.Microseconds())/1000,
 			filterWall:  float64(st.FilterWall.Microseconds()) / 1000,
 			refineWall:  float64(st.RefineWall.Microseconds()) / 1000,
-		})
+		}
+		e.observe("iva", sm)
+		samples = append(samples, sm)
 	}
 	return aggregate(samples), nil
 }
@@ -134,7 +156,7 @@ func (e *Env) RunSII(queries []*model.Query, warm int, m *metric.Metric) (Engine
 		if i < warm {
 			continue
 		}
-		samples = append(samples, sample{
+		sm := sample{
 			accesses:   st.TableAccesses,
 			candidates: st.Candidates,
 			scanned:    st.Scanned,
@@ -142,7 +164,9 @@ func (e *Env) RunSII(queries []*model.Query, warm int, m *metric.Metric) (Engine
 			refineMS:   e.Disk.CostMS(st.RefineIO) + CPUFactor*float64(st.RefineWall.Microseconds())/1000,
 			filterWall: float64(st.FilterWall.Microseconds()) / 1000,
 			refineWall: float64(st.RefineWall.Microseconds()) / 1000,
-		})
+		}
+		e.observe("sii", sm)
+		samples = append(samples, sm)
 	}
 	return aggregate(samples), nil
 }
@@ -162,11 +186,13 @@ func (e *Env) RunDST(queries []*model.Query, warm int, m *metric.Metric) (Engine
 		}
 		io := pstats.Snapshot().Sub(before)
 		wall := float64(st.Wall.Microseconds()) / 1000
-		samples = append(samples, sample{
+		sm := sample{
 			scanned:    st.Scanned,
 			filterMS:   e.Disk.CostMS(io) + CPUFactor*wall,
 			filterWall: wall,
-		})
+		}
+		e.observe("dst", sm)
+		samples = append(samples, sm)
 	}
 	return aggregate(samples), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/sparsewide/iva/internal/metric"
 	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/obs"
 	"github.com/sparsewide/iva/internal/signature"
 	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/topk"
@@ -37,6 +38,11 @@ type termState struct {
 	st     *attrState             // nil when the attribute has no vector list
 	cursor *vector.Cursor         // nil when st == nil
 	qs     *signature.QueryString // text terms
+
+	// Per-term trace annotations accumulated during the scan.
+	defined int64 // tuples with an indexed value on the attribute
+	ndf     int64 // tuples undefined on it (charged the ndf penalty)
+	pruned  int64 // pruned tuples where this term's bound was the largest
 }
 
 // Search answers a top-k structured similarity query with Algorithm 1: the
@@ -45,6 +51,19 @@ type termState struct {
 // Prop. 3.3 and §III-C) gates a random access to the table file where the
 // exact distance is computed against the temporary result pool.
 func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, SearchStats, error) {
+	return ix.SearchTraced(q, m, nil)
+}
+
+// SearchTraced is Search with per-query tracing: when parent is non-nil, the
+// query's phases are recorded as child spans —
+//
+//	filter            scanned/pruned counts and filter-phase I/O
+//	  term:<name>     per-term defined/ndf/pruned annotations (duration 0)
+//	refine            exact-distance work on fetched candidates
+//	  fetch           time spent in random table-file reads
+//
+// A nil parent makes tracing free (no spans are allocated).
+func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
 	var stats SearchStats
 	if err := q.Validate(); err != nil {
 		return nil, stats, err
@@ -90,8 +109,9 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 
 	pool := topk.New(q.K)
 	diffs := make([]float64, len(terms))
-	var refineWall time.Duration
+	var refineWall, fetchWall time.Duration
 	var refineIO storage.Snapshot
+	var fetched int64
 
 	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
@@ -110,14 +130,31 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 		stats.Scanned++
 
 		for i := range terms {
-			d, err := terms[i].estimate(m, tid, pos)
+			d, ndf, err := terms[i].estimateInfo(m, tid, pos)
 			if err != nil {
 				return nil, stats, err
+			}
+			if ndf {
+				terms[i].ndf++
+			} else {
+				terms[i].defined++
 			}
 			diffs[i] = d
 		}
 		estDist := m.Distance(q.Terms, diffs)
 		if !pool.Admits(estDist) {
+			// Credit the prune to the term with the largest lower bound:
+			// the combiners are monotone, so that term alone pushed the
+			// estimate hardest toward the pool bar.
+			if len(terms) > 0 {
+				argmax := 0
+				for i := 1; i < len(diffs); i++ {
+					if diffs[i] > diffs[argmax] {
+						argmax = i
+					}
+				}
+				terms[argmax].pruned++
+			}
 			continue
 		}
 
@@ -128,6 +165,8 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 		if err != nil {
 			return nil, stats, err
 		}
+		fetchWall += time.Since(rStart)
+		fetched++
 		actual := m.TupleDistance(q, tp)
 		pool.Insert(tid, actual)
 		refineIO = refineIO.Add(pstats.Snapshot().Sub(rIO))
@@ -140,19 +179,53 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 	stats.FilterWall = total - refineWall
 	stats.RefineIO = refineIO
 	stats.FilterIO = pstats.Snapshot().Sub(startIO).Sub(refineIO)
+	if parent != nil {
+		ix.traceSearch(parent, terms, stats, fetched, fetchWall)
+	}
 	return pool.Results(), stats, nil
 }
 
-// estimate computes the lower-bound difference for one term on the tuple at
-// (tid, pos): est over signatures for text, slice distance for numbers, and
-// the ndf penalty when the element is absent.
-func (ts *termState) estimate(m *metric.Metric, tid model.TID, pos int64) (float64, error) {
-	d, _, err := ts.estimateInfo(m, tid, pos)
-	return d, err
+// traceSearch attaches the filter/refine/fetch span hierarchy for one
+// finished query to parent. The phases interleave in the scan loop, so the
+// spans carry the accumulated phase durations rather than start-to-end
+// times; per-term spans are pure annotation carriers (duration 0).
+func (ix *Index) traceSearch(parent *obs.Span, terms []termState, stats SearchStats, fetched int64, fetchWall time.Duration) {
+	fsp := parent.Child("filter")
+	fsp.SetInt("scanned", stats.Scanned)
+	fsp.SetInt("pruned", stats.Scanned-fetched)
+	fsp.SetInt("phys_reads", stats.FilterIO.PhysReads)
+	fsp.SetInt("cache_hits", stats.FilterIO.CacheHits)
+	cat := ix.tbl.Catalog()
+	for i := range terms {
+		name := fmt.Sprintf("attr%d", terms[i].term.Attr)
+		if info, err := cat.Info(terms[i].term.Attr); err == nil {
+			name = info.Name
+		}
+		tsp := fsp.Child("term:" + name)
+		tsp.SetStr("kind", terms[i].term.Kind.String())
+		tsp.SetInt("scanned", stats.Scanned)
+		tsp.SetInt("defined", terms[i].defined)
+		tsp.SetInt("ndf", terms[i].ndf)
+		tsp.SetInt("pruned", terms[i].pruned)
+		tsp.EndAt(0)
+	}
+	fsp.EndAt(stats.FilterWall)
+
+	rsp := parent.Child("refine")
+	rsp.SetInt("fetched", fetched)
+	rsp.SetInt("table_accesses", stats.TableAccesses)
+	rsp.SetInt("phys_reads", stats.RefineIO.PhysReads)
+	rsp.SetInt("cache_hits", stats.RefineIO.CacheHits)
+	fetch := rsp.Child("fetch")
+	fetch.SetInt("reads", stats.RefineIO.PhysReads)
+	fetch.EndAt(fetchWall)
+	rsp.EndAt(stats.RefineWall)
 }
 
-// estimateInfo is estimate plus whether the tuple was ndf on the attribute
-// (used by ExplainSearch's instrumentation).
+// estimateInfo computes the lower-bound difference for one term on the tuple
+// at (tid, pos) — est over signatures for text, slice distance for numbers,
+// and the ndf penalty when the element is absent — plus whether the tuple
+// was ndf on the attribute (for trace and Explain instrumentation).
 func (ts *termState) estimateInfo(m *metric.Metric, tid model.TID, pos int64) (float64, bool, error) {
 	if ts.cursor == nil {
 		// Attribute unknown to the index: every tuple is ndf on it.

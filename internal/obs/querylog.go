@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LogEntry is one captured slow query.
+type LogEntry struct {
+	Time     time.Time
+	Query    string // rendered query description
+	Duration time.Duration
+	Trace    *Span // full trace of the offending query
+}
+
+// QueryLog retains the most recent queries whose duration met a threshold,
+// each with its full trace. All methods are safe on a nil receiver (a nil
+// log is a disabled log), so callers need no conditionals.
+type QueryLog struct {
+	threshold time.Duration
+	cap       int
+
+	mu      sync.Mutex
+	entries []LogEntry // oldest first
+	total   int64
+}
+
+// NewQueryLog returns a log capturing queries at or above threshold,
+// retaining at most capEntries (default 64 when <= 0). A non-positive
+// threshold returns nil: the disabled log.
+func NewQueryLog(threshold time.Duration, capEntries int) *QueryLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if capEntries <= 0 {
+		capEntries = 64
+	}
+	return &QueryLog{threshold: threshold, cap: capEntries}
+}
+
+// Threshold returns the capture threshold (0 when disabled).
+func (l *QueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe records the query if its duration meets the threshold, reporting
+// whether it was captured.
+func (l *QueryLog) Observe(query string, dur time.Duration, tr *Span) bool {
+	if l == nil || dur < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) >= l.cap {
+		copy(l.entries, l.entries[1:])
+		l.entries = l.entries[:len(l.entries)-1]
+	}
+	l.entries = append(l.entries, LogEntry{Time: time.Now(), Query: query, Duration: dur, Trace: tr})
+	return true
+}
+
+// Total returns how many queries ever met the threshold (captured or
+// already evicted).
+func (l *QueryLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained entries, newest first.
+func (l *QueryLog) Entries() []LogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEntry, len(l.entries))
+	for i, e := range l.entries {
+		out[len(out)-1-i] = e
+	}
+	return out
+}
+
+// WriteJSON serializes the retained entries, newest first, as a JSON array
+// of {"time","query","duration_ms","trace"} objects. A disabled log writes
+// an empty array.
+func (l *QueryLog) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, e := range l.Entries() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"time":`)
+		b.WriteString(strconv.Quote(e.Time.Format(time.RFC3339Nano)))
+		b.WriteString(`,"query":`)
+		b.WriteString(strconv.Quote(e.Query))
+		b.WriteString(`,"duration_ms":`)
+		b.WriteString(strconv.FormatFloat(float64(e.Duration.Nanoseconds())/1e6, 'g', -1, 64))
+		b.WriteString(`,"trace":`)
+		e.Trace.appendJSON(&b)
+		b.WriteByte('}')
+	}
+	b.WriteByte(']')
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}

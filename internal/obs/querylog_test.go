@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryLogThreshold(t *testing.T) {
+	l := NewQueryLog(10*time.Millisecond, 4)
+	if l.Observe("fast", 5*time.Millisecond, nil) {
+		t.Fatal("captured a query under the threshold")
+	}
+	tr := StartSpan("query")
+	tr.End()
+	if !l.Observe("slow", 10*time.Millisecond, tr) {
+		t.Fatal("dropped a query at the threshold")
+	}
+	if l.Total() != 1 || len(l.Entries()) != 1 {
+		t.Fatalf("total=%d entries=%d", l.Total(), len(l.Entries()))
+	}
+	if e := l.Entries()[0]; e.Query != "slow" || e.Trace != tr {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestQueryLogEviction(t *testing.T) {
+	l := NewQueryLog(time.Nanosecond, 3)
+	for i := 0; i < 5; i++ {
+		l.Observe(fmt.Sprintf("q%d", i), time.Second, nil)
+	}
+	es := l.Entries()
+	if len(es) != 3 || l.Total() != 5 {
+		t.Fatalf("entries=%d total=%d", len(es), l.Total())
+	}
+	// Newest first; the two oldest were evicted.
+	if es[0].Query != "q4" || es[2].Query != "q2" {
+		t.Fatalf("ring order wrong: %v %v", es[0].Query, es[2].Query)
+	}
+}
+
+func TestQueryLogDisabled(t *testing.T) {
+	l := NewQueryLog(0, 8)
+	if l != nil {
+		t.Fatal("zero threshold should return the nil (disabled) log")
+	}
+	if l.Observe("q", time.Hour, nil) || l.Total() != 0 || l.Entries() != nil {
+		t.Fatal("disabled log not inert")
+	}
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("disabled log JSON = %q", b.String())
+	}
+}
+
+func TestQueryLogJSON(t *testing.T) {
+	l := NewQueryLog(time.Nanosecond, 8)
+	tr := StartSpan("query")
+	tr.Child("filter").EndAt(2 * time.Millisecond)
+	tr.End()
+	l.Observe("brand=\"canon\" k=5", 3*time.Millisecond, tr)
+
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Time       time.Time       `json:"time"`
+		Query      string          `json:"query"`
+		DurationMS float64         `json:"duration_ms"`
+		Trace      json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &entries); err != nil {
+		t.Fatalf("invalid JSON %q: %v", b.String(), err)
+	}
+	if len(entries) != 1 || entries[0].Query != "brand=\"canon\" k=5" || entries[0].DurationMS != 3 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if !strings.Contains(string(entries[0].Trace), `"filter"`) {
+		t.Fatalf("trace lost: %s", entries[0].Trace)
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one counter, gauge and histogram from many
+// goroutines; run with -race. Handles are looked up per-iteration too, so
+// the get-or-create path is exercised concurrently with updates.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	labels := Labels{"shard": "0"}
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c_total", "c", labels).Inc()
+				r.Gauge("g", "g", labels).Add(1)
+				r.Histogram("h_seconds", "h", labels, nil).Observe(0.003)
+				_ = r.Text()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "c", labels).Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g", "g", labels).Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	h := r.Histogram("h_seconds", "h", labels, nil)
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if math.Abs(h.Sum()-0.003*workers*iters) > 1e-6 {
+		t.Fatalf("histogram sum = %v", h.Sum())
+	}
+}
+
+// TestPrometheusGolden pins the exact text-format output.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iva_queries_total", "Queries served.", nil).Add(3)
+	r.Counter("iva_queries_total", "Queries served.", Labels{"shard": "1"}).Add(2)
+	r.Gauge("iva_tuples_live", "Live tuples.", nil).Set(42.5)
+	r.GaugeFunc("iva_cost_ms", "Modeled cost.", nil, func() float64 { return 8 })
+	h := r.Histogram("iva_query_duration_seconds", "Latency.", Labels{"shard": "a\"b"}, []float64{0.01, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	want := `# HELP iva_cost_ms Modeled cost.
+# TYPE iva_cost_ms gauge
+iva_cost_ms 8
+# HELP iva_queries_total Queries served.
+# TYPE iva_queries_total counter
+iva_queries_total 3
+iva_queries_total{shard="1"} 2
+# HELP iva_query_duration_seconds Latency.
+# TYPE iva_query_duration_seconds histogram
+iva_query_duration_seconds_bucket{shard="a\"b",le="0.01"} 1
+iva_query_duration_seconds_bucket{shard="a\"b",le="1"} 2
+iva_query_duration_seconds_bucket{shard="a\"b",le="+Inf"} 3
+iva_query_duration_seconds_sum{shard="a\"b"} 99.505
+iva_query_duration_seconds_count{shard="a\"b"} 3
+# HELP iva_tuples_live Live tuples.
+# TYPE iva_tuples_live gauge
+iva_tuples_live 42.5
+`
+	if got := r.Text(); got != want {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", nil, []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(3)
+	bounds, cum := h.Buckets()
+	if len(bounds) != 2 || cum[0] != 1 || cum[1] != 2 {
+		t.Fatalf("buckets = %v %v", bounds, cum)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestWith(t *testing.T) {
+	base := Labels{"a": "1"}
+	got := With(base, "b", "2")
+	if len(base) != 1 {
+		t.Fatal("With mutated base")
+	}
+	if got["a"] != "1" || got["b"] != "2" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of a per-query trace: a named, timed piece of work with
+// typed annotations and child spans. All methods are safe on a nil receiver,
+// so tracing is disabled by passing a nil span down the stack — instrumented
+// code needs no conditionals.
+//
+// Spans whose duration cannot be measured start-to-end (phases interleaved
+// in one loop, like the paper's synchronized filter/refine pass) are closed
+// with EndAt and an externally accumulated duration; pure annotation
+// carriers (per-term statistics) are closed with EndAt(0).
+type Span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+
+	mu       sync.Mutex
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct {
+	key string
+	str string
+	i   int64
+	f   float64
+	typ uint8 // 0 string, 1 int, 2 float
+}
+
+// StartSpan begins a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Adopt attaches an independently started span as a child (used when a
+// fan-out creates the child on another goroutine).
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration to now−start.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.start)
+}
+
+// EndAt closes the span with an explicit duration.
+func (s *Span) EndAt(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.dur = d
+}
+
+// SetStr annotates the span with a string value.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key: key, str: v, typ: 0})
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key: key, i: v, typ: 1})
+	s.mu.Unlock()
+}
+
+// SetFloat annotates the span with a float value.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key: key, f: v, typ: 2})
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's closed duration (0 before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Children returns a copy of the child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attr returns the annotation value for key rendered as a string, and
+// whether it is present.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.key == key {
+			return a.render(), true
+		}
+	}
+	return "", false
+}
+
+// Find returns the first descendant span (depth-first, self included) with
+// the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func (a spanAttr) render() string {
+	switch a.typ {
+	case 1:
+		return strconv.FormatInt(a.i, 10)
+	case 2:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	default:
+		return a.str
+	}
+}
+
+// WriteText renders the span tree as an indented listing.
+func (s *Span) WriteText(w io.Writer) error {
+	return s.writeText(w, 0)
+}
+
+func (s *Span) writeText(w io.Writer, depth int) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	attrs := append([]spanAttr(nil), s.attrs...)
+	s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&b, "%s %.3fms", s.name, float64(s.dur.Nanoseconds())/1e6)
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%s", a.key, a.render())
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := c.writeText(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders the span tree as
+// {"name":..., "duration_ms":..., "attrs":{...}, "children":[...]}.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	s.appendJSON(&b)
+	return b.Bytes(), nil
+}
+
+func (s *Span) appendJSON(b *bytes.Buffer) {
+	if s == nil {
+		b.WriteString("null")
+		return
+	}
+	s.mu.Lock()
+	attrs := append([]spanAttr(nil), s.attrs...)
+	s.mu.Unlock()
+	fmt.Fprintf(b, `{"name":%s,"duration_ms":%s`,
+		quoteJSON(s.name), strconv.FormatFloat(float64(s.dur.Nanoseconds())/1e6, 'g', -1, 64))
+	if len(attrs) > 0 {
+		// Stable key order keeps the output diffable.
+		sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].key < attrs[j].key })
+		b.WriteString(`,"attrs":{`)
+		for i, a := range attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quoteJSON(a.key))
+			b.WriteByte(':')
+			switch a.typ {
+			case 1:
+				b.WriteString(strconv.FormatInt(a.i, 10))
+			case 2:
+				b.WriteString(jsonFloat(a.f))
+			default:
+				b.WriteString(quoteJSON(a.str))
+			}
+		}
+		b.WriteByte('}')
+	}
+	if cs := s.Children(); len(cs) > 0 {
+		b.WriteString(`,"children":[`)
+		for i, c := range cs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.appendJSON(b)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+}
+
+func jsonFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// JSON has no Inf/NaN literals.
+	if strings.ContainsAny(s, "IN") {
+		return "null"
+	}
+	return s
+}
+
+func quoteJSON(s string) string { return strconv.Quote(s) }

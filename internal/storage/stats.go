@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sync"
+
+	"github.com/sparsewide/iva/internal/obs"
 )
 
 // Stats accumulates physical I/O counters for a buffer pool. The paper's
@@ -116,6 +118,15 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 	}
 }
 
+// HitRate returns the fraction of page requests served by the cache.
+func (a Snapshot) HitRate() float64 {
+	total := a.CacheHits + a.PhysReads
+	if total == 0 {
+		return 0
+	}
+	return float64(a.CacheHits) / float64(total)
+}
+
 // Add returns the counter-wise sum a+b.
 func (a Snapshot) Add(b Snapshot) Snapshot {
 	return Snapshot{
@@ -161,4 +172,34 @@ func (m DiskModel) CostMS(s Snapshot) float64 {
 		float64(s.SeqReads)*m.SeqMS +
 		float64(s.PhysWrites)*m.WriteMS +
 		float64(s.CacheHits)*m.CacheHitMS
+}
+
+// RegisterPoolMetrics exposes a pool's I/O counters in a metrics registry:
+// physical reads broken down by the paper's seq/near/rand access classes,
+// writes, cache hits, the derived hit ratio, resident pages, and the modeled
+// disk cost of all I/O so far under m. Counters are read live at exposition
+// time.
+func (p *Pool) RegisterPoolMetrics(r *obs.Registry, labels obs.Labels, m DiskModel) {
+	st := p.Stats()
+	r.CounterFunc("iva_io_phys_reads_total", "Physical page reads from the device.",
+		labels, func() float64 { return float64(st.Snapshot().PhysReads) })
+	r.CounterFunc("iva_io_phys_writes_total", "Physical page writes to the device.",
+		labels, func() float64 { return float64(st.Snapshot().PhysWrites) })
+	r.CounterFunc("iva_io_cache_hits_total", "Page requests served by the buffer pool.",
+		labels, func() float64 { return float64(st.Snapshot().CacheHits) })
+	for class, get := range map[string]func(Snapshot) int64{
+		"seq":  func(s Snapshot) int64 { return s.SeqReads },
+		"near": func(s Snapshot) int64 { return s.NearReads },
+		"rand": func(s Snapshot) int64 { return s.RandReads },
+	} {
+		get := get
+		r.CounterFunc("iva_io_reads_total", "Physical reads by access class (seq, near, rand).",
+			obs.With(labels, "class", class), func() float64 { return float64(get(st.Snapshot())) })
+	}
+	r.GaugeFunc("iva_io_cache_hit_ratio", "Fraction of page requests served by the buffer pool.",
+		labels, func() float64 { return st.Snapshot().HitRate() })
+	r.GaugeFunc("iva_io_modeled_cost_ms", "Modeled disk milliseconds of all I/O so far (2009-HDD cost model).",
+		labels, func() float64 { return m.CostMS(st.Snapshot()) })
+	r.GaugeFunc("iva_pool_cached_pages", "Pages resident in the buffer pool.",
+		labels, func() float64 { return float64(p.CachedPages()) })
 }

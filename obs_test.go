@@ -1,0 +1,236 @@
+package iva
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func obsTestStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	st, err := Create("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for i := 0; i < 500; i++ {
+		if _, err := st.Insert(Row{
+			"brand": Strings([]string{"canon", "nikon", "sony"}[i%3]),
+			"price": Num(float64(100 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestQueryStatsIO checks the satellite extension: callers see the query's
+// I/O (cache hits, physical reads, modeled disk cost), not just wall time.
+func TestQueryStatsIO(t *testing.T) {
+	st := obsTestStore(t, Options{})
+	_, qs, err := st.Search(NewQuery(5).WhereText("brand", "cannon").WhereNum("price", 230))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Scanned == 0 {
+		t.Fatal("no tuples scanned")
+	}
+	if qs.CacheHits+qs.PhysReads == 0 {
+		t.Error("query reported no page requests at all")
+	}
+	if qs.DiskCostMS < 0 {
+		t.Errorf("negative modeled cost %v", qs.DiskCostMS)
+	}
+	if qs.Shards != nil {
+		t.Error("single-store stats should have no per-shard breakdown")
+	}
+}
+
+// TestStoreMetricsText runs a store under load and checks the Prometheus
+// exposition carries the acceptance-criteria series: latency histogram
+// buckets, cache hit/miss counters, and per-phase timings.
+func TestStoreMetricsText(t *testing.T) {
+	st := obsTestStore(t, Options{})
+	for i := 0; i < 10; i++ {
+		if _, _, err := st.Search(NewQuery(3).WhereNum("price", float64(150+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	text := st.MetricsText()
+	for _, want := range []string{
+		"# TYPE iva_query_duration_seconds histogram",
+		"iva_query_duration_seconds_bucket{le=",
+		`iva_query_phase_duration_seconds_bucket{phase="filter"`,
+		`iva_query_phase_duration_seconds_bucket{phase="refine"`,
+		"iva_queries_total 10",
+		"iva_inserts_total 500",
+		"iva_deletes_total 1",
+		"iva_io_cache_hits_total",
+		"iva_io_phys_reads_total",
+		`iva_io_reads_total{class="seq"}`,
+		`iva_io_reads_total{class="rand"}`,
+		"iva_io_modeled_cost_ms",
+		"iva_tuples_live 499",
+		"iva_query_scanned_tuples_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+}
+
+// TestSlowQueryLog sets a threshold every query exceeds and checks the log
+// captures the full per-term trace.
+func TestSlowQueryLog(t *testing.T) {
+	st := obsTestStore(t, Options{SlowQueryThreshold: time.Nanosecond})
+	if _, _, err := st.Search(NewQuery(5).WhereText("brand", "canon").WhereNum("price", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if st.SlowQueryCount() != 1 {
+		t.Fatalf("slow query count = %d, want 1", st.SlowQueryCount())
+	}
+	var b strings.Builder
+	if err := st.WriteSlowQueries(&b); err != nil {
+		t.Fatal(err)
+	}
+	blob := b.String()
+	var entries []struct {
+		Query      string          `json:"query"`
+		DurationMS float64         `json:"duration_ms"`
+		Trace      json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(blob), &entries); err != nil {
+		t.Fatalf("invalid slow-query JSON %s: %v", blob, err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries, want 1", len(entries))
+	}
+	if !strings.Contains(entries[0].Query, `brand="canon"`) || !strings.Contains(entries[0].Query, "k=5") {
+		t.Errorf("query description = %q", entries[0].Query)
+	}
+	tr := string(entries[0].Trace)
+	for _, want := range []string{`"filter"`, `"refine"`, `"fetch"`, `"term:brand"`, `"term:price"`, `"ndf"`, `"pruned"`} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("trace missing %s: %s", want, tr)
+		}
+	}
+	if strings.Contains(text(st), "iva_slow_queries_total 0") {
+		t.Error("slow query counter not incremented")
+	}
+}
+
+func text(st *Store) string { return st.MetricsText() }
+
+// TestSlowQueryDisabled checks the default store logs nothing.
+func TestSlowQueryDisabled(t *testing.T) {
+	st := obsTestStore(t, Options{})
+	if _, _, err := st.Search(NewQuery(3).WhereNum("price", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if st.SlowQueryCount() != 0 {
+		t.Fatal("disabled slow-query log captured a query")
+	}
+	var b strings.Builder
+	if err := st.WriteSlowQueries(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("disabled log serialized %q", b.String())
+	}
+}
+
+// TestShardedQueryStatsAggregation checks the fan-out no longer drops
+// per-shard stats: counters sum, times take the critical path, and the
+// breakdown is preserved.
+func TestShardedQueryStatsAggregation(t *testing.T) {
+	cl, err := CreateSharded("", 3, Options{SlowQueryThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 300; i++ {
+		if _, err := cl.Insert(Row{"price": Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, qs, err := cl.Search(NewQuery(5).WhereNum("price", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Shards) != 3 {
+		t.Fatalf("per-shard breakdown has %d entries, want 3", len(qs.Shards))
+	}
+	var scanned, hits, reads int64
+	var cost float64
+	var maxFilter time.Duration
+	for _, sh := range qs.Shards {
+		scanned += sh.Scanned
+		hits += sh.CacheHits
+		reads += sh.PhysReads
+		cost += sh.DiskCostMS
+		if sh.FilterTime > maxFilter {
+			maxFilter = sh.FilterTime
+		}
+	}
+	if qs.Scanned != scanned || qs.CacheHits != hits || qs.PhysReads != reads {
+		t.Errorf("aggregate counters do not sum the shards: %+v", qs)
+	}
+	if qs.DiskCostMS != cost {
+		t.Errorf("aggregate cost %v, shard sum %v", qs.DiskCostMS, cost)
+	}
+	if qs.FilterTime != maxFilter {
+		t.Errorf("aggregate filter time %v, want slowest shard %v", qs.FilterTime, maxFilter)
+	}
+	if qs.Scanned != 300 {
+		t.Errorf("scanned %d of 300 live tuples", qs.Scanned)
+	}
+}
+
+// TestShardedMetricsAndSlowLog checks per-shard labeling in the shared
+// registry and the single fan-out slow-log entry with per-shard spans.
+func TestShardedMetricsAndSlowLog(t *testing.T) {
+	cl, err := CreateSharded("", 2, Options{SlowQueryThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := cl.Insert(Row{"n": Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := cl.Search(NewQuery(3).WhereNum("n", 7)); err != nil {
+		t.Fatal(err)
+	}
+	text := cl.MetricsText()
+	for _, want := range []string{
+		`iva_queries_total{shard="0"} 1`,
+		`iva_queries_total{shard="1"} 1`,
+		"iva_fanout_queries_total 1",
+		"iva_fanout_query_duration_seconds_bucket",
+		"iva_shards 2",
+		`iva_io_phys_reads_total{shard="0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sharded metrics missing %q", want)
+		}
+	}
+	// One fan-out entry (not one per shard), holding both shard subtraces.
+	if cl.SlowQueryCount() != 1 {
+		t.Fatalf("fan-out slow count = %d, want 1", cl.SlowQueryCount())
+	}
+	var b strings.Builder
+	if err := cl.WriteSlowQueries(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), `"name":"query"`); got != 2 {
+		t.Errorf("fan-out trace has %d shard query spans, want 2: %s", got, b.String())
+	}
+	if !strings.Contains(b.String(), `"name":"fanout"`) {
+		t.Errorf("missing fanout root span: %s", b.String())
+	}
+}

@@ -2,9 +2,13 @@ package iva
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+
+	"github.com/sparsewide/iva/internal/obs"
 )
 
 // Sharded is a horizontally partitioned store: rows hash across N
@@ -16,8 +20,35 @@ import (
 // live on its own node).
 //
 // Global ids are (shard, local tid) packed as shard*ShardStride + tid.
+//
+// All shards publish into one metrics registry under a shard="<i>" label,
+// and into one slow-query log; the fan-out itself adds cross-shard
+// aggregate metrics and traces each slow fan-out with per-shard child spans.
 type Sharded struct {
-	shards []*Store
+	shards  []*Store
+	reg     *obs.Registry
+	slowLog *obs.QueryLog
+	queries *obs.Counter
+	slow    *obs.Counter
+	dur     *obs.Histogram
+}
+
+// initObs builds the partition-level aggregates over the shared registry.
+func (s *Sharded) initObs(reg *obs.Registry, log *obs.QueryLog) {
+	s.reg, s.slowLog = reg, log
+	s.queries = reg.Counter("iva_fanout_queries_total", "Cross-shard fan-out queries served.", nil)
+	s.slow = reg.Counter("iva_fanout_slow_queries_total", "Fan-out queries at or above the slow-query threshold.", nil)
+	s.dur = reg.Histogram("iva_fanout_query_duration_seconds", "End-to-end fan-out search latency.", nil, nil)
+	reg.GaugeFunc("iva_shards", "Number of partitions.", nil, func() float64 { return float64(len(s.shards)) })
+}
+
+// shardOpts prepares shard i's options: its own subdirectory-independent
+// settings plus the shared observability plumbing.
+func shardOpts(opts Options, reg *obs.Registry, log *obs.QueryLog, i int) Options {
+	opts.obsReg = reg
+	opts.obsLog = log
+	opts.obsLabels = obs.Labels{"shard": strconv.Itoa(i)}
+	return opts
 }
 
 // ShardStride separates shard id spaces inside a global TID.
@@ -30,30 +61,36 @@ func CreateSharded(dir string, n int, opts Options) (*Sharded, error) {
 		return nil, fmt.Errorf("iva: shard count %d out of range", n)
 	}
 	s := &Sharded{}
+	reg := obs.NewRegistry()
+	log := obs.NewQueryLog(opts.withDefaults().SlowQueryThreshold, opts.withDefaults().SlowQueryLogSize)
 	for i := 0; i < n; i++ {
 		sub := ""
 		if dir != "" {
 			sub = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 		}
-		st, err := Create(sub, opts)
+		st, err := Create(sub, shardOpts(opts, reg, log, i))
 		if err != nil {
 			return nil, err
 		}
 		s.shards = append(s.shards, st)
 	}
+	s.initObs(reg, log)
 	return s, nil
 }
 
 // OpenSharded reopens a partition previously created with CreateSharded.
 func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
 	s := &Sharded{}
+	reg := obs.NewRegistry()
+	log := obs.NewQueryLog(opts.withDefaults().SlowQueryThreshold, opts.withDefaults().SlowQueryLogSize)
 	for i := 0; i < n; i++ {
-		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), opts)
+		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), shardOpts(opts, reg, log, i))
 		if err != nil {
 			return nil, err
 		}
 		s.shards = append(s.shards, st)
 	}
+	s.initObs(reg, log)
 	return s, nil
 }
 
@@ -126,12 +163,20 @@ func (s *Sharded) Update(global TID, row Row) (TID, error) {
 // Search runs the query on every shard in parallel and merges the per-shard
 // top-k pools into the global top-k. Each shard's answer is exact, so the
 // merge is exact too.
+//
+// The returned QueryStats aggregate the whole fan-out: work and I/O
+// counters are summed, wall times are the slowest shard's (shards run
+// concurrently, so the critical path is the maximum), and the per-shard
+// breakdown is kept in QueryStats.Shards. A fan-out at or above the
+// slow-query threshold is logged once, with one child span per shard.
 func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 	type shardOut struct {
 		res   []Result
 		stats QueryStats
 		err   error
 	}
+	root := obs.StartSpan("fanout")
+	root.SetInt("shards", int64(len(s.shards)))
 	outs := make([]shardOut, len(s.shards))
 	var wg sync.WaitGroup
 	for i, st := range s.shards {
@@ -139,22 +184,28 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 		go func(i int, st *Store) {
 			defer wg.Done()
 			// Queries are stateless request descriptions; shards share one.
-			outs[i].res, outs[i].stats, outs[i].err = st.Search(q)
+			outs[i].res, outs[i].stats, outs[i].err = st.search(q, root)
 		}(i, st)
 	}
 	wg.Wait()
+	root.End()
 
 	var agg QueryStats
+	agg.Shards = make([]QueryStats, len(outs))
 	var all []Result
 	for i, o := range outs {
 		if o.err != nil {
-			return nil, agg, fmt.Errorf("iva: shard %d: %w", i, o.err)
+			return nil, QueryStats{}, fmt.Errorf("iva: shard %d: %w", i, o.err)
 		}
 		for _, r := range o.res {
 			all = append(all, Result{TID: s.join(i, r.TID), Dist: r.Dist})
 		}
+		agg.Shards[i] = o.stats
 		agg.Scanned += o.stats.Scanned
 		agg.TableAccesses += o.stats.TableAccesses
+		agg.CacheHits += o.stats.CacheHits
+		agg.PhysReads += o.stats.PhysReads
+		agg.DiskCostMS += o.stats.DiskCostMS
 		// Shards run concurrently: the critical path is the slowest shard.
 		if o.stats.FilterTime > agg.FilterTime {
 			agg.FilterTime = o.stats.FilterTime
@@ -162,6 +213,11 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 		if o.stats.RefineTime > agg.RefineTime {
 			agg.RefineTime = o.stats.RefineTime
 		}
+	}
+	s.queries.Inc()
+	s.dur.Observe(root.Duration().Seconds())
+	if s.slowLog.Observe(q.describe(), root.Duration(), root) {
+		s.slow.Inc()
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Dist != all[j].Dist {
@@ -175,6 +231,21 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 	return all, agg, nil
 }
 
+// WriteMetrics serializes the partition's shared registry — every shard's
+// series under its shard label plus the fan-out aggregates — in the
+// Prometheus text exposition format.
+func (s *Sharded) WriteMetrics(w io.Writer) error { return s.reg.WritePrometheus(w) }
+
+// MetricsText returns WriteMetrics output as a string.
+func (s *Sharded) MetricsText() string { return s.reg.Text() }
+
+// WriteSlowQueries serializes the partition's slow-query log as JSON; a
+// slow fan-out entry's trace holds one child span per shard.
+func (s *Sharded) WriteSlowQueries(w io.Writer) error { return s.slowLog.WriteJSON(w) }
+
+// SlowQueryCount reports how many fan-out queries met the slow threshold.
+func (s *Sharded) SlowQueryCount() int64 { return s.slowLog.Total() }
+
 // Stats sums per-shard statistics.
 func (s *Sharded) Stats() StoreStats {
 	var agg StoreStats
@@ -185,6 +256,7 @@ func (s *Sharded) Stats() StoreStats {
 		agg.TableBytes += ss.TableBytes
 		agg.IndexBytes += ss.IndexBytes
 		agg.Rebuilds += ss.Rebuilds
+		agg.IO = agg.IO.Add(ss.IO)
 		if ss.Attributes > agg.Attributes {
 			agg.Attributes = ss.Attributes
 		}

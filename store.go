@@ -3,6 +3,7 @@ package iva
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"github.com/sparsewide/iva/internal/core"
 	"github.com/sparsewide/iva/internal/metric"
 	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/obs"
 	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/table"
 )
@@ -55,6 +57,18 @@ type Options struct {
 	// choices and packed widths are all re-derived as the data grows.
 	// Default 2 (amortized-constant doubling); negative disables.
 	GrowthRebuildFactor float64
+	// SlowQueryThreshold enables the slow-query log: queries whose wall
+	// time meets the threshold are captured with their full per-term trace
+	// (see WriteSlowQueries). Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize caps the retained slow-query entries (default 64).
+	SlowQueryLogSize int
+
+	// Set by CreateSharded/OpenSharded so every shard publishes into one
+	// registry and slow-query log under a per-shard label.
+	obsReg    *obs.Registry
+	obsLog    *obs.QueryLog
+	obsLabels obs.Labels
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +95,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GrowthRebuildFactor == 0 {
 		o.GrowthRebuildFactor = 2
+	}
+	if o.SlowQueryLogSize == 0 {
+		o.SlowQueryLogSize = 64
 	}
 	return o
 }
@@ -109,6 +126,87 @@ type Store struct {
 	builtTuples int64 // live count at the last (re)build
 	tidHeadroom int64 // extra id-space hint for the next (re)build
 	closed      bool
+
+	reg     *obs.Registry
+	slowLog *obs.QueryLog
+	disk    storage.DiskModel
+	om      storeMetrics
+}
+
+// storeMetrics caches the store's registry handles so the hot path never
+// takes the registry lock.
+type storeMetrics struct {
+	queries     *obs.Counter
+	queryErrs   *obs.Counter
+	slowQueries *obs.Counter
+	inserts     *obs.Counter
+	deletes     *obs.Counter
+	updates     *obs.Counter
+	rebuilds    *obs.Counter
+	scanned     *obs.Counter
+	accesses    *obs.Counter
+	queryDur    *obs.Histogram
+	filterDur   *obs.Histogram
+	refineDur   *obs.Histogram
+}
+
+// initObs wires the store into its metrics registry and slow-query log
+// (shared ones when the store is a shard, private ones otherwise).
+func (s *Store) initObs() {
+	s.reg = s.opts.obsReg
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.slowLog = s.opts.obsLog
+	if s.slowLog == nil {
+		s.slowLog = obs.NewQueryLog(s.opts.SlowQueryThreshold, s.opts.SlowQueryLogSize)
+	}
+	s.disk = storage.DefaultDiskModel()
+	labels := s.opts.obsLabels
+
+	s.pool.RegisterPoolMetrics(s.reg, labels, s.disk)
+
+	s.om = storeMetrics{
+		queries:     s.reg.Counter("iva_queries_total", "Search queries served.", labels),
+		queryErrs:   s.reg.Counter("iva_query_errors_total", "Search queries that returned an error.", labels),
+		slowQueries: s.reg.Counter("iva_slow_queries_total", "Queries at or above the slow-query threshold.", labels),
+		inserts:     s.reg.Counter("iva_inserts_total", "Tuples inserted.", labels),
+		deletes:     s.reg.Counter("iva_deletes_total", "Tuples deleted.", labels),
+		updates:     s.reg.Counter("iva_updates_total", "Tuples updated.", labels),
+		rebuilds:    s.reg.Counter("iva_rebuilds_total", "Table/index file rebuilds.", labels),
+		scanned:     s.reg.Counter("iva_query_scanned_tuples_total", "Tuple-list entries filtered across all queries.", labels),
+		accesses:    s.reg.Counter("iva_query_table_accesses_total", "Random table-file accesses across all queries.", labels),
+		queryDur:    s.reg.Histogram("iva_query_duration_seconds", "End-to-end search latency.", labels, nil),
+		filterDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
+			obs.With(labels, "phase", "filter"), nil),
+		refineDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
+			obs.With(labels, "phase", "refine"), nil),
+	}
+
+	// Store-shape gauges read live under the engine lock at scrape time.
+	s.reg.GaugeFunc("iva_tuples_live", "Live tuples in the store.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.tbl.Live())
+	})
+	s.reg.GaugeFunc("iva_tuples_deleted", "Tombstoned tuples awaiting cleaning.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.ix.Deleted())
+	})
+	s.reg.GaugeFunc("iva_attributes", "Registered attributes.", labels, func() float64 {
+		return float64(s.cat.NumAttrs())
+	})
+	s.reg.GaugeFunc("iva_table_bytes", "Table file size.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.tbl.Bytes())
+	})
+	s.reg.GaugeFunc("iva_index_bytes", "iVA-file size.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.ix.SizeBytes())
+	})
 }
 
 const (
@@ -165,6 +263,7 @@ func Create(dir string, opts Options) (*Store, error) {
 	if err := s.buildMetric(); err != nil {
 		return nil, err
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -203,6 +302,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.buildMetric(); err != nil {
 		return nil, err
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -285,6 +385,7 @@ func (s *Store) Insert(row Row) (TID, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.om.inserts.Inc()
 	if err := s.maybeGrowthRebuild(); err != nil {
 		return 0, err
 	}
@@ -342,6 +443,7 @@ func (s *Store) InsertBatch(rows []Row) ([]TID, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.om.inserts.Add(int64(len(tids)))
 	if err := s.maybeGrowthRebuild(); err != nil {
 		return nil, err
 	}
@@ -363,6 +465,7 @@ func (s *Store) Delete(tid TID) error {
 		}
 		return err
 	}
+	s.om.deletes.Inc()
 	if s.opts.CleanThreshold > 0 && s.ix.DeletedFraction() >= s.opts.CleanThreshold {
 		return s.rebuildLocked()
 	}
@@ -400,6 +503,7 @@ func (s *Store) Update(tid TID, row Row) (TID, error) {
 	} else if err := s.maybeGrowthRebuild(); err != nil {
 		return 0, err
 	}
+	s.om.updates.Inc()
 	return TID(newTID), nil
 }
 
@@ -435,16 +539,47 @@ type QueryStats struct {
 	// index and checking candidates in the table file.
 	FilterTime time.Duration
 	RefineTime time.Duration
+	// CacheHits and PhysReads split the query's page requests between the
+	// buffer pool and the device, and DiskCostMS prices the physical I/O
+	// under the 2009-HDD disk model — the machine-independent cost the
+	// paper's figures reason about.
+	CacheHits  int64
+	PhysReads  int64
+	DiskCostMS float64
+	// Shards holds the per-shard breakdown when the query ran on a
+	// Sharded store (nil on a single store). The top-level counters are
+	// sums; the times are the slowest shard's (the critical path).
+	Shards []QueryStats
 }
 
 // Search answers a top-k structured similarity query. Unknown attribute
 // names are treated as undefined everywhere (every tuple gets the ndf
 // penalty on them).
+//
+// Every search is traced (a handful of spans per query) and feeds the
+// store's metrics registry; a query at or above Options.SlowQueryThreshold
+// is captured in the slow-query log with its full per-term trace.
 func (s *Store) Search(q *Query) ([]Result, QueryStats, error) {
+	return s.search(q, nil)
+}
+
+// search runs one query under a trace span. A non-nil parent adopts the
+// query's trace (the sharded fan-out), and then the slow-query decision is
+// the parent's: only root queries are logged, so a slow fan-out appears once
+// with its per-shard children rather than once per shard.
+func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error) {
 	var qs QueryStats
 	if q.err != nil {
 		return nil, qs, q.err
 	}
+	sp := obs.StartSpan("query")
+	parent.Adopt(sp)
+	if shard, ok := s.opts.obsLabels["shard"]; ok {
+		sp.SetStr("shard", shard)
+	}
+	sp.SetInt("k", int64(q.k))
+
+	plan := sp.Child("plan")
 	mq := &model.Query{K: q.k}
 	for _, t := range q.terms {
 		id, ok := s.cat.Lookup(t.attr)
@@ -460,24 +595,63 @@ func (s *Store) Search(q *Query) ([]Result, QueryStats, error) {
 			Attr: id, Kind: t.kind.internal(), Num: t.num, Str: t.str, Weight: t.weight,
 		})
 	}
+	plan.SetInt("terms", int64(len(mq.Terms)))
+	plan.End()
+
 	s.engineMu.RLock()
-	defer s.engineMu.RUnlock()
-	res, st, err := s.ix.Search(mq, s.met)
+	res, st, err := s.ix.SearchTraced(mq, s.met, sp)
+	s.engineMu.RUnlock()
+	sp.End()
 	if err != nil {
+		s.om.queryErrs.Inc()
 		return nil, qs, err
 	}
+
+	io := st.FilterIO.Add(st.RefineIO)
 	qs = QueryStats{
 		Scanned:       st.Scanned,
 		TableAccesses: st.TableAccesses,
 		FilterTime:    st.FilterWall,
 		RefineTime:    st.RefineWall,
+		CacheHits:     io.CacheHits,
+		PhysReads:     io.PhysReads,
+		DiskCostMS:    s.disk.CostMS(io),
 	}
+	s.om.queries.Inc()
+	s.om.scanned.Add(st.Scanned)
+	s.om.accesses.Add(st.TableAccesses)
+	s.om.queryDur.Observe(sp.Duration().Seconds())
+	s.om.filterDur.Observe(st.FilterWall.Seconds())
+	s.om.refineDur.Observe(st.RefineWall.Seconds())
+	if parent == nil && s.slowLog.Observe(q.describe(), sp.Duration(), sp) {
+		s.om.slowQueries.Inc()
+	}
+
 	out := make([]Result, len(res))
 	for i, r := range res {
 		out[i] = Result{TID: TID(r.TID), Dist: r.Dist}
 	}
 	return out, qs, nil
 }
+
+// WriteMetrics serializes every metric of the store's registry in the
+// Prometheus text exposition format (text/plain; version=0.0.4): query
+// latency and per-phase histograms, insert/delete/rebuild counters, buffer
+// pool cache and seq/near/rand I/O counters, modeled disk cost, and the
+// store-shape gauges. On a shard it writes the whole partition's registry.
+func (s *Store) WriteMetrics(w io.Writer) error { return s.reg.WritePrometheus(w) }
+
+// MetricsText returns WriteMetrics output as a string.
+func (s *Store) MetricsText() string { return s.reg.Text() }
+
+// WriteSlowQueries serializes the slow-query log, newest first, as a JSON
+// array of {time, query, duration_ms, trace} objects where trace is the full
+// span tree of the offending query (filter with per-term children, refine,
+// fetch). The log is empty unless Options.SlowQueryThreshold is set.
+func (s *Store) WriteSlowQueries(w io.Writer) error { return s.slowLog.WriteJSON(w) }
+
+// SlowQueryCount reports how many queries ever met the slow-query threshold.
+func (s *Store) SlowQueryCount() int64 { return s.slowLog.Total() }
 
 // Rebuild rewrites the table and index files, dropping tombstones and
 // re-deriving numeric domains and list layouts. It is called automatically
@@ -530,8 +704,41 @@ func (s *Store) rebuildLocked() error {
 		}
 	}
 	s.rebuilds++
+	s.om.rebuilds.Inc()
 	s.builtTuples = s.tbl.Live()
 	return nil
+}
+
+// IOStats are the buffer pool's cumulative physical-I/O counters, with
+// reads broken down by the paper's seq/near/rand access classes.
+type IOStats struct {
+	PhysReads  int64
+	PhysWrites int64
+	CacheHits  int64
+	SeqReads   int64
+	NearReads  int64
+	RandReads  int64
+}
+
+// HitRate returns the fraction of page requests served by the cache.
+func (a IOStats) HitRate() float64 {
+	total := a.CacheHits + a.PhysReads
+	if total == 0 {
+		return 0
+	}
+	return float64(a.CacheHits) / float64(total)
+}
+
+// Add returns the counter-wise sum a+b.
+func (a IOStats) Add(b IOStats) IOStats {
+	return IOStats{
+		PhysReads:  a.PhysReads + b.PhysReads,
+		PhysWrites: a.PhysWrites + b.PhysWrites,
+		CacheHits:  a.CacheHits + b.CacheHits,
+		SeqReads:   a.SeqReads + b.SeqReads,
+		NearReads:  a.NearReads + b.NearReads,
+		RandReads:  a.RandReads + b.RandReads,
+	}
 }
 
 // StoreStats summarize the store's current shape.
@@ -542,12 +749,14 @@ type StoreStats struct {
 	TableBytes int64
 	IndexBytes int64
 	Rebuilds   int64
+	IO         IOStats // buffer pool counters over the store's lifetime
 }
 
 // Stats returns current store statistics.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	snap := s.pool.Stats().Snapshot()
 	return StoreStats{
 		Tuples:     s.tbl.Live(),
 		Deleted:    s.ix.Deleted(),
@@ -555,6 +764,14 @@ func (s *Store) Stats() StoreStats {
 		TableBytes: s.tbl.Bytes(),
 		IndexBytes: s.ix.SizeBytes(),
 		Rebuilds:   s.rebuilds,
+		IO: IOStats{
+			PhysReads:  snap.PhysReads,
+			PhysWrites: snap.PhysWrites,
+			CacheHits:  snap.CacheHits,
+			SeqReads:   snap.SeqReads,
+			NearReads:  snap.NearReads,
+			RandReads:  snap.RandReads,
+		},
 	}
 }
 

@@ -28,6 +28,7 @@ package iva
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/sparsewide/iva/internal/model"
 )
@@ -150,6 +151,20 @@ func (q *Query) add(t queryTerm) *Query {
 	}
 	q.terms = append(q.terms, t)
 	return q
+}
+
+// describe renders the query for the slow-query log and traces.
+func (q *Query) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d", q.k)
+	for _, t := range q.terms {
+		if t.kind == Numeric {
+			fmt.Fprintf(&b, " %s=%g", t.attr, t.num)
+		} else {
+			fmt.Fprintf(&b, " %s=%q", t.attr, t.str)
+		}
+	}
+	return b.String()
 }
 
 // K returns the query's k.
