@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ivabench [-exp name|all] [-tuples N] [-seed S] [-markdown] [-list] [-metrics FILE]
+//	ivabench [-exp name|all] [-tuples N] [-seed S] [-parallelism P] [-markdown] [-list] [-metrics FILE]
 //
 // Examples:
 //
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		par      = flag.Int("parallelism", 1, "iVA-file search workers: 1 = sequential (the paper's setup), 0 = all cores")
 		metrics  = flag.String("metrics", "", "after the run, dump the harness registry in Prometheus text format to FILE ('-' for stdout)")
 	)
 	flag.Parse()
@@ -40,7 +42,10 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.Config{Tuples: *tuples, Seed: *seed}
+	cfg := bench.Config{Tuples: *tuples, Seed: *seed, Parallelism: *par}
+	if *par == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
 
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -41,6 +41,9 @@ type Config struct {
 	Alpha      float64 // default 0.20
 	N          int     // default 2
 	Seed       int64   // default 42
+	// Parallelism is the iVA-file's SearchParallelism: 0 uses all cores,
+	// 1 forces the sequential plan (the paper's single-threaded setup).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +70,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	// The paper's experiments are single-threaded; defaulting to the
+	// sequential plan keeps the machine-independent counts (Fig. 8)
+	// stable across hosts. ivabench -parallelism opts in.
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -97,7 +106,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		Pool: storage.NewPool(cfg.PageSize, cfg.CacheBytes),
 		Disk: storage.DefaultDiskModel(),
 	}
-	e.labels = obs.Labels{"env": fmt.Sprintf("t%d-s%d-a%g-n%d", cfg.Tuples, cfg.Seed, cfg.Alpha, cfg.N)}
+	e.labels = obs.Labels{"env": fmt.Sprintf("t%d-s%d-a%g-n%d-p%d", cfg.Tuples, cfg.Seed, cfg.Alpha, cfg.N, cfg.Parallelism)}
 	e.Pool.RegisterPoolMetrics(Reg, e.labels, e.Disk)
 	e.Gen = dataset.New(dataset.Config{
 		Tuples:    cfg.Tuples,
@@ -115,7 +124,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		return nil, err
 	}
 	if e.IVA, err = core.Build(tbl, storage.NewFile(e.Pool, storage.NewMemDevice()),
-		core.Options{Alpha: cfg.Alpha, N: cfg.N}); err != nil {
+		core.Options{Alpha: cfg.Alpha, N: cfg.N, SearchParallelism: cfg.Parallelism}); err != nil {
 		return nil, err
 	}
 	if e.SII, err = invidx.Build(tbl, storage.NewFile(e.Pool, storage.NewMemDevice()),
@@ -131,6 +140,9 @@ func NewEnv(cfg Config) (*Env, error) {
 // RebuildIVA replaces the iVA-file with one built under different options
 // (α and n sweeps reuse the same table and dataset).
 func (e *Env) RebuildIVA(opts core.Options) error {
+	if opts.SearchParallelism == 0 {
+		opts.SearchParallelism = e.Cfg.Parallelism
+	}
 	ix, err := core.Build(e.Tbl, storage.NewFile(e.Pool, storage.NewMemDevice()), opts)
 	if err != nil {
 		return err

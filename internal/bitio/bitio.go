@@ -11,6 +11,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -153,12 +154,29 @@ func (r *Reader) ReadBit() (uint, error) {
 
 // ReadBits reads `width` bits (≤64) MSB-first and returns them in the low
 // bits of the result.
+//
+// The hot path assembles up to 9 bytes into one 64-bit word instead of
+// looping byte by byte; the loop remains only for reads near the end of the
+// buffer where a full word load would run past it.
 func (r *Reader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("bitio: invalid width %d", width))
 	}
 	if r.pos+width > r.nbit {
 		return 0, ErrShortBuffer
+	}
+	i := r.pos >> 3
+	if off := r.pos & 7; i+9 <= len(r.buf) {
+		x := binary.BigEndian.Uint64(r.buf[i:])
+		if off > 0 {
+			x = x<<off | uint64(r.buf[i+8])>>(8-off)
+		}
+		r.pos += width
+		return x >> (64 - width), nil
+	} else if off+width <= 64 && i+8 <= len(r.buf) {
+		x := binary.BigEndian.Uint64(r.buf[i:]) << off
+		r.pos += width
+		return x >> (64 - width), nil
 	}
 	var v uint64
 	for width > 0 {

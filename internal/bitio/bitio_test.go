@@ -226,6 +226,42 @@ func BenchmarkWriteBits(b *testing.B) {
 	}
 }
 
+func TestReadBitsNearBufferTail(t *testing.T) {
+	// The word-at-a-time fast path loads up to 9 bytes; reads whose fields
+	// end inside the last few bytes must fall back to the per-byte loop and
+	// still decode the same values.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		var w Writer
+		var fields []struct {
+			v     uint64
+			width int
+		}
+		// Short buffers: every field sits within 9 bytes of the end.
+		total := 0
+		for total < 40 {
+			width := 1 + rng.Intn(40)
+			v := rng.Uint64() & (1<<uint(width) - 1)
+			w.WriteBits(v, width)
+			fields = append(fields, struct {
+				v     uint64
+				width int
+			}{v, width})
+			total += width
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i, f := range fields {
+			got, err := r.ReadBits(f.width)
+			if err != nil {
+				t.Fatalf("trial %d field %d: %v", trial, i, err)
+			}
+			if got != f.v {
+				t.Fatalf("trial %d field %d: got %x want %x (width %d)", trial, i, got, f.v, f.width)
+			}
+		}
+	}
+}
+
 func BenchmarkReadBits(b *testing.B) {
 	var w Writer
 	for i := 0; i < 4096; i++ {
@@ -238,5 +274,31 @@ func BenchmarkReadBits(b *testing.B) {
 			r.Seek(0)
 		}
 		r.ReadBits(17)
+	}
+}
+
+func BenchmarkReadWords(b *testing.B) {
+	const width = 192 // three words per signature
+	rng := rand.New(rand.NewSource(31))
+	var w Writer
+	w.WriteBits(0b10110, 5) // misalign every subsequent word read
+	sig := make([]uint64, 3)
+	for i := 0; i < 2048; i++ {
+		for j := range sig {
+			sig[j] = rng.Uint64()
+		}
+		w.WriteWords(sig, width)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	dst := make([]uint64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < width {
+			r.Seek(0)
+			r.Skip(5)
+		}
+		if err := r.ReadWords(dst, width); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

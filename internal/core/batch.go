@@ -83,9 +83,26 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 		}
 		return err
 	}
+	// Stripe boundaries crossed by the batch: snapshot resume offsets while
+	// encoding, since each attribute's offset at a boundary is its committed
+	// length plus the bits encoded for earlier tuples of this batch.
+	startPos := int64(len(ix.entries))
+	type ckptSnap struct {
+		pos  int64
+		offs []int64
+	}
+	var snaps []ckptSnap
 	for i, values := range batch {
 		if len(values) == 0 {
 			return nil, fmt.Errorf("core: empty tuple at batch index %d", i)
+		}
+		if pos := startPos + int64(i); pos%ix.ckptEvery == 0 && ix.checkpointsEnabled() {
+			snaps = append(snaps, ckptSnap{pos, ix.currentAttrOffsets(func(a int) int64 {
+				if w, ok := writers[model.AttrID(a)]; ok {
+					return int64(w.Len())
+				}
+				return 0
+			})})
 		}
 		tid := firstTID + model.TID(i)
 		for a, v := range values {
@@ -113,7 +130,6 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 	// Commit: table records first, then the index tails, each once.
 	tids := make([]model.TID, len(batch))
 	var tw bitio.Writer
-	startPos := int64(len(ix.entries))
 	type entryAdd struct {
 		tid model.TID
 		ptr int64
@@ -152,6 +168,9 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 		if st.bitLen, err = storage.AppendBits(ix.segs, st.chain, st.bitLen, w.Bytes(), w.Len()); err != nil {
 			return nil, err
 		}
+	}
+	for _, s := range snaps {
+		ix.recordCheckpoint(s.pos, s.offs)
 	}
 	return tids, nil
 }

@@ -63,6 +63,10 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 	if ix.attrChain, err = segs.Create(); err != nil {
 		return nil, err
 	}
+	if ix.ckptChain, err = segs.Create(); err != nil {
+		return nil, err
+	}
+	ix.ckptEvery = opts.CheckpointEvery
 
 	// Lay out one vector list per attribute.
 	infos := tbl.Catalog().Attrs()
@@ -115,6 +119,13 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 			return fmt.Errorf("core: table offset %d exceeds %d ptr bits", ptr, ptrBits)
 		}
 		pos := int64(len(ix.entries))
+		if pos%ix.ckptEvery == 0 {
+			// Stripe boundary: each attribute's next element header sits at
+			// its flushed length plus whatever the builder still buffers.
+			ix.recordCheckpoint(pos, ix.currentAttrOffsets(func(a int) int64 {
+				return int64(builders[a].w.Len())
+			}))
+		}
 		tupleW.WriteBits(uint64(tp.TID), ix.ltid)
 		tupleW.WriteBits(uint64(ptr), ptrBits)
 		if tupleW.Len() >= flushThreshold {

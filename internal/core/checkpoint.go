@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+// Stripe checkpoints cut the tuple list into fixed-width stripes so that the
+// parallel filter plan can open cursors in the middle of every list. A
+// checkpoint for tuple-list position P records, per attribute, the bit
+// offset of the next unconsumed element header in that attribute's vector
+// list — the "normalized" resume point: never mid-element, and never a
+// frozen read-ahead header, so a fresh cursor seeked there decodes exactly
+// the elements belonging to positions ≥ P. The tuple list itself needs no
+// recorded offset: its elements are fixed-width, so position P lives at bit
+// P·(ltid+ptrBits).
+//
+// Checkpoints are recorded while lists are written (Build, Insert,
+// InsertBatch) and persisted in their own segment chain (see FORMAT.md §
+// checkpoint chain); deletions tombstone in place and leave them intact.
+
+// defaultCheckpointEvery is the stripe width in tuple-list entries. At the
+// paper's scales a stripe is a few hundred KiB of vector-list bits — coarse
+// enough that checkpoint storage is negligible, fine enough that any worker
+// pool load-balances well.
+const defaultCheckpointEvery = 2048
+
+// checkpoint is the resume state for one stripe boundary.
+type checkpoint struct {
+	// attrOff[a] is the bit offset of the next unconsumed element header in
+	// attribute a's vector list. Attributes registered after the checkpoint
+	// was recorded are absent (treated as offset 0, correct because their
+	// lists hold only later tuples' elements).
+	attrOff []int64
+}
+
+// attrOffset returns the resume offset of attribute a at this checkpoint.
+func (c checkpoint) attrOffset(a int) int64 {
+	if a < len(c.attrOff) {
+		return c.attrOff[a]
+	}
+	return 0
+}
+
+// checkpointsEnabled reports whether this index records checkpoints (false
+// for indexes opened from a v1 file, until their next rebuild).
+func (ix *Index) checkpointsEnabled() bool { return ix.ckptChain != storage.NoSegment }
+
+// recordCheckpoint appends the checkpoint for the stripe starting at the
+// given tuple-list position. offs must be the per-attribute normalized
+// offsets at that boundary. Caller holds ix.mu.
+func (ix *Index) recordCheckpoint(pos int64, offs []int64) {
+	if !ix.checkpointsEnabled() {
+		return
+	}
+	if want := pos / ix.ckptEvery; int64(len(ix.ckpts)) != want {
+		// Defensive: a gap would make stripe s resolve to the wrong record.
+		// Disable the parallel plan rather than scan from wrong offsets.
+		ix.ckptChain = storage.NoSegment
+		ix.ckpts = nil
+		return
+	}
+	ix.ckpts = append(ix.ckpts, checkpoint{attrOff: offs})
+}
+
+// currentAttrOffsets snapshots each attribute's committed bit length — the
+// normalized resume offsets at the current tail. extra(a) adds the bits an
+// in-flight writer holds for attribute a beyond the committed length; nil
+// means no pending bits.
+func (ix *Index) currentAttrOffsets(extra func(a int) int64) []int64 {
+	offs := make([]int64, len(ix.attrs))
+	for a := range ix.attrs {
+		offs[a] = ix.attrs[a].bitLen
+		if extra != nil {
+			offs[a] += extra(a)
+		}
+	}
+	return offs
+}
+
+// --- persistence -----------------------------------------------------------
+
+// Checkpoint chain layout (little-endian, byte-aligned):
+//
+//	u32 count
+//	count × record: u32 nattrs | nattrs × u64 attrOff
+func (ix *Index) writeCheckpoints() error {
+	if !ix.checkpointsEnabled() {
+		return nil
+	}
+	size := 4
+	for _, c := range ix.ckpts {
+		size += 4 + 8*len(c.attrOff)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(ix.ckpts)))
+	p := 4
+	for _, c := range ix.ckpts {
+		binary.LittleEndian.PutUint32(buf[p:], uint32(len(c.attrOff)))
+		p += 4
+		for _, off := range c.attrOff {
+			binary.LittleEndian.PutUint64(buf[p:], uint64(off))
+			p += 8
+		}
+	}
+	return ix.segs.WriteAt(ix.ckptChain, buf, 0)
+}
+
+func (ix *Index) readCheckpoints() error {
+	if !ix.checkpointsEnabled() {
+		return nil
+	}
+	var hdr [4]byte
+	if err := ix.segs.ReadAt(ix.ckptChain, hdr[:], 0); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[:]))
+	ix.ckpts = make([]checkpoint, 0, count)
+	off := int64(4)
+	for i := 0; i < count; i++ {
+		var nb [4]byte
+		if err := ix.segs.ReadAt(ix.ckptChain, nb[:], off); err != nil {
+			return err
+		}
+		nattrs := int(binary.LittleEndian.Uint32(nb[:]))
+		if nattrs > len(ix.attrs) {
+			return fmt.Errorf("core: checkpoint %d references %d attrs, index has %d", i, nattrs, len(ix.attrs))
+		}
+		off += 4
+		body := make([]byte, 8*nattrs)
+		if err := ix.segs.ReadAt(ix.ckptChain, body, off); err != nil {
+			return err
+		}
+		off += int64(len(body))
+		offs := make([]int64, nattrs)
+		for a := 0; a < nattrs; a++ {
+			offs[a] = int64(binary.LittleEndian.Uint64(body[a*8:]))
+		}
+		ix.ckpts = append(ix.ckpts, checkpoint{attrOff: offs})
+	}
+	return nil
+}

@@ -46,12 +46,20 @@ type Explain struct {
 	Terms        []TermExplain
 }
 
-// ExplainSearch runs q with instrumentation (see Explain).
+// ExplainSearch runs q with instrumentation (see Explain). Both passes use
+// the sequential plan: Explain's counters describe the canonical Algorithm 1
+// admission sequence, which the parallel plan only has to match in results.
 func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	if m == nil {
 		m = metric.Default()
 	}
-	res, stats, err := ix.Search(q, m) // warm pass for the result itself
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	res, stats, err := ix.searchSequential(q, m, nil) // warm pass for the result itself
 	if err != nil {
 		return nil, err
 	}
@@ -59,9 +67,6 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 	if len(res) > 0 {
 		ex.PoolMaxFinal = res[len(res)-1].Dist
 	}
-
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 
 	terms := make([]termState, len(q.Terms))
 	ex.Terms = make([]TermExplain, len(q.Terms))

@@ -60,6 +60,12 @@ type Options struct {
 	// paper's attribute-list element allows (§III-D stores α per
 	// attribute). Attributes absent from the map use the global Alpha.
 	AlphaOverride map[model.AttrID]float64
+	// SearchParallelism is the worker count of the striped filter plan.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces the sequential plan.
+	SearchParallelism int
+	// CheckpointEvery is the stripe width: a resumable checkpoint is
+	// recorded every CheckpointEvery tuple-list entries. Default 2048.
+	CheckpointEvery int64
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AbsDomainBound == 0 {
 		o.AbsDomainBound = math.MaxInt32
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = defaultCheckpointEvery
 	}
 	return o
 }
@@ -109,8 +118,8 @@ var ErrNotFound = errors.New("core: tuple not found")
 const (
 	superblockSize = 4096
 	indexMagic     = 0x69564146 // "iVAF"
-	indexVersion   = 1
-	ptrBits        = 40 // table offsets up to 1 TiB
+	indexVersion   = 2          // v2 added the checkpoint chain; v1 still opens
+	ptrBits        = 40         // table offsets up to 1 TiB
 )
 
 // tombstonePtr marks a deleted tuple in the tuple list.
@@ -150,6 +159,13 @@ type Index struct {
 	entries    []tupleEntry
 	posByTID   map[model.TID]int64
 	deleted    int64
+
+	// Stripe checkpoints for the parallel filter plan. ckptChain is
+	// NoSegment for indexes opened from a v1 file, which disables both
+	// checkpoint recording and the parallel plan.
+	ckptChain storage.ChainID
+	ckptEvery int64
+	ckpts     []checkpoint
 }
 
 // Table returns the table the index is bound to.
@@ -314,6 +330,8 @@ func (ix *Index) writeSuperblock() error {
 	binary.LittleEndian.PutUint32(b[56:], uint32(len(ix.attrs)))
 	binary.LittleEndian.PutUint32(b[60:], uint32(ix.opts.NumericBytes))
 	binary.LittleEndian.PutUint32(b[64:], uint32(ix.opts.SegmentSize))
+	binary.LittleEndian.PutUint32(b[68:], uint32(ix.ckptChain))
+	binary.LittleEndian.PutUint32(b[72:], uint32(ix.ckptEvery))
 	return ix.f.WriteAt(b[:], 0)
 }
 
@@ -393,11 +411,15 @@ func (ix *Index) readAttrList(n int) error {
 	return nil
 }
 
-// Sync checkpoints all metadata (superblock, attribute list) and flushes.
+// Sync checkpoints all metadata (superblock, attribute list, stripe
+// checkpoints) and flushes.
 func (ix *Index) Sync() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if err := ix.writeAttrList(); err != nil {
+		return err
+	}
+	if err := ix.writeCheckpoints(); err != nil {
 		return err
 	}
 	if err := ix.writeSuperblock(); err != nil {
@@ -416,8 +438,9 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	if binary.LittleEndian.Uint32(b[0:]) != indexMagic {
 		return nil, fmt.Errorf("core: bad index magic")
 	}
-	if v := binary.LittleEndian.Uint32(b[4:]); v != indexVersion {
-		return nil, fmt.Errorf("core: index version %d unsupported", v)
+	version := binary.LittleEndian.Uint32(b[4:])
+	if version < 1 || version > indexVersion {
+		return nil, fmt.Errorf("core: index version %d unsupported", version)
 	}
 	opts.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
 	opts.N = int(binary.LittleEndian.Uint32(b[16:]))
@@ -449,10 +472,23 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	}
 	entryCount := int64(binary.LittleEndian.Uint64(b[36:]))
 	nattrs := int(binary.LittleEndian.Uint32(b[56:]))
+	// v1 files predate stripe checkpoints: recording and the parallel plan
+	// stay off for them until the next rebuild writes a v2 file.
+	ix.ckptChain = storage.NoSegment
+	ix.ckptEvery = opts.CheckpointEvery
+	if version >= 2 {
+		ix.ckptChain = storage.ChainID(binary.LittleEndian.Uint32(b[68:]))
+		if every := int64(binary.LittleEndian.Uint32(b[72:])); every > 0 {
+			ix.ckptEvery = every
+		}
+	}
 	if err := ix.readAttrList(nattrs); err != nil {
 		return nil, err
 	}
 	if err := ix.loadTupleList(entryCount); err != nil {
+		return nil, err
+	}
+	if err := ix.readCheckpoints(); err != nil {
 		return nil, err
 	}
 	return ix, nil

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/obs"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/topk"
+	"github.com/sparsewide/iva/internal/vector"
+)
+
+// The striped filter plan. The tuple list is cut into stripes of ckptEvery
+// entries; workers claim stripes from a shared counter, open their own
+// cursors at the stripe's checkpoint, scan with a private top-k pool and do
+// their own refine fetches. A shared admission bar (the smallest full-pool
+// max distance published by any worker) lets one stripe's tight bound prune
+// the others.
+//
+// Determinism: the result is byte-identical to the sequential plan under any
+// worker count and scheduling. The top-k pool orders pairs by the total
+// lexicographic (dist, tid) order — admission, eviction and the tid-aware
+// fetch gate (AdmitsPair) all use it — so a pool holds exactly the k
+// lex-smallest pairs of whatever subset was offered to it, independent of
+// offer order: a candidate rejected at scan time was lex-beaten by k pool
+// members at that moment, and the pool's k-th bound only tightens afterward.
+// Each worker's pool is thus the exact top-k of its stripes, the global k
+// smallest pairs are contained in the union of the local pools, and the lex
+// merge reproduces the sequential answer. The shared bar prunes only on
+// est > bar (strictly): such a tuple's exact distance exceeds the max of some
+// full pool, i.e. k pairs of strictly smaller distance exist, so it can never
+// appear in the answer regardless of tid ties. See DESIGN.md.
+
+// distBar is an atomic global admission bar over float64 distances.
+type distBar struct{ bits atomic.Uint64 }
+
+func (b *distBar) init()         { b.bits.Store(math.Float64bits(math.Inf(1))) }
+func (b *distBar) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// lower CAS-min-publishes d.
+func (b *distBar) lower(d float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(d)) {
+			return
+		}
+	}
+}
+
+// workerScratch holds the allocation-heavy per-worker state reused across
+// queries via a sync.Pool: the bit readers carry 64 KiB read-ahead windows
+// each, which dominate a worker's setup cost.
+type workerScratch struct {
+	tupleRd *storage.ChainBitReader
+	termRds []*storage.ChainBitReader
+	diffs   []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &workerScratch{} }}
+
+// stripeWorker is one goroutine of the parallel plan.
+type stripeWorker struct {
+	ix    *Index
+	q     *model.Query
+	m     *metric.Metric
+	terms []termState // private copies: counters and cursors are per-worker
+	pool  *topk.Pool
+	bar   *distBar
+	next  *atomic.Int64 // shared stripe claim counter
+	abort *atomic.Bool
+
+	scratch *workerScratch
+
+	scanned    int64
+	fetched    int64
+	refineWall time.Duration
+	fetchWall  time.Duration
+	busyWall   time.Duration
+	err        error
+}
+
+// searchParallel executes the striped plan with par workers. Caller holds
+// ix.mu.RLock and has verified parallelEligible.
+func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Span, par int) ([]model.Result, SearchStats, error) {
+	var stats SearchStats
+	nstripes := len(ix.ckpts)
+	if par > nstripes {
+		par = nstripes
+	}
+	idxIO := ix.segs.File().IOStats()
+	tblIO := ix.tbl.IOStats()
+	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()
+	wallStart := time.Now()
+
+	shared, err := ix.prepareTerms(q)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var bar distBar
+	bar.init()
+	var next atomic.Int64
+	var abort atomic.Bool
+	workers := make([]*stripeWorker, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		terms := make([]termState, len(shared))
+		copy(terms, shared) // st and qs shared, counters/cursor per worker
+		sw := &stripeWorker{
+			ix: ix, q: q, m: m, terms: terms,
+			pool: topk.New(q.K), bar: &bar, next: &next, abort: &abort,
+			scratch: scratchPool.Get().(*workerScratch),
+		}
+		workers[w] = sw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw.run(nstripes)
+		}()
+	}
+	wg.Wait()
+
+	merged := make([]termState, len(shared))
+	copy(merged, shared)
+	var sumBusy, sumRefine, sumFetch time.Duration
+	for _, sw := range workers {
+		sw.scratch.release()
+		if sw.err != nil && err == nil {
+			err = sw.err
+		}
+		stats.Scanned += sw.scanned
+		stats.TableAccesses += sw.fetched
+		sumBusy += sw.busyWall
+		sumRefine += sw.refineWall
+		sumFetch += sw.fetchWall
+		for i := range merged {
+			merged[i].defined += sw.terms[i].defined
+			merged[i].ndf += sw.terms[i].ndf
+			merged[i].pruned += sw.terms[i].pruned
+		}
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+
+	results := mergeWorkerPools(workers, q.K)
+	total := time.Since(wallStart)
+	// Workers overlap in real time, so their phase durations are CPU sums;
+	// apportion the elapsed wall by the refine share of total busy time so
+	// that FilterWall + RefineWall still equals the query's wall clock.
+	if sumBusy > 0 {
+		stats.RefineWall = time.Duration(float64(total) * float64(sumRefine) / float64(sumBusy))
+	}
+	stats.FilterWall = total - stats.RefineWall
+	stats.FilterIO = idxIO.Snapshot().Sub(startIdx)
+	stats.RefineIO = tblIO.Snapshot().Sub(startTbl)
+	if parent != nil {
+		fetchWall := stats.RefineWall
+		if sumRefine > 0 {
+			fetchWall = time.Duration(float64(stats.RefineWall) * float64(sumFetch) / float64(sumRefine))
+		}
+		ix.traceSearch(parent, merged, stats, stats.TableAccesses, fetchWall, par, nstripes)
+	}
+	return results, stats, nil
+}
+
+// mergeWorkerPools concatenates the per-worker pools and keeps the k
+// lexicographically-smallest (dist, tid) pairs — the deterministic merge.
+func mergeWorkerPools(workers []*stripeWorker, k int) []model.Result {
+	var all []model.Result
+	for _, sw := range workers {
+		all = append(all, sw.pool.Results()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].TID < all[j].TID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func (sw *stripeWorker) run(nstripes int) {
+	start := time.Now()
+	defer func() { sw.busyWall = time.Since(start) }()
+	for {
+		s := sw.next.Add(1) - 1
+		if s >= int64(nstripes) || sw.abort.Load() {
+			return
+		}
+		if err := sw.scanStripe(s); err != nil {
+			sw.err = err
+			sw.abort.Store(true)
+			return
+		}
+	}
+}
+
+// scanStripe runs the Algorithm 1 loop over stripe s, resuming every cursor
+// from the stripe's checkpoint.
+func (sw *stripeWorker) scanStripe(s int64) error {
+	ix := sw.ix
+	startPos := s * ix.ckptEvery
+	endPos := startPos + ix.ckptEvery
+	if n := int64(len(ix.entries)); endPos > n {
+		endPos = n
+	}
+	ck := ix.ckpts[s]
+
+	sc := sw.scratch
+	if sc.tupleRd == nil {
+		sc.tupleRd = storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	} else {
+		sc.tupleRd.Reset(ix.segs, ix.tupleChain, ix.tupleBits)
+	}
+	tr := sc.tupleRd
+	if err := tr.SeekBit(startPos * int64(ix.elemBits())); err != nil {
+		return err
+	}
+	for i := range sw.terms {
+		ts := &sw.terms[i]
+		if ts.st == nil {
+			continue
+		}
+		for len(sc.termRds) <= i {
+			sc.termRds = append(sc.termRds, nil)
+		}
+		if sc.termRds[i] == nil {
+			sc.termRds[i] = storage.NewChainBitReader(ix.segs, ts.st.chain, ts.st.bitLen)
+		} else {
+			sc.termRds[i].Reset(ix.segs, ts.st.chain, ts.st.bitLen)
+		}
+		cur, err := vector.NewCursorAt(ts.st.layout, sc.termRds[i],
+			ck.attrOffset(int(ts.term.Attr)), startPos)
+		if err != nil {
+			return err
+		}
+		cur.EnableScratch()
+		ts.cursor = cur
+	}
+	if cap(sc.diffs) < len(sw.terms) {
+		sc.diffs = make([]float64, len(sw.terms))
+	}
+	diffs := sc.diffs[:len(sw.terms)]
+
+	m, q, pool := sw.m, sw.q, sw.pool
+	for pos := startPos; pos < endPos; pos++ {
+		tidBits, err := tr.ReadBits(ix.ltid)
+		if err != nil {
+			return err
+		}
+		ptrBitsVal, err := tr.ReadBits(ptrBits)
+		if err != nil {
+			return err
+		}
+		if ptrBitsVal == tombstonePtr {
+			continue
+		}
+		tid := model.TID(tidBits)
+		sw.scanned++
+
+		for i := range sw.terms {
+			d, ndf, err := sw.terms[i].estimateInfo(m, tid, pos)
+			if err != nil {
+				return err
+			}
+			if ndf {
+				sw.terms[i].ndf++
+			} else {
+				sw.terms[i].defined++
+			}
+			diffs[i] = d
+		}
+		estDist := m.Distance(q.Terms, diffs)
+		// Local bar first (the sequential admission rule on this worker's
+		// subset), then the shared bar — strictly, so a distance tie can
+		// still be resolved by tid at the merge.
+		if !pool.AdmitsPair(tid, estDist) || estDist > sw.bar.load() {
+			if len(sw.terms) > 0 {
+				argmax := 0
+				for i := 1; i < len(diffs); i++ {
+					if diffs[i] > diffs[argmax] {
+						argmax = i
+					}
+				}
+				sw.terms[argmax].pruned++
+			}
+			continue
+		}
+
+		rStart := time.Now()
+		tp, err := ix.tbl.Fetch(int64(ptrBitsVal))
+		if err != nil {
+			return err
+		}
+		sw.fetchWall += time.Since(rStart)
+		sw.fetched++
+		actual := m.TupleDistance(q, tp)
+		pool.Insert(tid, actual)
+		if pool.Full() {
+			sw.bar.lower(pool.MaxDist())
+		}
+		sw.refineWall += time.Since(rStart)
+	}
+	return nil
+}
+
+// release returns the scratch to the pool, dropping nothing: the readers'
+// windows are the point of reuse.
+func (sc *workerScratch) release() { scratchPool.Put(sc) }

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// stripedFixture builds a fixture small stripes wide enough for the parallel
+// plan, with tombstones straddling several stripe boundaries.
+func stripedFixture(t testing.TB, tuples int, every int64, seed int64) *fixture {
+	fx := newFixture(t, tuples, Options{CheckpointEvery: every, TIDHeadroom: 1 << 20}, seed)
+	if !fx.ix.parallelEligible() {
+		t.Fatalf("fixture not parallel-eligible: %d ckpts over %d entries", len(fx.ix.ckpts), len(fx.ix.entries))
+	}
+	return fx
+}
+
+// straddleDeletes tombstones the tuples on both sides of every stripe
+// boundary, so workers see stripes that begin and end in deleted runs.
+func straddleDeletes(t testing.TB, fx *fixture) {
+	t.Helper()
+	every := fx.ix.ckptEvery
+	for b := every; b < int64(len(fx.ix.entries)); b += every {
+		for _, tid := range []model.TID{model.TID(b - 1), model.TID(b), model.TID(b + 1)} {
+			if err := fx.ix.Delete(tid); err != nil && err != ErrNotFound {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// fixtureMetrics is the equivalence matrix: every combiner crossed with both
+// weighting schemes.
+func fixtureMetrics(fx *fixture) map[string]*metric.Metric {
+	cat := fx.tbl.Catalog()
+	itf := func() metric.Weighter {
+		return metric.NewITF(fx.tbl.Live, func(a model.AttrID) int64 {
+			info, _ := cat.Info(a)
+			return info.DF
+		})
+	}
+	return map[string]*metric.Metric{
+		"L1/EQU":   metric.New(metric.L1{}, metric.Equal{}),
+		"L2/EQU":   metric.New(metric.L2{}, metric.Equal{}),
+		"Linf/EQU": metric.New(metric.LInf{}, metric.Equal{}),
+		"L1/ITF":   metric.New(metric.L1{}, itf()),
+		"L2/ITF":   metric.New(metric.L2{}, itf()),
+		"Linf/ITF": metric.New(metric.LInf{}, itf()),
+	}
+}
+
+// identicalResults demands byte-identical answers: same tids in the same
+// order with exactly equal distances.
+func identicalResults(a, b []model.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TID != b[i].TID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequential is the randomized equivalence suite: the
+// parallel plan must return byte-identical results to the sequential plan
+// under every metric/weighting pair, with identical Scanned counts, on a
+// fixture whose tombstones straddle stripe boundaries.
+func TestParallelMatchesSequential(t *testing.T) {
+	fx := stripedFixture(t, 3000, 256, 301)
+	straddleDeletes(t, fx)
+	for name, m := range fixtureMetrics(fx) {
+		for trial := 0; trial < 8; trial++ {
+			q := fx.randQuery(t, 1+fx.rng.Intn(3), 1+fx.rng.Intn(10))
+			fx.ix.mu.RLock()
+			seq, seqStats, seqErr := fx.ix.searchSequential(q, m, nil)
+			fx.ix.mu.RUnlock()
+			if seqErr != nil {
+				t.Fatalf("%s trial %d: sequential: %v", name, trial, seqErr)
+			}
+			for _, par := range []int{2, 4, 8} {
+				fx.ix.mu.RLock()
+				got, stats, err := fx.ix.searchParallel(q, m, nil, par)
+				fx.ix.mu.RUnlock()
+				if err != nil {
+					t.Fatalf("%s trial %d par %d: %v", name, trial, par, err)
+				}
+				if !identicalResults(got, seq) {
+					t.Fatalf("%s trial %d par %d: results differ\n got %v\nwant %v\nquery %+v",
+						name, trial, par, got, seq, q)
+				}
+				if stats.Scanned != seqStats.Scanned {
+					t.Fatalf("%s trial %d par %d: scanned %d, sequential %d",
+						name, trial, par, stats.Scanned, seqStats.Scanned)
+				}
+			}
+			// Brute force anchors both plans to the ground truth.
+			if want := bruteForce(t, fx, q, m); !sameDistances(seq, want) {
+				t.Fatalf("%s trial %d: sequential diverged from brute force", name, trial)
+			}
+		}
+	}
+}
+
+// TestParallelOneWorkerFullStatsEquality pins the checkpoint resume logic: a
+// single worker claims stripes in order and carries one pool across them, so
+// its admission sequence — and with it every counter, including the fetch
+// count — must be exactly the sequential plan's.
+func TestParallelOneWorkerFullStatsEquality(t *testing.T) {
+	fx := stripedFixture(t, 2000, 128, 302)
+	straddleDeletes(t, fx)
+	for name, m := range fixtureMetrics(fx) {
+		for trial := 0; trial < 6; trial++ {
+			q := fx.randQuery(t, 2, 5)
+			fx.ix.mu.RLock()
+			seq, seqStats, err1 := fx.ix.searchSequential(q, m, nil)
+			got, stats, err2 := fx.ix.searchParallel(q, m, nil, 1)
+			fx.ix.mu.RUnlock()
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s trial %d: %v / %v", name, trial, err1, err2)
+			}
+			if !identicalResults(got, seq) {
+				t.Fatalf("%s trial %d: results differ", name, trial)
+			}
+			if stats.Scanned != seqStats.Scanned || stats.TableAccesses != seqStats.TableAccesses {
+				t.Fatalf("%s trial %d: stats differ: scanned %d/%d accesses %d/%d",
+					name, trial, stats.Scanned, seqStats.Scanned,
+					stats.TableAccesses, seqStats.TableAccesses)
+			}
+		}
+	}
+}
+
+// TestParallelAfterUpdates drives checkpoints through the update paths:
+// single inserts and a boundary-crossing batch must both extend the stripe
+// set, and the parallel plan must keep matching afterwards.
+func TestParallelAfterUpdates(t *testing.T) {
+	fx := newFixture(t, 300, Options{CheckpointEvery: 128, TIDHeadroom: 1 << 20}, 303)
+	for i := 0; i < 150; i++ {
+		if _, err := fx.ix.Insert(fx.randValues()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]map[model.AttrID]model.Value, 600)
+	for i := range batch {
+		batch[i] = fx.randValues()
+	}
+	if _, err := fx.ix.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if !fx.ix.checkpointsEnabled() {
+		t.Fatal("updates disabled checkpoints")
+	}
+	if got, want := int64(len(fx.ix.ckpts)), (int64(len(fx.ix.entries))-1)/fx.ix.ckptEvery+1; got != want {
+		t.Fatalf("checkpoints after updates: %d, want %d", got, want)
+	}
+	straddleDeletes(t, fx)
+	m := metric.Default()
+	for trial := 0; trial < 10; trial++ {
+		q := fx.randQuery(t, 2, 8)
+		fx.ix.mu.RLock()
+		seq, _, err1 := fx.ix.searchSequential(q, m, nil)
+		got, _, err2 := fx.ix.searchParallel(q, m, nil, 4)
+		fx.ix.mu.RUnlock()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		if !identicalResults(got, seq) {
+			t.Fatalf("trial %d after updates: plans differ\n got %v\nwant %v", trial, got, seq)
+		}
+		if want := bruteForce(t, fx, q, m); !sameDistances(seq, want) {
+			t.Fatalf("trial %d: diverged from brute force", trial)
+		}
+	}
+}
+
+// TestCheckpointPersistence round-trips checkpoints through Sync and Open:
+// the reopened index must hold the same stripe set and the parallel plan
+// must still match the sequential one.
+func TestCheckpointPersistence(t *testing.T) {
+	pool := storage.NewPool(0, 10<<20)
+	cat := table.NewCatalog()
+	tblDev := storage.NewMemDevice()
+	idxDev := storage.NewMemDevice()
+	tbl, err := table.New(storage.NewFile(pool, tblDev), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cat.AddAttr("name", model.KindText)
+	b, _ := cat.AddAttr("price", model.KindNumeric)
+	for i := 0; i < 1200; i++ {
+		if _, _, err := tbl.Append(map[model.AttrID]model.Value{
+			a: model.Text(words[i%len(words)]),
+			b: model.Num(float64(i % 700)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{CheckpointEvery: 128}
+	ix, err := Build(tbl, storage.NewFile(pool, idxDev), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(storage.NewFile(pool, idxDev), tbl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix2.ckpts) != len(ix.ckpts) {
+		t.Fatalf("reopened checkpoint count: %d, want %d", len(ix2.ckpts), len(ix.ckpts))
+	}
+	for i := range ix.ckpts {
+		if co := ix.ckpts[i].attrOff; len(co) != len(ix2.ckpts[i].attrOff) {
+			t.Fatalf("checkpoint %d width differs", i)
+		} else {
+			for aIdx := range co {
+				if co[aIdx] != ix2.ckpts[i].attrOff[aIdx] {
+					t.Fatalf("checkpoint %d attr %d: %d vs %d", i, aIdx, co[aIdx], ix2.ckpts[i].attrOff[aIdx])
+				}
+			}
+		}
+	}
+	if !ix2.parallelEligible() {
+		t.Fatal("reopened index not parallel-eligible")
+	}
+	m := metric.Default()
+	q := (&model.Query{K: 7}).TextTerm(a, "canon").NumTerm(b, 300)
+	ix2.mu.RLock()
+	seq, _, err1 := ix2.searchSequential(q, m, nil)
+	par, _, err2 := ix2.searchParallel(q, m, nil, 4)
+	ix2.mu.RUnlock()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v / %v", err1, err2)
+	}
+	if !identicalResults(par, seq) {
+		t.Fatalf("reopened parallel plan differs: %v vs %v", par, seq)
+	}
+}
+
+// TestDisabledCheckpointsFallBack simulates a v1 index (no checkpoint chain):
+// dispatch must stay sequential and correct.
+func TestDisabledCheckpointsFallBack(t *testing.T) {
+	fx := newFixture(t, 600, Options{CheckpointEvery: 128, SearchParallelism: 8}, 304)
+	fx.ix.ckptChain = storage.NoSegment
+	fx.ix.ckpts = nil
+	if fx.ix.parallelEligible() {
+		t.Fatal("disabled checkpoints still parallel-eligible")
+	}
+	if got := fx.ix.SearchWorkers(); got != 1 {
+		t.Fatalf("SearchWorkers = %d, want 1", got)
+	}
+	m := metric.Default()
+	q := fx.randQuery(t, 2, 5)
+	got, _, err := fx.ix.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteForce(t, fx, q, m); !sameDistances(got, want) {
+		t.Fatal("sequential fallback diverged from brute force")
+	}
+}
+
+// TestSearchWorkersGaugeValues pins the iva_search_workers gauge source.
+func TestSearchWorkersGaugeValues(t *testing.T) {
+	fx := newFixture(t, 1000, Options{CheckpointEvery: 64, SearchParallelism: 4}, 305)
+	if got := fx.ix.SearchWorkers(); got != 4 {
+		t.Fatalf("SearchWorkers = %d, want 4", got)
+	}
+	fx.ix.opts.SearchParallelism = 1
+	if got := fx.ix.SearchWorkers(); got != 1 {
+		t.Fatalf("SearchWorkers with parallelism 1 = %d, want 1", got)
+	}
+	fx.ix.opts.SearchParallelism = 1 << 20 // clamped to the stripe count
+	if got, n := fx.ix.SearchWorkers(), len(fx.ix.ckpts); got != n {
+		t.Fatalf("SearchWorkers = %d, want stripe count %d", got, n)
+	}
+}
+
+// TestConcurrentSearchUpdate hammers parallel searches against concurrent
+// inserts and deletes; run with -race. Queries and rows are pre-generated so
+// the fixture's rng stays single-threaded.
+func TestConcurrentSearchUpdate(t *testing.T) {
+	fx := stripedFixture(t, 2000, 128, 306)
+	fx.ix.opts.SearchParallelism = 4
+	m := metric.Default()
+	queries := make([]*model.Query, 32)
+	for i := range queries {
+		queries[i] = fx.randQuery(t, 2, 6)
+	}
+	rows := make([]map[model.AttrID]model.Value, 200)
+	for i := range rows {
+		rows[i] = fx.randValues()
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, _, err := fx.ix.Search(queries[(g*7+i)%len(queries)], m); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, row := range rows {
+			if _, err := fx.ix.Insert(row); err != nil {
+				errc <- err
+				return
+			}
+			if i%3 == 0 {
+				if err := fx.ix.Delete(model.TID(i * 5)); err != nil && err != ErrNotFound {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// The index is still coherent after the storm.
+	q := queries[0]
+	got, _, err := fx.ix.Search(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteForce(t, fx, q, m); !sameDistances(got, want) {
+		t.Fatal("post-storm search diverged from brute force")
+	}
+}
+
+// --- benchmarks -------------------------------------------------------------
+
+var (
+	benchFxOnce sync.Once
+	benchFx     *fixture
+	benchQs     []*model.Query
+)
+
+// benchFixture is shared across the plan benchmarks: building it dominates
+// any single measurement.
+func benchFixture(b *testing.B) (*fixture, []*model.Query) {
+	benchFxOnce.Do(func() {
+		benchFx = newFixture(b, 16384, Options{CheckpointEvery: 512}, 400)
+		benchQs = make([]*model.Query, 16)
+		for i := range benchQs {
+			benchQs[i] = benchFx.randQuery(b, 3, 10)
+		}
+	})
+	return benchFx, benchQs
+}
+
+func benchmarkPlan(b *testing.B, par int) {
+	fx, queries := benchFixture(b)
+	m := metric.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		fx.ix.mu.RLock()
+		var err error
+		if par == 0 {
+			_, _, err = fx.ix.searchSequential(q, m, nil)
+		} else {
+			_, _, err = fx.ix.searchParallel(q, m, nil, par)
+		}
+		fx.ix.mu.RUnlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchSequential(b *testing.B) { benchmarkPlan(b, 0) }
+func BenchmarkSearchParallel1(b *testing.B)  { benchmarkPlan(b, 1) }
+func BenchmarkSearchParallel4(b *testing.B)  { benchmarkPlan(b, 4) }
+func BenchmarkSearchParallel8(b *testing.B)  { benchmarkPlan(b, 8) }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"github.com/sparsewide/iva/internal/metric"
@@ -64,40 +65,74 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 //
 // A nil parent makes tracing free (no spans are allocated).
 func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
-	var stats SearchStats
 	if err := q.Validate(); err != nil {
-		return nil, stats, err
+		return nil, SearchStats{}, err
 	}
 	if m == nil {
 		m = metric.Default()
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if par := ix.effectiveParallelism(); par > 1 && ix.parallelEligible() {
+		return ix.searchParallel(q, m, parent, par)
+	}
+	return ix.searchSequential(q, m, parent)
+}
 
-	pstats := ix.f.Pool().Stats()
-	startIO := pstats.Snapshot()
-	startAccesses := ix.tbl.Accesses()
-	wallStart := time.Now()
+// effectiveParallelism resolves Options.SearchParallelism (0 = all cores).
+func (ix *Index) effectiveParallelism() int {
+	if p := ix.opts.SearchParallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
+// SearchWorkers reports how many workers a search dispatched right now would
+// run with: 1 while the index is too small for the striped plan (or it is
+// disabled), the effective parallelism otherwise. It backs the
+// iva_search_workers gauge.
+func (ix *Index) SearchWorkers() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	par := ix.effectiveParallelism()
+	if par <= 1 || !ix.parallelEligible() {
+		return 1
+	}
+	if n := len(ix.ckpts); par > n {
+		par = n
+	}
+	return par
+}
+
+// parallelEligible reports whether the striped plan can run: checkpoints
+// must exist (v2 index) and the tuple list must span at least two full
+// stripes, otherwise the sequential plan is at least as fast.
+func (ix *Index) parallelEligible() bool {
+	return ix.checkpointsEnabled() && len(ix.ckpts) >= 2 &&
+		int64(len(ix.entries)) >= 2*ix.ckptEvery
+}
+
+// prepareTerms resolves the query terms against the attribute list and
+// builds the shared per-term query state (codecs, query strings). Cursors
+// are not opened here: the sequential plan opens one per term, the parallel
+// plan one per term per stripe. Caller holds ix.mu.RLock.
+func (ix *Index) prepareTerms(q *model.Query) ([]termState, error) {
 	terms := make([]termState, len(q.Terms))
 	for i, term := range q.Terms {
 		ts := termState{term: term}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
 			if st.layout.Kind != term.Kind {
-				return nil, stats, fmt.Errorf("core: query term on attribute %d is %v, attribute is %v",
+				return nil, fmt.Errorf("core: query term on attribute %d is %v, attribute is %v",
 					term.Attr, term.Kind, st.layout.Kind)
 			}
-			cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
-			if err != nil {
-				return nil, stats, err
-			}
-			ts.st, ts.cursor = st, cur
+			ts.st = st
 		}
 		if term.Kind == model.KindText {
 			// Per-attribute α overrides give attributes their own codecs;
 			// the query string must hash grams under the same parameters
-			// the data strings were encoded with.
+			// the data strings were encoded with. QueryString's mask cache
+			// is copy-on-write, so stripe workers share it without locking.
 			codec := ix.codec
 			if ts.st != nil && ts.st.layout.Codec != nil {
 				codec = ts.st.layout.Codec
@@ -106,11 +141,39 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 		}
 		terms[i] = ts
 	}
+	return terms, nil
+}
+
+// searchSequential is the single-goroutine Algorithm 1 pass. It remains the
+// plan for small indexes, v1 index files (no checkpoints), SearchParallelism
+// = 1, and the instrumented Explain path. Caller holds ix.mu.RLock.
+func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
+	var stats SearchStats
+	idxIO := ix.segs.File().IOStats()
+	tblIO := ix.tbl.IOStats()
+	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()
+	wallStart := time.Now()
+
+	terms, err := ix.prepareTerms(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := range terms {
+		if terms[i].st == nil {
+			continue
+		}
+		st := terms[i].st
+		cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+		if err != nil {
+			return nil, stats, err
+		}
+		cur.EnableScratch()
+		terms[i].cursor = cur
+	}
 
 	pool := topk.New(q.K)
 	diffs := make([]float64, len(terms))
 	var refineWall, fetchWall time.Duration
-	var refineIO storage.Snapshot
 	var fetched int64
 
 	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
@@ -142,7 +205,7 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 			diffs[i] = d
 		}
 		estDist := m.Distance(q.Terms, diffs)
-		if !pool.Admits(estDist) {
+		if !pool.AdmitsPair(tid, estDist) {
 			// Credit the prune to the term with the largest lower bound:
 			// the combiners are monotone, so that term alone pushed the
 			// estimate hardest toward the pool bar.
@@ -160,7 +223,6 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 
 		// Refine: random access to the table file, exact distance.
 		rStart := time.Now()
-		rIO := pstats.Snapshot()
 		tp, err := ix.tbl.Fetch(int64(ptrBitsVal))
 		if err != nil {
 			return nil, stats, err
@@ -169,18 +231,19 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 		fetched++
 		actual := m.TupleDistance(q, tp)
 		pool.Insert(tid, actual)
-		refineIO = refineIO.Add(pstats.Snapshot().Sub(rIO))
 		refineWall += time.Since(rStart)
 	}
 
 	total := time.Since(wallStart)
-	stats.TableAccesses = ix.tbl.Accesses() - startAccesses
+	stats.TableAccesses = fetched
 	stats.RefineWall = refineWall
 	stats.FilterWall = total - refineWall
-	stats.RefineIO = refineIO
-	stats.FilterIO = pstats.Snapshot().Sub(startIO).Sub(refineIO)
+	// Per-file attribution: the filter phase reads only the index file, the
+	// refine phase only the table file.
+	stats.FilterIO = idxIO.Snapshot().Sub(startIdx)
+	stats.RefineIO = tblIO.Snapshot().Sub(startTbl)
 	if parent != nil {
-		ix.traceSearch(parent, terms, stats, fetched, fetchWall)
+		ix.traceSearch(parent, terms, stats, fetched, fetchWall, 1, 1)
 	}
 	return pool.Results(), stats, nil
 }
@@ -188,13 +251,17 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 // traceSearch attaches the filter/refine/fetch span hierarchy for one
 // finished query to parent. The phases interleave in the scan loop, so the
 // spans carry the accumulated phase durations rather than start-to-end
-// times; per-term spans are pure annotation carriers (duration 0).
-func (ix *Index) traceSearch(parent *obs.Span, terms []termState, stats SearchStats, fetched int64, fetchWall time.Duration) {
+// times; per-term spans are pure annotation carriers (duration 0). For the
+// parallel plan, terms carry the counters merged across all workers and
+// workers/stripes describe the executed plan shape.
+func (ix *Index) traceSearch(parent *obs.Span, terms []termState, stats SearchStats, fetched int64, fetchWall time.Duration, workers, stripes int) {
 	fsp := parent.Child("filter")
 	fsp.SetInt("scanned", stats.Scanned)
 	fsp.SetInt("pruned", stats.Scanned-fetched)
 	fsp.SetInt("phys_reads", stats.FilterIO.PhysReads)
 	fsp.SetInt("cache_hits", stats.FilterIO.CacheHits)
+	fsp.SetInt("workers", int64(workers))
+	fsp.SetInt("stripes", int64(stripes))
 	cat := ix.tbl.Catalog()
 	for i := range terms {
 		name := fmt.Sprintf("attr%d", terms[i].term.Attr)
@@ -203,7 +270,9 @@ func (ix *Index) traceSearch(parent *obs.Span, terms []termState, stats SearchSt
 		}
 		tsp := fsp.Child("term:" + name)
 		tsp.SetStr("kind", terms[i].term.Kind.String())
-		tsp.SetInt("scanned", stats.Scanned)
+		// The term's own scan outcome, not the parent span's total: every
+		// scanned tuple is either defined on the attribute or charged ndf.
+		tsp.SetInt("scanned", terms[i].defined+terms[i].ndf)
 		tsp.SetInt("defined", terms[i].defined)
 		tsp.SetInt("ndf", terms[i].ndf)
 		tsp.SetInt("pruned", terms[i].pruned)

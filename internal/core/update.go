@@ -116,6 +116,11 @@ func (ix *Index) Insert(values map[model.AttrID]model.Value) (model.TID, error) 
 		return 0, err
 	}
 	pos := int64(len(ix.entries))
+	if pos%ix.ckptEvery == 0 {
+		// Stripe boundary at this tuple: the vector-list tails, captured
+		// before this tuple's elements land, are the resume offsets.
+		ix.recordCheckpoint(pos, ix.currentAttrOffsets(nil))
+	}
 	ix.entries = append(ix.entries, tupleEntry{tid: tid, ptr: ptr})
 	ix.posByTID[tid] = pos
 	for _, pw := range writes {

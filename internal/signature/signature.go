@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sparsewide/iva/internal/gram"
 )
@@ -200,14 +201,15 @@ func maskSubset(mask, sig []uint64) bool {
 // QueryString pre-processes a query string so that estimating against many
 // signatures is cheap. Signatures of different data-string lengths use
 // different (l,t) hash parameters, so per-(l,t) gram masks are cached
-// lazily as the scan encounters them.
+// lazily as the scan encounters them. The cache is copy-on-write so that
+// concurrent stripe workers estimate lock-free once it is warm.
 type QueryString struct {
 	codec *Codec
 	str   string
 	grams []gramCount
 
-	mu    sync.Mutex
-	masks map[tKey][][]uint64 // (l,t) → mask per gram (parallel to grams)
+	mu    sync.Mutex                          // serializes cache growth
+	masks atomic.Pointer[map[tKey][][]uint64] // (l,t) → mask per gram (parallel to grams)
 }
 
 type gramCount struct {
@@ -222,7 +224,10 @@ func (c *Codec) NewQueryString(sq string) *QueryString {
 	for g, a := range set {
 		grams = append(grams, gramCount{g, a})
 	}
-	return &QueryString{codec: c, str: sq, grams: grams, masks: make(map[tKey][][]uint64)}
+	q := &QueryString{codec: c, str: sq, grams: grams}
+	empty := make(map[tKey][][]uint64)
+	q.masks.Store(&empty)
+	return q
 }
 
 // Str returns the query string.
@@ -230,16 +235,25 @@ func (q *QueryString) Str() string { return q.str }
 
 func (q *QueryString) masksFor(l, t int) [][]uint64 {
 	key := tKey{l, t}
+	if ms, ok := (*q.masks.Load())[key]; ok {
+		return ms
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if ms, ok := q.masks[key]; ok {
+	cur := *q.masks.Load()
+	if ms, ok := cur[key]; ok {
 		return ms
 	}
 	ms := make([][]uint64, len(q.grams))
 	for i, gc := range q.grams {
 		ms[i] = hashMask(gc.g, l, t)
 	}
-	q.masks[key] = ms
+	next := make(map[tKey][][]uint64, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = ms
+	q.masks.Store(&next)
 	return ms
 }
 

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 )
 
@@ -28,6 +29,14 @@ const DefaultWindow = 64 << 10
 // NewChainBitReader returns a reader over the first bitLen bits of chain c.
 func NewChainBitReader(s *SegStore, c ChainID, bitLen int64) *ChainBitReader {
 	return &ChainBitReader{s: s, c: c, bitLen: bitLen, buf: make([]byte, DefaultWindow), bufStart: -1}
+}
+
+// Reset rebinds the reader to a (possibly different) chain at bit position 0,
+// keeping the window buffer. Parallel scan workers use it to reopen cursors
+// at stripe checkpoints without reallocating the read-ahead window.
+func (r *ChainBitReader) Reset(s *SegStore, c ChainID, bitLen int64) {
+	r.s, r.c, r.bitLen = s, c, bitLen
+	r.bufStart, r.bufLen, r.pos = -1, 0, 0
 }
 
 // BitLen returns the stream length in bits.
@@ -77,12 +86,26 @@ func (r *ChainBitReader) byteAt(byteOff int64) (byte, error) {
 }
 
 // ReadBits reads width (≤64) bits MSB-first.
+//
+// When the buffered window holds the next 9 bytes, the value is assembled
+// with one unaligned-safe 64-bit load instead of the per-byte loop — the
+// word-at-a-time fast path the tuple-list and vector-list scans live on.
 func (r *ChainBitReader) ReadBits(width int) (uint64, error) {
 	if width < 0 || width > 64 {
 		panic(fmt.Sprintf("storage: invalid bit width %d", width))
 	}
 	if r.pos+int64(width) > r.bitLen {
 		return 0, fmt.Errorf("storage: bit read past end (pos=%d width=%d len=%d)", r.pos, width, r.bitLen)
+	}
+	if byteOff := r.pos >> 3; r.bufStart >= 0 && byteOff >= r.bufStart &&
+		byteOff+9 <= r.bufStart+int64(r.bufLen) {
+		b := r.buf[byteOff-r.bufStart:]
+		x := binary.BigEndian.Uint64(b)
+		if off := r.pos & 7; off > 0 {
+			x = x<<off | uint64(b[8])>>(8-off)
+		}
+		r.pos += int64(width)
+		return x >> (64 - uint(width)), nil
 	}
 	var v uint64
 	for width > 0 {

@@ -9,9 +9,10 @@ import (
 // buffer pool. All reads and writes above the device layer use File so that
 // every experiment's I/O is counted and cached uniformly.
 type File struct {
-	pool *Pool
-	dev  Device
-	id   uint32
+	pool  *Pool
+	dev   Device
+	id    uint32
+	stats *Stats // this file's share of the pool counters
 
 	mu   sync.Mutex
 	size int64 // logical size in bytes (may trail the device page tail)
@@ -21,11 +22,17 @@ type File struct {
 // starts at the device size.
 func NewFile(pool *Pool, dev Device) *File {
 	id := pool.Register(dev)
-	return &File{pool: pool, dev: dev, id: id, size: dev.Size()}
+	return &File{pool: pool, dev: dev, id: id, stats: pool.FileStats(id), size: dev.Size()}
 }
 
 // Pool returns the buffer pool the file is attached to.
 func (f *File) Pool() *Pool { return f.pool }
+
+// IOStats returns the I/O counters attributed to this file alone. Query
+// plans snapshot these around the filter and refine phases; because the
+// counters are per-file and atomic, the attribution stays exact with any
+// number of concurrent readers.
+func (f *File) IOStats() *Stats { return f.stats }
 
 // Size returns the logical file size in bytes.
 func (f *File) Size() int64 {
@@ -53,11 +60,10 @@ func (f *File) ReadAt(p []byte, off int64) error {
 	for len(p) > 0 {
 		page := off / ps
 		in := off % ps
-		data, err := f.pool.readPage(f.id, page)
+		n, err := f.pool.readInto(f.id, page, int(in), p)
 		if err != nil {
 			return err
 		}
-		n := copy(p, data[in:])
 		p = p[n:]
 		off += int64(n)
 	}
@@ -83,12 +89,10 @@ func (f *File) WriteAt(p []byte, off int64) error {
 		if in == 0 && n == int(ps) {
 			buf = p[:n]
 		} else {
-			data, err := f.pool.readPage(f.id, page)
-			if err != nil {
+			buf = make([]byte, ps)
+			if _, err := f.pool.readInto(f.id, page, 0, buf); err != nil {
 				return err
 			}
-			buf = make([]byte, ps)
-			copy(buf, data)
 			copy(buf[in:], p[:n])
 		}
 		if err := f.pool.writePage(f.id, page, buf[:ps:ps]); err != nil {

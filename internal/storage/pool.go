@@ -41,6 +41,7 @@ type poolPage struct {
 type fileState struct {
 	dev      Device
 	lastRead int64 // last physically read page, -1 initially
+	stats    *Stats
 }
 
 // NewPool returns a pool with the given page size and total cache capacity
@@ -78,8 +79,22 @@ func (p *Pool) Register(dev Device) uint32 {
 	defer p.mu.Unlock()
 	id := p.next
 	p.next++
-	p.files[id] = &fileState{dev: dev, lastRead: -1}
+	p.files[id] = &fileState{dev: dev, lastRead: -1, stats: &Stats{}}
 	return id
+}
+
+// FileStats returns the per-file I/O counters of a registered file, or nil if
+// the id is unknown. The pointer stays valid (and frozen) after Unregister.
+// Query plans use per-file deltas to attribute filter I/O (index file) and
+// refine I/O (table file) exactly, even with several workers reading pages
+// concurrently.
+func (p *Pool) FileStats(id uint32) *Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fs, ok := p.files[id]; ok {
+		return fs.stats
+	}
+	return nil
 }
 
 // Unregister detaches a device, dropping its cached pages. The device is not
@@ -99,30 +114,46 @@ func (p *Pool) Unregister(id uint32) {
 	}
 }
 
-// readPage returns the contents of page `page` of file `id`, loading it from
-// the device on a miss. The returned slice is the cached page; callers must
-// not retain it across other pool calls.
-func (p *Pool) readPage(id uint32, page int64) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// readPageLocked returns the contents of page `page` of file `id`, loading it
+// from the device on a miss. The caller must hold p.mu; the returned slice is
+// the cached page and is only valid while the lock is held (writePage mutates
+// it in place).
+func (p *Pool) readPageLocked(id uint32, page int64) ([]byte, error) {
+	fs, ok := p.files[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown file %d", id)
+	}
 	key := pageKey{id, page}
 	if e, ok := p.pages[key]; ok {
 		p.lru.MoveToFront(e)
 		p.stats.recordHit()
+		fs.stats.recordHit()
 		return e.Value.(*poolPage).data, nil
-	}
-	fs, ok := p.files[id]
-	if !ok {
-		return nil, fmt.Errorf("storage: unknown file %d", id)
 	}
 	data := make([]byte, p.pageSize)
 	if _, err := fs.dev.ReadAt(data, page*int64(p.pageSize)); err != nil {
 		return nil, err
 	}
-	p.stats.recordRead(classifyRead(fs.lastRead, page))
+	c := classifyRead(fs.lastRead, page)
+	p.stats.recordRead(c)
+	fs.stats.recordRead(c)
 	fs.lastRead = page
 	p.insert(key, data)
 	return data, nil
+}
+
+// readInto copies the bytes of page `page` of file `id` starting at in-page
+// offset `in` into dst, returning the number of bytes copied. The copy runs
+// under the pool lock so a concurrent writePage to the same page can never
+// tear it — this is what makes Search safe against concurrent updates.
+func (p *Pool) readInto(id uint32, page int64, in int, dst []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	data, err := p.readPageLocked(id, page)
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, data[in:]), nil
 }
 
 // writePage stores data as page `page` of file `id` and writes it through to
@@ -141,6 +172,7 @@ func (p *Pool) writePage(id uint32, page int64, data []byte) error {
 		return err
 	}
 	p.stats.recordWrite()
+	fs.stats.recordWrite()
 	key := pageKey{id, page}
 	if e, ok := p.pages[key]; ok {
 		copy(e.Value.(*poolPage).data, data)

@@ -63,6 +63,9 @@ func NewSegStore(f *File, base int64, segSize int) (*SegStore, error) {
 // PayloadSize returns the usable bytes per segment.
 func (s *SegStore) PayloadSize() int { return s.segSize - segHeaderLen }
 
+// File returns the file the segments live in (for per-file I/O attribution).
+func (s *SegStore) File() *File { return s.f }
+
 // SegmentSize returns the full segment size including its header.
 func (s *SegStore) SegmentSize() int { return s.segSize }
 

@@ -2,24 +2,27 @@ package storage
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"github.com/sparsewide/iva/internal/obs"
 )
 
-// Stats accumulates physical I/O counters for a buffer pool. The paper's
-// evaluation reasons about two classes of disk work — sequential scanning of
-// index lists and random accesses into the table file — so physical page
-// reads are classified by whether they continue the previous read position
-// of the same file.
+// Stats accumulates physical I/O counters for a buffer pool or a single file
+// attached to one. The paper's evaluation reasons about two classes of disk
+// work — sequential scanning of index lists and random accesses into the
+// table file — so physical page reads are classified by whether they continue
+// the previous read position of the same file.
+//
+// All counters are atomics: parallel filter workers read pages concurrently,
+// and query plans snapshot per-file counters before and after each phase to
+// attribute I/O without stopping the world.
 type Stats struct {
-	mu         sync.Mutex
-	physReads  int64 // pages read from the device
-	physWrites int64 // pages written to the device
-	cacheHits  int64 // page requests served by the pool
-	seqReads   int64 // physical reads continuing the previous page+1
-	nearReads  int64 // short forward jumps (track-to-track, no full seek)
-	randReads  int64 // physical reads requiring a full positioning seek
+	physReads  atomic.Int64 // pages read from the device
+	physWrites atomic.Int64 // pages written to the device
+	cacheHits  atomic.Int64 // page requests served by the pool
+	seqReads   atomic.Int64 // physical reads continuing the previous page+1
+	nearReads  atomic.Int64 // short forward jumps (track-to-track, no full seek)
+	randReads  atomic.Int64 // physical reads requiring a full positioning seek
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -34,24 +37,24 @@ type Snapshot struct {
 
 // Snapshot returns the current counter values.
 func (s *Stats) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Snapshot{
-		PhysReads:  s.physReads,
-		PhysWrites: s.physWrites,
-		CacheHits:  s.cacheHits,
-		SeqReads:   s.seqReads,
-		NearReads:  s.nearReads,
-		RandReads:  s.randReads,
+		PhysReads:  s.physReads.Load(),
+		PhysWrites: s.physWrites.Load(),
+		CacheHits:  s.cacheHits.Load(),
+		SeqReads:   s.seqReads.Load(),
+		NearReads:  s.nearReads.Load(),
+		RandReads:  s.randReads.Load(),
 	}
 }
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.physReads, s.physWrites, s.cacheHits = 0, 0, 0
-	s.seqReads, s.nearReads, s.randReads = 0, 0, 0
+	s.physReads.Store(0)
+	s.physWrites.Store(0)
+	s.cacheHits.Store(0)
+	s.seqReads.Store(0)
+	s.nearReads.Store(0)
+	s.randReads.Store(0)
 }
 
 // readClass classifies a physical read by its distance from the previous
@@ -81,30 +84,20 @@ func classifyRead(lastPage, page int64) readClass {
 }
 
 func (s *Stats) recordRead(c readClass) {
-	s.mu.Lock()
-	s.physReads++
+	s.physReads.Add(1)
 	switch c {
 	case readSeq:
-		s.seqReads++
+		s.seqReads.Add(1)
 	case readNear:
-		s.nearReads++
+		s.nearReads.Add(1)
 	default:
-		s.randReads++
+		s.randReads.Add(1)
 	}
-	s.mu.Unlock()
 }
 
-func (s *Stats) recordWrite() {
-	s.mu.Lock()
-	s.physWrites++
-	s.mu.Unlock()
-}
+func (s *Stats) recordWrite() { s.physWrites.Add(1) }
 
-func (s *Stats) recordHit() {
-	s.mu.Lock()
-	s.cacheHits++
-	s.mu.Unlock()
-}
+func (s *Stats) recordHit() { s.cacheHits.Add(1) }
 
 // Sub returns the delta a−b, counter-wise.
 func (a Snapshot) Sub(b Snapshot) Snapshot {

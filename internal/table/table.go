@@ -117,6 +117,11 @@ func (t *Table) NextTID() model.TID {
 // Bytes returns the table file's logical size.
 func (t *Table) Bytes() int64 { return t.f.Size() }
 
+// IOStats returns the I/O counters of the table's file. Query plans take
+// per-file deltas around the refine phase so that table-file I/O is
+// attributed exactly even when several workers fetch concurrently.
+func (t *Table) IOStats() *storage.Stats { return t.f.IOStats() }
+
 // Accesses returns the number of random tuple fetches since the last reset.
 func (t *Table) Accesses() int64 { return t.accesses.Load() }
 

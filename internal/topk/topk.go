@@ -2,6 +2,12 @@
 // max-heap of at most k (tid, distance) pairs supporting the three
 // operations Algorithm 1 needs — Size, MaxDist and Insert — plus an ordered
 // extraction for the final answer.
+//
+// The pool orders pairs by the total lexicographic order (dist, tid):
+// distance ties are broken toward the smaller tid in admission and eviction
+// alike. A full pool therefore holds exactly the k lex-smallest pairs ever
+// inserted, independent of insertion order — the invariant that makes the
+// parallel filter plan's merge byte-identical to the sequential scan.
 package topk
 
 import (
@@ -46,16 +52,32 @@ func (p *Pool) MaxDist() float64 {
 }
 
 // Admits reports whether a tuple whose (estimated or actual) distance is d
-// could still enter the pool.
+// could still enter the pool under some tid: true when d is at or below the
+// pool maximum, since a distance tie can be won on the tid tie-break.
 func (p *Pool) Admits(d float64) bool {
-	return !p.Full() || d < p.h[0].Dist
+	return !p.Full() || d <= p.h[0].Dist
 }
 
-// Insert offers a result. If the pool is full and the distance does not beat
-// the current maximum, the pool is unchanged and Insert reports false.
+// AdmitsPair reports whether the exact pair (tid, d) would enter the pool —
+// the tid-aware form of Admits. Gating a fetch on a lower bound with
+// AdmitsPair is safe: if (est, tid) does not lex-beat the pool maximum then
+// (actual, tid) with actual ≥ est cannot either.
+func (p *Pool) AdmitsPair(tid model.TID, d float64) bool {
+	if !p.Full() {
+		return true
+	}
+	if d != p.h[0].Dist {
+		return d < p.h[0].Dist
+	}
+	return tid < p.h[0].TID
+}
+
+// Insert offers a result. If the pool is full and (dist, tid) does not
+// lexicographically beat the current maximum pair, the pool is unchanged and
+// Insert reports false.
 func (p *Pool) Insert(tid model.TID, dist float64) bool {
 	if p.Full() {
-		if dist >= p.h[0].Dist {
+		if !p.AdmitsPair(tid, dist) {
 			return false
 		}
 		p.h[0] = model.Result{TID: tid, Dist: dist}
@@ -80,11 +102,17 @@ func (p *Pool) Results() []model.Result {
 	return out
 }
 
-// resultHeap is a max-heap on Dist.
+// resultHeap is a max-heap on the lexicographic (Dist, TID) order, so the
+// root is the pair any new candidate must beat.
 type resultHeap []model.Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].TID > h[j].TID
+}
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(model.Result)) }
 func (h *resultHeap) Pop() interface{} {

@@ -110,3 +110,49 @@ func TestAdmitsMatchesInsert(t *testing.T) {
 		}
 	}
 }
+
+func TestLexTieBreaks(t *testing.T) {
+	// Distance ties resolve toward the smaller tid in every operation, and
+	// the retained set is order-independent.
+	p := New(2)
+	p.Insert(10, 5)
+	p.Insert(20, 5)
+	if p.Insert(30, 5) {
+		t.Fatal("lex-larger tie accepted")
+	}
+	if !p.AdmitsPair(5, 5) {
+		t.Fatal("lex-smaller tie rejected by AdmitsPair")
+	}
+	if !p.Admits(5) || p.Admits(5.1) {
+		t.Fatal("Admits must be d <= max")
+	}
+	if !p.Insert(5, 5) {
+		t.Fatal("lex-smaller tie rejected by Insert")
+	}
+	res := p.Results()
+	if len(res) != 2 || res[0].TID != 5 || res[1].TID != 10 {
+		t.Fatalf("results = %v, want tids 5,10", res)
+	}
+
+	// Same pairs in every insertion order must retain the same set.
+	pairs := []model.Result{{TID: 4, Dist: 7}, {TID: 9, Dist: 7}, {TID: 1, Dist: 7}, {TID: 6, Dist: 3}, {TID: 2, Dist: 9}}
+	var want []model.Result
+	for perm := 0; perm < 20; perm++ {
+		rng := rand.New(rand.NewSource(int64(perm)))
+		order := rng.Perm(len(pairs))
+		q := New(3)
+		for _, i := range order {
+			q.Insert(pairs[i].TID, pairs[i].Dist)
+		}
+		got := q.Results()
+		if perm == 0 {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("perm %d: %v, want %v", perm, got, want)
+			}
+		}
+	}
+}

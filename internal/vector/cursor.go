@@ -38,6 +38,10 @@ type Cursor struct {
 
 	lastPos int64 // last requested position, for ordering checks
 	started bool
+
+	// Optional signature scratch arena, see EnableScratch.
+	reuse bool
+	arena []uint64
 }
 
 // NewCursor returns a cursor at the start of a list.
@@ -48,6 +52,34 @@ func NewCursor(lay Layout, src BitSource) (*Cursor, error) {
 	return &Cursor{lay: lay, src: src}, nil
 }
 
+// NewCursorAt returns a cursor resuming a list at a stripe checkpoint. off is
+// the bit offset of the next unconsumed element header (the normalized form
+// checkpoints record: never mid-element, never a read-ahead frozen header)
+// and startPos is the tuple-list position the first MoveTo will be at least
+// at. Type IV lists seek absolutely per element, so off is redundant for
+// them but still positioned for uniformity.
+func NewCursorAt(lay Layout, src BitSource, off int64, startPos int64) (*Cursor, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if err := src.SeekBit(off); err != nil {
+		return nil, err
+	}
+	c := &Cursor{lay: lay, src: src, nextPos: startPos}
+	if startPos > 0 {
+		c.started = true
+		c.lastPos = startPos - 1
+	}
+	return c, nil
+}
+
+// EnableScratch makes the cursor decode signature words into a reusable
+// per-cursor arena instead of allocating per signature. The words of the
+// Entry returned by MoveTo then stay valid only until the next MoveTo call —
+// exactly the lifetime the filter loop needs, which estimates a distance
+// bound from the entry and moves on.
+func (c *Cursor) EnableScratch() { c.reuse = true }
+
 // MoveTo synchronizes the cursor with the tuple at tuple-list position pos
 // holding id tid, and returns that tuple's decoded element.
 func (c *Cursor) MoveTo(tid model.TID, pos int64) (Entry, error) {
@@ -56,6 +88,9 @@ func (c *Cursor) MoveTo(tid model.TID, pos int64) (Entry, error) {
 	}
 	c.started = true
 	c.lastPos = pos
+	if c.reuse {
+		c.arena = c.arena[:0] // invalidates the previous MoveTo's entry
+	}
 	switch c.lay.Type {
 	case TypeI:
 		return c.moveTID(tid, false)
@@ -227,11 +262,33 @@ func (c *Cursor) readSig() (signature.Sig, error) {
 		return signature.Sig{}, err
 	}
 	width := c.lay.Codec.SigBits(int(lv))
-	words := make([]uint64, (width+63)/64)
+	words := c.sigWords((width + 63) / 64)
 	if err := c.src.ReadWords(words, width); err != nil {
 		return signature.Sig{}, err
 	}
 	return signature.Sig{Len: int(lv), H: words}, nil
+}
+
+// sigWords returns an nw-word slice for a signature body. With scratch
+// enabled it is carved out of the arena; a grow leaves earlier slices of the
+// same MoveTo pointing at the old backing array, which stays alive through
+// their references.
+func (c *Cursor) sigWords(nw int) []uint64 {
+	if !c.reuse {
+		return make([]uint64, nw)
+	}
+	n := len(c.arena)
+	if cap(c.arena)-n < nw {
+		grow := 2*cap(c.arena) + nw
+		if grow < 64 {
+			grow = 64
+		}
+		na := make([]uint64, n, grow)
+		copy(na, c.arena)
+		c.arena = na
+	}
+	c.arena = c.arena[:n+nw]
+	return c.arena[n : n+nw]
 }
 
 func (c *Cursor) skipSig() error {

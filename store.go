@@ -63,6 +63,11 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLogSize caps the retained slow-query entries (default 64).
 	SlowQueryLogSize int
+	// SearchParallelism caps the worker count of the striped parallel
+	// filter plan. 0 (the default) selects runtime.GOMAXPROCS; 1 forces
+	// the sequential plan. Results are identical either way — the parallel
+	// plan is byte-for-byte deterministic.
+	SearchParallelism int
 
 	// Set by CreateSharded/OpenSharded so every shard publishes into one
 	// registry and slow-query log under a per-shard label.
@@ -207,6 +212,11 @@ func (s *Store) initObs() {
 		defer s.engineMu.RUnlock()
 		return float64(s.ix.SizeBytes())
 	})
+	s.reg.GaugeFunc("iva_search_workers", "Workers a search dispatched now would run with.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.ix.SearchWorkers())
+	})
 }
 
 const (
@@ -218,7 +228,10 @@ const (
 // coreOptions resolves the store options against the current catalog
 // (per-attribute α overrides are keyed by name publicly, by id internally).
 func (s *Store) coreOptions() core.Options {
-	opts := core.Options{Alpha: s.opts.Alpha, N: s.opts.N, TIDHeadroom: s.tidHeadroom}
+	opts := core.Options{
+		Alpha: s.opts.Alpha, N: s.opts.N, TIDHeadroom: s.tidHeadroom,
+		SearchParallelism: s.opts.SearchParallelism,
+	}
 	if len(s.opts.AlphaPerAttr) > 0 {
 		opts.AlphaOverride = make(map[model.AttrID]float64, len(s.opts.AlphaPerAttr))
 		for name, alpha := range s.opts.AlphaPerAttr {
