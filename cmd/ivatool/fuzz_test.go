@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzQueryParse feeds arbitrary strings through the attr=value parsing the
+// query/insert/explain commands share, asserting its invariants: a parse
+// either fails or yields a non-empty attribute and value that re-concatenate
+// to the input, and a row built from any pair list never holds an attribute
+// that no pair mentioned.
+func FuzzQueryParse(f *testing.F) {
+	f.Add("Type=Digital Camera")
+	f.Add("Price=230")
+	f.Add("=")
+	f.Add("noequals")
+	f.Add("a=b=c")
+	f.Add("Industry=Computer\x00Industry=Software")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<10 {
+			return
+		}
+		attr, val, err := splitPair(s)
+		if err != nil {
+			// Rejections must be principled: no '=' separating two
+			// non-empty halves exists at the split point chosen.
+			if i := strings.IndexByte(s, '='); i > 0 && i < len(s)-1 {
+				t.Fatalf("splitPair(%q) rejected a splittable pair", s)
+			}
+			return
+		}
+		if attr == "" || val == "" {
+			t.Fatalf("splitPair(%q) = (%q, %q): empty half accepted", s, attr, val)
+		}
+		if attr+"="+val != s {
+			t.Fatalf("splitPair(%q) = (%q, %q): does not reassemble", s, attr, val)
+		}
+		if strings.ContainsRune(attr, '=') {
+			t.Fatalf("splitPair(%q): attr %q contains '='", s, attr)
+		}
+
+		// The same string repeated must fold into one row attribute, and a
+		// second distinct pair must appear alongside it.
+		row, err := parseRow([]string{s, s, "zz-fuzz-probe=1"})
+		if err != nil {
+			t.Fatalf("parseRow on valid pairs: %v", err)
+		}
+		if _, ok := row[attr]; !ok && attr != "zz-fuzz-probe" {
+			t.Fatalf("parseRow dropped attribute %q", attr)
+		}
+		for name := range row {
+			if name != attr && name != "zz-fuzz-probe" {
+				t.Fatalf("parseRow invented attribute %q from %q", name, s)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@
 //	ivatool -dir DIR delete <tid>
 //	ivatool -dir DIR stats
 //	ivatool -dir DIR rebuild
+//	ivatool -dir DIR check -deep -seed 7 -ops 5000       # integrity check (+ differential oracle)
 //	ivatool -dir DIR demo                                # load a small product catalog
 //	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog
 //
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/oracle"
 )
 
 func main() {
@@ -177,20 +179,7 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		}
 		fmt.Println("rebuilt table and index files")
 	case "check":
-		rep, err := st.Check()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("entries %d, live %d, attributes %d, vectors verified %d\n",
-			rep.Entries, rep.Live, rep.Attributes, rep.VectorElems)
-		if rep.Ok() {
-			fmt.Println("ok")
-			return nil
-		}
-		for _, p := range rep.Problems {
-			fmt.Printf("PROBLEM: %s\n", p)
-		}
-		return fmt.Errorf("%d problems found", len(rep.Problems))
+		return check(st, args)
 	case "attrs":
 		for _, a := range st.Attrs() {
 			if a.DF == 0 {
@@ -203,6 +192,60 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// check runs the structural integrity check and, with -deep, the
+// differential oracle. It always emits one machine-readable summary line
+// (`check: status=... problems=N`) so scripts can grep the outcome, and
+// returns a non-nil error — hence exit status 1 — on any failure.
+func check(st *iva.Store, args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	deep := fs.Bool("deep", false, "also run the differential oracle in a scratch directory")
+	seed := fs.Uint64("seed", 0x1fa5eed, "oracle workload seed (with -deep)")
+	ops := fs.Int("ops", 2000, "oracle operation count (with -deep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := st.Check()
+	if err != nil {
+		fmt.Printf("check: status=error entries=0 live=0 attributes=0 vectors=0 problems=0\n")
+		return err
+	}
+	status := "ok"
+	if !rep.Ok() {
+		status = "fail"
+	}
+	fmt.Printf("check: status=%s entries=%d live=%d attributes=%d vectors=%d problems=%d\n",
+		status, rep.Entries, rep.Live, rep.Attributes, rep.VectorElems, len(rep.Problems))
+	for _, p := range rep.Problems {
+		fmt.Printf("PROBLEM: %s\n", p)
+	}
+	if !rep.Ok() {
+		return fmt.Errorf("%d problems found", len(rep.Problems))
+	}
+	if !*deep {
+		return nil
+	}
+	scratch, err := os.MkdirTemp("", "ivatool-oracle-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	res, oerr := oracle.Run(oracle.Options{
+		Seed: *seed,
+		Ops:  *ops,
+		Dir:  scratch,
+		Logf: func(format string, a ...interface{}) {
+			fmt.Printf(format+"\n", a...)
+		},
+	})
+	dstatus := "ok"
+	if oerr != nil {
+		dstatus = "fail"
+	}
+	fmt.Printf("check: deep=%s seed=%d ops=%d searches=%d comparisons=%d reopens=%d rebuilds=%d\n",
+		dstatus, *seed, res.Ops, res.Searches, res.Comparisons, res.Reopens, res.Rebuilds)
+	return oerr
 }
 
 func parseTID(args []string) (iva.TID, error) {

@@ -63,6 +63,12 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 	if ix.attrChain, err = segs.Create(); err != nil {
 		return nil, err
 	}
+	if ix.attrChainB, err = segs.Create(); err != nil {
+		return nil, err
+	}
+	// Build's final Sync is the file's first commit; start on slot B so it
+	// targets slot A (see Sync's ping-pong rule).
+	ix.attrSlot = 1
 	if ix.ckptChain, err = segs.Create(); err != nil {
 		return nil, err
 	}

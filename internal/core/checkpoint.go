@@ -108,15 +108,30 @@ func (ix *Index) writeCheckpoints() error {
 	return ix.segs.WriteAt(ix.ckptChain, buf, 0)
 }
 
-func (ix *Index) readCheckpoints() error {
+// readCheckpoints loads the checkpoint records. count is the committed
+// record count from a v3 superblock; pass -1 for older files, which keep the
+// count in the chain header. Either way the count is clamped to the stripes
+// the (committed) entry count implies: a torn pre-v3 sync, or a corrupt
+// file, can present a larger chain-header count, and the excess records
+// describe stripes beyond the synced prefix. Records inside the clamp are
+// trustworthy because the chain is append-stable — a rewrite re-serializes
+// old stripes to identical bytes at identical offsets.
+func (ix *Index) readCheckpoints(count int) error {
 	if !ix.checkpointsEnabled() {
 		return nil
 	}
-	var hdr [4]byte
-	if err := ix.segs.ReadAt(ix.ckptChain, hdr[:], 0); err != nil {
-		return err
+	if count < 0 {
+		var hdr [4]byte
+		if err := ix.segs.ReadAt(ix.ckptChain, hdr[:], 0); err != nil {
+			return err
+		}
+		count = int(binary.LittleEndian.Uint32(hdr[:]))
 	}
-	count := int(binary.LittleEndian.Uint32(hdr[:]))
+	// One checkpoint per reached stripe boundary; the clamp also bounds the
+	// pre-allocation below against hostile counts.
+	if maxCkpts := int64(len(ix.entries))/ix.ckptEvery + 1; int64(count) > maxCkpts {
+		count = int(maxCkpts)
+	}
 	ix.ckpts = make([]checkpoint, 0, count)
 	off := int64(4)
 	for i := 0; i < count; i++ {

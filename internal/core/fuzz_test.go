@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// FuzzSuperblock builds a small real store, stomps the fuzzer's bytes over
+// the head of the index device — superblock first, then segment metadata —
+// and re-opens it. Open must either fail with an error or hand back an index
+// whose accessors, Search and Check run without panicking or unbounded
+// allocation: a corrupt or hostile file may be rejected, never trusted.
+func FuzzSuperblock(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Version field (offset 4) raised past the supported range.
+	f.Add([]byte{'i', 'V', 'A', 'f', 0x7f, 0x00, 0x00, 0x00})
+	// Plausible magic with hostile counters behind it.
+	f.Add(append([]byte{'i', 'V', 'A', 'f', 0x03}, make([]byte, 90)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 4096 {
+			return
+		}
+		pool := storage.NewPool(0, 1<<20)
+		tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+		tblF := storage.NewFile(pool, tblDev)
+		idxF := storage.NewFile(pool, idxDev)
+		cat := table.NewCatalog()
+		num, err := cat.AddAttr("n", model.KindNumeric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txt, err := cat.AddAttr("s", model.KindText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := table.New(tblF, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			vals := map[model.AttrID]model.Value{num: model.Num(float64(i))}
+			if i%2 == 0 {
+				vals[txt] = model.Text(fmt.Sprintf("v%d", i), "fuzz")
+			}
+			if _, _, err := tbl.Append(vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tbl.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(tbl, idxF, Options{CheckpointEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ix
+		tblF.Close()
+		idxF.Close()
+
+		// Corrupt the head of the index file and reopen through fresh caches.
+		if _, err := idxDev.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		pool2 := storage.NewPool(0, 1<<20)
+		tblF2 := storage.NewFile(pool2, tblDev)
+		idxF2 := storage.NewFile(pool2, idxDev)
+		defer tblF2.Close()
+		defer idxF2.Close()
+		tbl2, err := table.Open(tblF2, cat)
+		if err != nil {
+			t.Fatal(err) // table device was not touched
+		}
+		ix2, err := Open(idxF2, tbl2, Options{})
+		if err != nil {
+			return // graceful rejection is a correct outcome
+		}
+		// The corruption happened to parse: every read path must still be
+		// panic-free. Errors are acceptable, wrong-but-clean results are
+		// acceptable for a corrupted file; crashes are not.
+		_ = ix2.Entries()
+		_ = ix2.Deleted()
+		q := &model.Query{K: 3}
+		q.NumTerm(num, 5)
+		_, _, _ = ix2.Search(q, nil)
+		_, _ = ix2.Check()
+	})
+}

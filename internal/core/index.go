@@ -117,9 +117,13 @@ var ErrNotFound = errors.New("core: tuple not found")
 
 const (
 	superblockSize = 4096
-	indexMagic     = 0x69564146 // "iVAF"
-	indexVersion   = 2          // v2 added the checkpoint chain; v1 still opens
-	ptrBits        = 40         // table offsets up to 1 TiB
+	indexMagic = 0x69564146 // "iVAF"
+	// v2 added the checkpoint chain; v3 added the shadow attribute-list slot
+	// and moved the authoritative checkpoint count into the superblock so a
+	// torn Sync can never mix new attribute tails with an old superblock.
+	// Older versions still open and are upgraded in place by their next Sync.
+	indexVersion = 3
+	ptrBits      = 40 // table offsets up to 1 TiB
 )
 
 // tombstonePtr marks a deleted tuple in the tuple list.
@@ -153,6 +157,8 @@ type Index struct {
 	mu         sync.RWMutex
 	attrs      []attrState
 	attrChain  storage.ChainID
+	attrChainB storage.ChainID // shadow attribute-list slot (v3; see Sync)
+	attrSlot   int             // slot the last committed superblock points at
 	tupleChain storage.ChainID
 	tupleBits  int64
 	ltid       int
@@ -176,6 +182,16 @@ func (ix *Index) Codec() *signature.Codec { return ix.codec }
 
 // Options returns the build options in effect.
 func (ix *Index) Options() Options { return ix.opts }
+
+// SetSearchParallelism changes the worker cap of the striped filter plan at
+// runtime (0 selects runtime.GOMAXPROCS, 1 forces the sequential plan).
+// Results are identical at any setting; the differential oracle exercises
+// this to prove it.
+func (ix *Index) SetSearchParallelism(p int) {
+	ix.mu.Lock()
+	ix.opts.SearchParallelism = p
+	ix.mu.Unlock()
+}
 
 // SizeBytes returns the index file's size.
 func (ix *Index) SizeBytes() int64 { return ix.f.Size() }
@@ -314,7 +330,9 @@ func chooseLayout(opts Options, codec *signature.Codec, info table.AttrInfo, lti
 
 // --- superblock and attribute-list persistence -----------------------------
 
-func (ix *Index) writeSuperblock() error {
+// writeSuperblock commits the current state, recording slot as the valid
+// attribute-list copy. It is the last write of a Sync (see Sync).
+func (ix *Index) writeSuperblock(slot int) error {
 	var b [superblockSize]byte
 	binary.LittleEndian.PutUint32(b[0:], indexMagic)
 	binary.LittleEndian.PutUint32(b[4:], indexVersion)
@@ -332,13 +350,16 @@ func (ix *Index) writeSuperblock() error {
 	binary.LittleEndian.PutUint32(b[64:], uint32(ix.opts.SegmentSize))
 	binary.LittleEndian.PutUint32(b[68:], uint32(ix.ckptChain))
 	binary.LittleEndian.PutUint32(b[72:], uint32(ix.ckptEvery))
+	binary.LittleEndian.PutUint32(b[76:], uint32(ix.attrChainB))
+	b[80] = byte(slot)
+	binary.LittleEndian.PutUint32(b[84:], uint32(len(ix.ckpts)))
 	return ix.f.WriteAt(b[:], 0)
 }
 
 // attrElemSize is the fixed on-disk size of one attribute-list element.
 const attrElemSize = 64
 
-func (ix *Index) writeAttrList() error {
+func (ix *Index) writeAttrList(chain storage.ChainID) error {
 	buf := make([]byte, attrElemSize*len(ix.attrs))
 	for i, a := range ix.attrs {
 		e := buf[i*attrElemSize:]
@@ -361,12 +382,12 @@ func (ix *Index) writeAttrList() error {
 		}
 		binary.LittleEndian.PutUint64(e[44:], math.Float64bits(a.alpha))
 	}
-	return ix.segs.WriteAt(ix.attrChain, buf, 0)
+	return ix.segs.WriteAt(chain, buf, 0)
 }
 
-func (ix *Index) readAttrList(n int) error {
+func (ix *Index) readAttrList(n int, chain storage.ChainID) error {
 	buf := make([]byte, attrElemSize*n)
-	if err := ix.segs.ReadAt(ix.attrChain, buf, 0); err != nil {
+	if err := ix.segs.ReadAt(chain, buf, 0); err != nil {
 		return err
 	}
 	ix.attrs = make([]attrState, n)
@@ -411,21 +432,56 @@ func (ix *Index) readAttrList(n int) error {
 	return nil
 }
 
-// Sync checkpoints all metadata (superblock, attribute list, stripe
-// checkpoints) and flushes.
+// Sync checkpoints all metadata (attribute list, stripe checkpoints,
+// superblock) and flushes.
+//
+// Crash consistency: the superblock is the single commit point. The
+// attribute list — whose per-attribute bit lengths define how far each
+// vector chain is valid — is written to the slot the committed superblock
+// does NOT reference (ping-pong between attrChain and attrChainB), and the
+// checkpoint chain is append-stable (records for old stripes re-serialize
+// to identical bytes, and the authoritative count lives in the superblock).
+// A crash anywhere before the superblock write therefore leaves the
+// previously committed state fully intact, and the superblock itself is one
+// page-atomic write: reopening always recovers exactly the last synced
+// prefix.
 func (ix *Index) Sync() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if err := ix.writeAttrList(); err != nil {
+	target := 1 - ix.attrSlot
+	if target == 1 && ix.attrChainB == storage.NoSegment {
+		// File predates the shadow slot (v1/v2): allocate it now; the
+		// superblock write below upgrades the file to v3. A crash before
+		// that commit leaves the old superblock pointing at slot 0,
+		// untouched, and the fresh chain unreferenced.
+		chain, err := ix.segs.Create()
+		if err != nil {
+			return err
+		}
+		ix.attrChainB = chain
+	}
+	if err := ix.writeAttrList(ix.slotChain(target)); err != nil {
 		return err
 	}
 	if err := ix.writeCheckpoints(); err != nil {
 		return err
 	}
-	if err := ix.writeSuperblock(); err != nil {
+	if err := ix.writeSuperblock(target); err != nil {
 		return err
 	}
+	// The superblock write is durable in the write-through cache, so the
+	// on-disk commit now references target: flip before Sync so that even if
+	// the flush errors, a retry will not overwrite the committed slot.
+	ix.attrSlot = target
 	return ix.f.Sync()
+}
+
+// slotChain maps an attribute-list slot number to its chain.
+func (ix *Index) slotChain(slot int) storage.ChainID {
+	if slot == 0 {
+		return ix.attrChain
+	}
+	return ix.attrChainB
 }
 
 // Open attaches to an iVA-file previously built over tbl.
@@ -446,6 +502,11 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	opts.N = int(binary.LittleEndian.Uint32(b[16:]))
 	opts.NumericBytes = int(binary.LittleEndian.Uint32(b[60:]))
 	opts.SegmentSize = int(binary.LittleEndian.Uint32(b[64:]))
+	// The superblock fields drive allocations below, so a corrupt or hostile
+	// file must fail validation here rather than panic or exhaust memory.
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("core: superblock: %w", err)
+	}
 	codec, err := signature.NewCodec(opts.N, opts.Alpha)
 	if err != nil {
 		return nil, err
@@ -470,8 +531,23 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	if pb := int(b[21]); pb != ptrBits {
 		return nil, fmt.Errorf("core: index built with %d ptr bits, binary uses %d", pb, ptrBits)
 	}
+	if ix.ltid < 1 || ix.ltid > 32 {
+		return nil, fmt.Errorf("core: superblock ltid %d outside [1,32]", ix.ltid)
+	}
 	entryCount := int64(binary.LittleEndian.Uint64(b[36:]))
 	nattrs := int(binary.LittleEndian.Uint32(b[56:]))
+	if ix.tupleBits < 0 || ix.tupleBits > 8*f.Size() {
+		return nil, fmt.Errorf("core: superblock tuple list of %d bits exceeds file", ix.tupleBits)
+	}
+	if entryCount < 0 || entryCount*int64(ix.elemBits()) > ix.tupleBits {
+		return nil, fmt.Errorf("core: superblock entry count %d exceeds tuple list", entryCount)
+	}
+	if ix.deleted < 0 || ix.deleted > entryCount {
+		return nil, fmt.Errorf("core: superblock deleted count %d exceeds entries", ix.deleted)
+	}
+	if nattrs < 0 || int64(nattrs)*attrElemSize > f.Size() {
+		return nil, fmt.Errorf("core: superblock attribute count %d exceeds file", nattrs)
+	}
 	// v1 files predate stripe checkpoints: recording and the parallel plan
 	// stay off for them until the next rebuild writes a v2 file.
 	ix.ckptChain = storage.NoSegment
@@ -482,13 +558,26 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 			ix.ckptEvery = every
 		}
 	}
-	if err := ix.readAttrList(nattrs); err != nil {
+	// v3 superblocks name the committed attribute-list slot and the valid
+	// checkpoint count; older files have a single slot and keep the count in
+	// the checkpoint chain (clamped on read, see readCheckpoints).
+	ix.attrChainB = storage.NoSegment
+	ckptCount := -1
+	if version >= 3 {
+		ix.attrChainB = storage.ChainID(binary.LittleEndian.Uint32(b[76:]))
+		ix.attrSlot = int(b[80])
+		if ix.attrSlot != 0 && ix.attrSlot != 1 {
+			return nil, fmt.Errorf("core: superblock attribute slot %d", ix.attrSlot)
+		}
+		ckptCount = int(binary.LittleEndian.Uint32(b[84:]))
+	}
+	if err := ix.readAttrList(nattrs, ix.slotChain(ix.attrSlot)); err != nil {
 		return nil, err
 	}
 	if err := ix.loadTupleList(entryCount); err != nil {
 		return nil, err
 	}
-	if err := ix.readCheckpoints(); err != nil {
+	if err := ix.readCheckpoints(ckptCount); err != nil {
 		return nil, err
 	}
 	return ix, nil

@@ -95,6 +95,7 @@ func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Sp
 	if par > nstripes {
 		par = nstripes
 	}
+	stats.Workers = par
 	idxIO := ix.segs.File().IOStats()
 	tblIO := ix.tbl.IOStats()
 	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()

@@ -28,6 +28,9 @@ type SearchStats struct {
 	// FilterIO and RefineIO split the physical page I/O.
 	FilterIO storage.Snapshot
 	RefineIO storage.Snapshot
+	// Workers is the number of filter workers the executed plan ran with
+	// (1 for the sequential plan).
+	Workers int
 }
 
 // Total returns the query's full wall time.
@@ -149,6 +152,7 @@ func (ix *Index) prepareTerms(q *model.Query) ([]termState, error) {
 // = 1, and the instrumented Explain path. Caller holds ix.mu.RLock.
 func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
 	var stats SearchStats
+	stats.Workers = 1
 	idxIO := ix.segs.File().IOStats()
 	tblIO := ix.tbl.IOStats()
 	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()

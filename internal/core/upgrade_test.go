@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// TestOpenV2Upgrade walks the in-place v2→v3 upgrade. A v2 superblock is
+// synthesized by downgrading a freshly built file: the version word drops to
+// 2 and the v3 fields (attrChainB, attrSlot, ckptCount) are zeroed. That is
+// a faithful v2 image — Build's first Sync commits the attribute list to
+// slot 0 (attrChain), exactly where a v2 reader looks, and the checkpoint
+// chain still carries its in-chain count word. The file must open, answer
+// queries, then upgrade to v3 on its first Sync (lazily allocating the
+// shadow slot) and keep working across a further reopen.
+func TestOpenV2Upgrade(t *testing.T) {
+	pool := storage.NewPool(0, 1<<20)
+	tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+	tblF := storage.NewFile(pool, tblDev)
+	idxF := storage.NewFile(pool, idxDev)
+	cat := table.NewCatalog()
+	num, err := cat.AddAttr("price", model.KindNumeric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := cat.AddAttr("title", model.KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.New(tblF, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		vals := map[model.AttrID]model.Value{num: model.Num(float64(i * 3))}
+		if i%2 == 0 {
+			vals[txt] = model.Text(fmt.Sprintf("row-%d", i), "upgrade")
+		}
+		if _, _, err := tbl.Append(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &model.Query{K: 4}
+	q.NumTerm(num, 30)
+	want, _, err := ix.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblF.Close()
+	idxF.Close()
+
+	// Downgrade the superblock to version 2.
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], 2)
+	if _, err := idxDev.WriteAt(ver[:], 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idxDev.WriteAt(make([]byte, 12), 76); err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(stage string) (*table.Table, *Index, func()) {
+		p := storage.NewPool(0, 1<<20)
+		tf := storage.NewFile(p, tblDev)
+		xf := storage.NewFile(p, idxDev)
+		tb, err := table.Open(tf, cat)
+		if err != nil {
+			t.Fatalf("%s: table open: %v", stage, err)
+		}
+		x, err := Open(xf, tb, Options{})
+		if err != nil {
+			t.Fatalf("%s: index open: %v", stage, err)
+		}
+		return tb, x, func() { tf.Close(); xf.Close() }
+	}
+	checkSearch := func(stage string, x *Index) {
+		got, _, err := x.Search(q, nil)
+		if err != nil {
+			t.Fatalf("%s: search: %v", stage, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d = %+v, want %+v", stage, i, got[i], want[i])
+			}
+		}
+		rep, err := x.Check()
+		if err != nil {
+			t.Fatalf("%s: check: %v", stage, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s: check problems: %v", stage, rep.Problems)
+		}
+	}
+
+	tb2, ix2, close2 := reopen("v2 open")
+	if ix2.attrChainB != storage.NoSegment || ix2.attrSlot != 0 {
+		t.Fatalf("v2 open: attrChainB=%d attrSlot=%d, want shadow slot unset",
+			ix2.attrChainB, ix2.attrSlot)
+	}
+	if len(ix2.ckpts) == 0 {
+		t.Fatal("v2 open: in-chain checkpoint count was not honored")
+	}
+	checkSearch("v2 open", ix2)
+
+	// First write + Sync performs the upgrade.
+	if _, err := ix2.Insert(map[model.AttrID]model.Value{
+		num: model.Num(100), txt: model.Text("post-upgrade", "upgrade"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.attrChainB == storage.NoSegment {
+		t.Fatal("upgrade sync did not allocate the shadow attribute slot")
+	}
+	close2()
+
+	_, ix3, close3 := reopen("v3 reopen")
+	defer close3()
+	if ix3.attrChainB == storage.NoSegment {
+		t.Fatal("v3 reopen: shadow slot missing from committed superblock")
+	}
+	if ix3.Entries() != 21 {
+		t.Fatalf("v3 reopen: %d entries, want 21", ix3.Entries())
+	}
+	checkSearch("v3 reopen", ix3)
+}

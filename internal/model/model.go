@@ -11,6 +11,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -68,6 +69,11 @@ func Text(strs ...string) Value { return Value{Kind: KindText, Strs: strs} }
 func (v Value) Validate() error {
 	switch v.Kind {
 	case KindNumeric:
+		// NaN breaks the total order of distances and ±Inf breaks the
+		// relative-domain quantizer, so only finite numbers are storable.
+		if math.IsNaN(v.Num) || math.IsInf(v.Num, 0) {
+			return fmt.Errorf("model: non-finite numeric value %v", v.Num)
+		}
 		return nil
 	case KindText:
 		if len(v.Strs) == 0 {
@@ -211,6 +217,9 @@ func (q *Query) Validate() error {
 			if len(term.Str) > MaxStringLen {
 				return fmt.Errorf("model: query string of %d bytes exceeds %d", len(term.Str), MaxStringLen)
 			}
+		}
+		if term.Kind == KindNumeric && (math.IsNaN(term.Num) || math.IsInf(term.Num, 0)) {
+			return fmt.Errorf("model: non-finite query number on attribute %d", term.Attr)
 		}
 		if term.Weight < 0 {
 			return fmt.Errorf("model: negative weight on attribute %d", term.Attr)

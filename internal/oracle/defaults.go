@@ -1,0 +1,11 @@
+//go:build !race
+
+package oracle
+
+// Default schedule lengths. The race detector slows the engines roughly an
+// order of magnitude, so the race build (defaults_race.go) trims these; CI's
+// nightly soak overrides both with -oracle.ops.
+const (
+	defaultOps = 10000
+	shortOps   = 2500
+)

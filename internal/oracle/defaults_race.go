@@ -1,0 +1,9 @@
+//go:build race
+
+package oracle
+
+// Race-build schedule lengths; see defaults.go.
+const (
+	defaultOps = 2500
+	shortOps   = 1000
+)

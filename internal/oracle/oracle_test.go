@@ -1,0 +1,49 @@
+package oracle
+
+import (
+	"flag"
+	"testing"
+)
+
+// Reproduction flags: a failure prints the exact invocation that replays it.
+var (
+	flagSeed = flag.Uint64("oracle.seed", 0x1fa5eed, "workload seed to replay")
+	flagOps  = flag.Int("oracle.ops", 0, "schedule length (0 = build-dependent default)")
+)
+
+func ops(t *testing.T, def int) int {
+	if *flagOps > 0 {
+		return *flagOps
+	}
+	if testing.Short() {
+		return shortOps
+	}
+	return def
+}
+
+// TestDifferential is the in-memory differential soak: iVA-file vs SII vs
+// DST vs brute force over one seeded schedule.
+func TestDifferential(t *testing.T) {
+	res, err := Run(Options{Seed: *flagSeed, Ops: ops(t, defaultOps), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oracle: %+v", res)
+	if res.Searches == 0 || res.Deletes == 0 || res.Reopens == 0 || res.Rebuilds == 0 {
+		t.Fatalf("schedule did not exercise all op kinds: %+v", res)
+	}
+}
+
+// TestDifferentialOnDisk repeats a shorter run against real files, covering
+// the FileDevice reopen paths.
+func TestDifferentialOnDisk(t *testing.T) {
+	n := ops(t, defaultOps) / 8
+	if n < 300 {
+		n = 300
+	}
+	res, err := Run(Options{Seed: *flagSeed + 1, Ops: n, Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oracle (disk): %+v", res)
+}

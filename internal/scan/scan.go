@@ -116,6 +116,15 @@ func (s *Scanner) Delete(tid model.TID) error {
 	return nil
 }
 
+// MarkDeleted re-applies a tombstone after a reopen without touching the
+// catalog statistics, which already account for the original Delete (the
+// tombstone set is rebuilt from the driving workload; see the type comment).
+func (s *Scanner) MarkDeleted(tid model.TID) {
+	s.mu.Lock()
+	s.deleted[tid] = true
+	s.mu.Unlock()
+}
+
 // Update is delete + insert under a fresh tid.
 func (s *Scanner) Update(tid model.TID, values map[model.AttrID]model.Value) (model.TID, error) {
 	if err := s.Delete(tid); err != nil {

@@ -50,7 +50,7 @@ func NewCodec(n int, alpha float64) (*Codec, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("signature: n = %d, want >= 1", n)
 	}
-	if alpha <= 0 || alpha > 1 {
+	if !(alpha > 0 && alpha <= 1) { // rejects NaN too
 		return nil, fmt.Errorf("signature: alpha = %v, want in (0,1]", alpha)
 	}
 	return &Codec{n: n, alpha: alpha, tc: make(map[tKey]int)}, nil

@@ -33,6 +33,15 @@ func (d *FaultDevice) Trip() {
 	d.mu.Unlock()
 }
 
+// Tripped reports whether the device has started injecting failures. A
+// fault-sweep driver uses it to detect that a budget exceeded the script's
+// total operation count, i.e. the sweep is complete.
+func (d *FaultDevice) Tripped() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tripped
+}
+
 // Reset re-arms the device with a fresh budget.
 func (d *FaultDevice) Reset(ops int64) {
 	d.mu.Lock()

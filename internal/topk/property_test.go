@@ -1,0 +1,86 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// lexLess is the (dist, tid) total order the pool documents.
+func lexLess(a, b model.Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.TID < b.TID
+}
+
+// TestPoolLexOrderProperty checks the pool's core contract on random offer
+// sequences: a full pool holds exactly the k lex-smallest (dist, tid) pairs
+// of the offered multiset, regardless of offer order, with AdmitsPair and
+// Insert's return value agreeing at every step. Heavy distance ties (few
+// distinct values, many tids) make the tid tie-break load-bearing.
+func TestPoolLexOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70c0))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(12)
+		n := rng.Intn(80)
+		distinct := 1 + rng.Intn(5) // few values → many exact ties
+		offers := make([]model.Result, n)
+		for i := range offers {
+			offers[i] = model.Result{
+				TID:  model.TID(rng.Intn(40)),
+				Dist: float64(rng.Intn(distinct)) * 1.25,
+			}
+		}
+
+		p := New(k)
+		for i, o := range offers {
+			admits := p.AdmitsPair(o.TID, o.Dist)
+			ins := p.Insert(o.TID, o.Dist)
+			if admits != ins {
+				t.Fatalf("trial %d offer %d (%d,%.2f): AdmitsPair=%v Insert=%v",
+					trial, i, o.TID, o.Dist, admits, ins)
+			}
+			if p.Admits(o.Dist) != (!p.Full() || o.Dist <= p.MaxDist()) {
+				t.Fatalf("trial %d offer %d: Admits disagrees with MaxDist", trial, i)
+			}
+		}
+
+		// Model: lex-sort all offers and take the first k. Note the pool may
+		// hold duplicate (tid, dist) pairs if offered twice — the model must
+		// keep duplicates too, hence a multiset sort, not a dedup.
+		want := append([]model.Result(nil), offers...)
+		sort.SliceStable(want, func(i, j int) bool { return lexLess(want[i], want[j]) })
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := p.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: pool holds %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v (offers %v)",
+					trial, i, got[i], want[i], offers)
+			}
+		}
+		if p.Full() && p.MaxDist() != got[len(got)-1].Dist {
+			t.Fatalf("trial %d: MaxDist %v, want %v", trial, p.MaxDist(), got[len(got)-1].Dist)
+		}
+
+		// Order independence: re-offer in a different permutation.
+		p2 := New(k)
+		for _, i := range rng.Perm(n) {
+			p2.Insert(offers[i].TID, offers[i].Dist)
+		}
+		got2 := p2.Results()
+		for i := range got {
+			if got2[i] != got[i] {
+				t.Fatalf("trial %d: permuted offers changed result %d: %+v vs %+v",
+					trial, i, got2[i], got[i])
+			}
+		}
+	}
+}

@@ -39,7 +39,7 @@ func New(min, max float64, bits int) (*Quantizer, error) {
 	if bits < 1 || bits > 63 {
 		return nil, fmt.Errorf("vaq: bits = %d, want in [1,63]", bits)
 	}
-	if math.IsNaN(min) || math.IsNaN(max) || min > max {
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) || min > max {
 		return nil, fmt.Errorf("vaq: invalid domain [%v,%v]", min, max)
 	}
 	ndf := uint64(1)<<uint(bits) - 1
@@ -71,7 +71,9 @@ func (q *Quantizer) width() float64 {
 // clamp to the nearest slice (the paper's rule for post-build inserts).
 func (q *Quantizer) Encode(v float64) uint64 {
 	w := q.width()
-	if w == 0 {
+	if w == 0 || math.IsNaN(v) {
+		// NaN is rejected at the model layer; mapping it to slice 0 here
+		// keeps the float→uint conversion defined for hostile inputs.
 		return 0
 	}
 	if v <= q.min {

@@ -1,0 +1,298 @@
+// Package workload is a deterministic seeded generator of sparse-wide-table
+// workloads for the differential oracle (internal/oracle). It mirrors the
+// shape of the paper's Google Base subset: a mix of short-text and numeric
+// attributes with skewed definition frequencies (most tuples define a handful
+// of popular attributes and ignore the long tail, i.e. high ndf density),
+// typo-mutated strings, clustered numbers, and interleaved
+// insert/update/delete/search/sync/reopen/rebuild schedules.
+//
+// Every random decision flows through one math/rand stream, so an entire run
+// — rows, queries, and the op schedule — replays exactly from a single
+// uint64 seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sparsewide/iva/internal/model"
+)
+
+// OpKind is one step of a generated schedule.
+type OpKind int
+
+// Schedule operations. OpRoundTrip is the insert→delete metamorphic probe
+// (the pair must be a no-op for search results); OpReopen implies a sync.
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpDelete
+	OpSearch
+	OpSync
+	OpReopen
+	OpRebuild
+	OpRoundTrip
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpSearch:
+		return "search"
+	case OpSync:
+		return "sync"
+	case OpReopen:
+		return "reopen"
+	case OpRebuild:
+		return "rebuild"
+	case OpRoundTrip:
+		return "roundtrip"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Cell is one defined attribute of a generated row. Rows are slices (not
+// maps) so that iteration order — and so catalog registration order — is
+// deterministic.
+type Cell struct {
+	Name string
+	Val  model.Value
+}
+
+// Row is a generated sparse row in fixed attribute order.
+type Row []Cell
+
+// TermSpec is one query term by attribute name.
+type TermSpec struct {
+	Name   string
+	Kind   model.Kind
+	Num    float64 // Kind == KindNumeric
+	Str    string  // Kind == KindText
+	Weight float64 // explicit λ; 0 = use the engine's weighting scheme
+}
+
+// QuerySpec is a generated top-k query by attribute names.
+type QuerySpec struct {
+	K     int
+	Terms []TermSpec
+}
+
+// attrSpec fixes one attribute's name, kind, definition frequency and value
+// distribution for the lifetime of a generator.
+type attrSpec struct {
+	name string
+	kind model.Kind
+	freq float64 // P(row defines the attribute)
+
+	center, spread float64  // numeric cluster
+	words          []string // text vocabulary
+}
+
+// Gen generates rows, queries and op schedules from one seeded stream.
+type Gen struct {
+	rng   *rand.Rand
+	attrs []attrSpec
+}
+
+// vocabulary is the global word pool; per-attribute vocabularies are seeded
+// subsets. Words are ≥ 4 bytes so a deletion typo never empties a string.
+var vocabulary = []string{
+	"camera", "canon", "sony", "google", "software", "computer", "album",
+	"jazz", "guitar", "piano", "berlin", "london", "tokyo", "paris",
+	"widget", "gadget", "sensor", "laptop", "phone", "music", "photo",
+	"drive", "cloud", "pixel", "stereo", "vinyl", "retro", "nova", "delta",
+	"omega", "prism", "quartz", "silver", "cobalt", "amber", "falcon",
+}
+
+var attrNames = []struct {
+	name string
+	kind model.Kind
+}{
+	{"type", model.KindText},
+	{"price", model.KindNumeric},
+	{"company", model.KindText},
+	{"year", model.KindNumeric},
+	{"industry", model.KindText},
+	{"rating", model.KindNumeric},
+	{"city", model.KindText},
+	{"salary", model.KindNumeric},
+	{"artist", model.KindText},
+	{"weight", model.KindNumeric},
+	{"title", model.KindText},
+	{"stock", model.KindNumeric},
+	{"tag", model.KindText},
+	{"pixels", model.KindNumeric},
+}
+
+// New returns a generator for the given seed. Equal seeds generate equal
+// streams.
+func New(seed uint64) *Gen {
+	g := &Gen{rng: rand.New(rand.NewSource(int64(seed)))}
+	for i, a := range attrNames {
+		sp := attrSpec{
+			name: a.name,
+			kind: a.kind,
+			// Skewed definition frequency: the head attributes appear on most
+			// rows, the tail rarely (the sparse-wide-table shape of Fig. 1).
+			freq: 0.85 / (1 + 0.45*float64(i)),
+		}
+		if a.kind == model.KindNumeric {
+			sp.center = math.Trunc(10 + g.rng.Float64()*5000)
+			sp.spread = 1 + sp.center*0.2
+		} else {
+			n := 6 + g.rng.Intn(5)
+			for j := 0; j < n; j++ {
+				sp.words = append(sp.words, vocabulary[g.rng.Intn(len(vocabulary))])
+			}
+		}
+		g.attrs = append(g.attrs, sp)
+	}
+	return g
+}
+
+// NumAttrs returns the size of the attribute universe (ghost query attributes
+// excluded).
+func (g *Gen) NumAttrs() int { return len(g.attrs) }
+
+// Row generates one sparse row: each attribute is defined with its skewed
+// frequency; at least one attribute is always defined.
+func (g *Gen) Row() Row {
+	var row Row
+	for i := range g.attrs {
+		if g.rng.Float64() >= g.attrs[i].freq {
+			continue
+		}
+		row = append(row, Cell{Name: g.attrs[i].name, Val: g.value(i)})
+	}
+	if len(row) == 0 {
+		row = append(row, Cell{Name: g.attrs[0].name, Val: g.value(0)})
+	}
+	return row
+}
+
+func (g *Gen) value(i int) model.Value {
+	sp := &g.attrs[i]
+	if sp.kind == model.KindNumeric {
+		v := sp.center + sp.spread*g.rng.NormFloat64()
+		// Round to 3 decimals so exact distance ties between tuples occur,
+		// exercising the lexicographic (dist, tid) order.
+		return model.Num(math.Round(v*1000) / 1000)
+	}
+	n := 1 + g.rng.Intn(3)
+	strs := make([]string, n)
+	for j := 0; j < n; j++ {
+		w := sp.words[g.rng.Intn(len(sp.words))]
+		if g.rng.Float64() < 0.3 {
+			w = g.mutate(w)
+		}
+		strs[j] = w
+	}
+	return model.Text(strs...)
+}
+
+// mutate applies one random typo (substitute, insert or delete a letter).
+func (g *Gen) mutate(w string) string {
+	b := []byte(w)
+	pos := g.rng.Intn(len(b))
+	c := byte('a' + g.rng.Intn(26))
+	switch g.rng.Intn(3) {
+	case 0:
+		b[pos] = c
+	case 1:
+		b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+	default:
+		if len(b) > 1 {
+			b = append(b[:pos], b[pos+1:]...)
+		}
+	}
+	return string(b)
+}
+
+// NextOp draws the next schedule operation given the current live tuple
+// count. Small stores are seeded with inserts; large ones are biased toward
+// deletes so the live set stays bounded and searches stay affordable.
+func (g *Gen) NextOp(live int) OpKind {
+	if live < 20 {
+		return OpInsert
+	}
+	type wk struct {
+		k OpKind
+		w float64
+	}
+	weights := []wk{
+		{OpInsert, 0.40}, {OpUpdate, 0.06}, {OpDelete, 0.12},
+		{OpSearch, 0.12}, {OpSync, 0.05}, {OpReopen, 0.01},
+		{OpRebuild, 0.01}, {OpRoundTrip, 0.04},
+	}
+	if live > 1200 {
+		weights[0].w, weights[2].w = 0.08, 0.45
+	}
+	var total float64
+	for _, w := range weights {
+		total += w.w
+	}
+	r := g.rng.Float64() * total
+	for _, w := range weights {
+		if r < w.w {
+			return w.k
+		}
+		r -= w.w
+	}
+	return OpInsert
+}
+
+// PickLive selects a victim index for delete/update from n live tuples.
+func (g *Gen) PickLive(n int) int { return g.rng.Intn(n) }
+
+// Query generates a top-k query: 1–3 distinct attributes, values drawn near
+// (but not exactly from) the data distributions, occasional explicit weights,
+// and occasional "ghost" terms on attributes no tuple defines (all-ndf).
+func (g *Gen) Query() QuerySpec {
+	spec := QuerySpec{K: 1 + g.rng.Intn(12)}
+	nterms := 1 + g.rng.Intn(3)
+	perm := g.rng.Perm(len(g.attrs))
+	for _, ai := range perm[:nterms] {
+		var t TermSpec
+		if g.rng.Float64() < 0.06 {
+			t = g.ghostTerm()
+		} else {
+			sp := &g.attrs[ai]
+			t = TermSpec{Name: sp.name, Kind: sp.kind}
+			if sp.kind == model.KindNumeric {
+				// 3× the data spread: queries regularly fall outside the
+				// relative domain, exercising the clamped edge slices.
+				t.Num = math.Round((sp.center+3*sp.spread*g.rng.NormFloat64())*1000) / 1000
+			} else {
+				w := sp.words[g.rng.Intn(len(sp.words))]
+				if g.rng.Float64() < 0.5 {
+					w = g.mutate(w)
+				}
+				t.Str = w
+			}
+		}
+		if g.rng.Float64() < 0.15 {
+			t.Weight = 0.5 + 2*g.rng.Float64()
+		}
+		spec.Terms = append(spec.Terms, t)
+	}
+	// Ghost terms may duplicate an attribute chosen twice; the oracle dedups.
+	return spec
+}
+
+// ghostTerm returns a term on an attribute no row ever defines. Names map to
+// a fixed kind so catalog registration never conflicts.
+func (g *Gen) ghostTerm() TermSpec {
+	if g.rng.Intn(2) == 0 {
+		return TermSpec{Name: "ghost-text", Kind: model.KindText,
+			Str: vocabulary[g.rng.Intn(len(vocabulary))]}
+	}
+	return TermSpec{Name: "ghost-num", Kind: model.KindNumeric,
+		Num: math.Round(g.rng.Float64()*10000) / 10}
+}

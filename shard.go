@@ -213,6 +213,9 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 		if o.stats.RefineTime > agg.RefineTime {
 			agg.RefineTime = o.stats.RefineTime
 		}
+		if o.stats.Workers > agg.Workers {
+			agg.Workers = o.stats.Workers
+		}
 	}
 	s.queries.Inc()
 	s.dur.Observe(root.Duration().Seconds())

@@ -559,6 +559,9 @@ type QueryStats struct {
 	CacheHits  int64
 	PhysReads  int64
 	DiskCostMS float64
+	// Workers is the number of filter workers the executed plan ran with
+	// (1 for the sequential plan; on a Sharded store, the largest shard's).
+	Workers int
 	// Shards holds the per-shard breakdown when the query ran on a
 	// Sharded store (nil on a single store). The top-level counters are
 	// sums; the times are the slowest shard's (the critical path).
@@ -614,11 +617,18 @@ func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error)
 	s.engineMu.RLock()
 	res, st, err := s.ix.SearchTraced(mq, s.met, sp)
 	s.engineMu.RUnlock()
-	sp.End()
 	if err != nil {
+		sp.End()
 		s.om.queryErrs.Inc()
 		return nil, qs, err
 	}
+	// The root span (and so the slow-query log) records the merged final
+	// result count and the executed plan's worker count — not the requested k
+	// or a per-worker pool size, which mislead when k exceeds the live count
+	// or the striped plan ran.
+	sp.SetInt("results", int64(len(res)))
+	sp.SetInt("workers", int64(st.Workers))
+	sp.End()
 
 	io := st.FilterIO.Add(st.RefineIO)
 	qs = QueryStats{
@@ -629,6 +639,7 @@ func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error)
 		CacheHits:     io.CacheHits,
 		PhysReads:     io.PhysReads,
 		DiskCostMS:    s.disk.CostMS(io),
+		Workers:       st.Workers,
 	}
 	s.om.queries.Inc()
 	s.om.scanned.Add(st.Scanned)
