@@ -33,8 +33,36 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		par      = flag.Int("parallelism", 1, "iVA-file search workers: 1 = sequential (the paper's setup), 0 = all cores")
 		metrics  = flag.String("metrics", "", "after the run, dump the harness registry in Prometheus text format to FILE ('-' for stdout)")
+		pool     = flag.Bool("pool", false, "run the buffer-pool contention benchmark instead of the paper experiments")
+		poolOut  = flag.String("pool.out", "BENCH_pool.json", "output file for -pool")
+		poolMS   = flag.Int("pool.ms", 300, "measured milliseconds per -pool point")
 	)
 	flag.Parse()
+
+	if *pool {
+		r, err := bench.RunPoolBench(*seed, time.Duration(*poolMS)*time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: pool bench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := r.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: pool bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*poolOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: writing %s: %v\n", *poolOut, err)
+			os.Exit(1)
+		}
+		for i := range r.Global {
+			g, s := r.Global[i], r.Sharded[i]
+			fmt.Printf("readers=%d  global: %.0f ops/s (hit %.3f)  sharded[%d]: %.0f ops/s (hit %.3f)  waits %d→%d\n",
+				g.Readers, g.OpsPerSec, g.HitRate, s.Shards, s.OpsPerSec, s.HitRate, g.LockWaits, s.LockWaits)
+		}
+		fmt.Printf("speedup at %d readers: %.2fx (GOMAXPROCS=%d) → %s\n",
+			r.Global[len(r.Global)-1].Readers, r.SpeedupAtMax, r.GOMAXPROCS, *poolOut)
+		return
+	}
 
 	if *list {
 		for _, name := range bench.Experiments {

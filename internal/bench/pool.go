@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+// The buffer-pool contention benchmark (`ivabench -pool`). It measures raw
+// page-read throughput — Get, verify-free, Release — under a zipf page-access
+// pattern at increasing reader counts, once against a single-shard pool (the
+// old global-mutex arrangement: every page request serializes on one lock)
+// and once against the default sharded pool. The emitted BENCH_pool.json is
+// the perf trajectory's baseline artifact; EXPERIMENTS.md records the
+// before/after numbers.
+
+// PoolBenchPoint is one (pool variant, reader count) measurement.
+type PoolBenchPoint struct {
+	Readers   int     `json:"readers"`
+	Shards    int     `json:"shards"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	HitRate   float64 `json:"hit_rate"`
+	LockWaits int64   `json:"lock_waits"`
+}
+
+// PoolBenchResult is the full artifact written to BENCH_pool.json.
+type PoolBenchResult struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	PageSize   int     `json:"page_size"`
+	CapPages   int     `json:"cap_pages"`
+	FilePages  int     `json:"file_pages"`
+	ZipfS      float64 `json:"zipf_s"`
+	PointMS    int     `json:"point_ms"` // measured duration per point
+	Seed       int64   `json:"seed"`
+
+	Global  []PoolBenchPoint `json:"global"`  // 1 shard: the old global-lock pool
+	Sharded []PoolBenchPoint `json:"sharded"` // default shard count
+
+	// SpeedupAtMax is sharded/global ops-per-second at the highest reader
+	// count — the acceptance headline.
+	SpeedupAtMax float64 `json:"speedup_at_max"`
+}
+
+// poolBenchPoint drives `readers` goroutines over one freshly-built pool for
+// roughly `dur`, drawing pages from a zipf distribution so a hot head stays
+// cached while the tail churns through eviction.
+func poolBenchPoint(shards, readers, pageSize, capPages, filePages int, zipfS float64, seed int64, dur time.Duration) (PoolBenchPoint, error) {
+	pool := storage.NewPoolShards(pageSize, int64(pageSize)*int64(capPages), shards)
+	dev := storage.NewMemDevice()
+	page := make([]byte, pageSize)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	for pg := 0; pg < filePages; pg++ {
+		if _, err := dev.WriteAt(page, int64(pg)*int64(pageSize)); err != nil {
+			return PoolBenchPoint{}, err
+		}
+	}
+	id := pool.Register(dev)
+
+	var (
+		stop atomic.Bool
+		ops  atomic.Int64
+		wg   sync.WaitGroup
+		errc = make(chan error, readers)
+	)
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)*104729))
+			zipf := rand.NewZipf(r, zipfS, 1, uint64(filePages-1))
+			n := int64(0)
+			for !stop.Load() {
+				fr, err := pool.Get(id, int64(zipf.Uint64()))
+				if err != nil {
+					errc <- err
+					return
+				}
+				_ = fr.Data()[0]
+				fr.Release()
+				n++
+			}
+			ops.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return PoolBenchPoint{}, err
+	default:
+	}
+
+	snap := pool.Stats().Snapshot()
+	pt := PoolBenchPoint{
+		Readers:   readers,
+		Shards:    pool.ShardCount(),
+		Ops:       ops.Load(),
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		LockWaits: pool.LockWaits(),
+	}
+	if total := snap.CacheHits + snap.PhysReads; total > 0 {
+		pt.HitRate = float64(snap.CacheHits) / float64(total)
+	}
+	return pt, nil
+}
+
+// RunPoolBench measures both pool variants across reader counts 1, 2, 4, …
+// up to max(GOMAXPROCS, 4), so the artifact carries multi-reader points even
+// on single-core runners (clearly labeled with the recorded GOMAXPROCS).
+func RunPoolBench(seed int64, pointDur time.Duration) (*PoolBenchResult, error) {
+	const (
+		pageSize  = 4096
+		capPages  = 1024 // 4 MiB pool
+		filePages = 4096 // 4× the budget: the zipf tail must evict
+		zipfS     = 1.1
+	)
+	if pointDur <= 0 {
+		pointDur = 300 * time.Millisecond
+	}
+	maxReaders := runtime.GOMAXPROCS(0)
+	if maxReaders < 4 {
+		maxReaders = 4
+	}
+	res := &PoolBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PageSize:   pageSize,
+		CapPages:   capPages,
+		FilePages:  filePages,
+		ZipfS:      zipfS,
+		PointMS:    int(pointDur.Milliseconds()),
+		Seed:       seed,
+	}
+	for readers := 1; readers <= maxReaders; readers *= 2 {
+		g, err := poolBenchPoint(1, readers, pageSize, capPages, filePages, zipfS, seed, pointDur)
+		if err != nil {
+			return nil, err
+		}
+		s, err := poolBenchPoint(0, readers, pageSize, capPages, filePages, zipfS, seed, pointDur)
+		if err != nil {
+			return nil, err
+		}
+		res.Global = append(res.Global, g)
+		res.Sharded = append(res.Sharded, s)
+	}
+	last := len(res.Global) - 1
+	if res.Global[last].OpsPerSec > 0 {
+		res.SpeedupAtMax = res.Sharded[last].OpsPerSec / res.Global[last].OpsPerSec
+	}
+	return res, nil
+}
+
+// JSON renders the artifact for BENCH_pool.json.
+func (r *PoolBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

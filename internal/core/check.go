@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/sparsewide/iva/internal/model"
-	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/vector"
 )
 
@@ -49,7 +48,9 @@ func (ix *Index) Check() (CheckReport, error) {
 		tp  *model.Tuple
 	}
 	var live []liveTuple
-	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	var rds readerSet
+	defer rds.close()
+	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {
@@ -101,7 +102,7 @@ func (ix *Index) Check() (CheckReport, error) {
 		}
 		rep.Attributes++
 		aid := model.AttrID(id)
-		cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+		cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
 		if err != nil {
 			rep.addf("attr %d: cursor: %v", id, err)
 			continue

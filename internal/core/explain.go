@@ -5,7 +5,6 @@ import (
 
 	"github.com/sparsewide/iva/internal/metric"
 	"github.com/sparsewide/iva/internal/model"
-	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/vector"
 )
 
@@ -68,6 +67,8 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		ex.PoolMaxFinal = res[len(res)-1].Dist
 	}
 
+	var rds readerSet
+	defer rds.close()
 	terms := make([]termState, len(q.Terms))
 	ex.Terms = make([]TermExplain, len(q.Terms))
 	for i, term := range q.Terms {
@@ -75,7 +76,7 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		te := TermExplain{Attr: term.Attr, Kind: term.Kind, MinEst: math.Inf(1)}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+			cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
 			if err != nil {
 				return nil, err
 			}
@@ -94,7 +95,7 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		ex.Terms[i] = te
 	}
 
-	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
 	diffs := make([]float64, len(terms))
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)

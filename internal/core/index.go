@@ -586,6 +586,7 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 // loadTupleList reads the on-disk tuple list into the in-memory mirror.
 func (ix *Index) loadTupleList(entryCount int64) error {
 	r := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	defer r.Close()
 	ix.entries = make([]tupleEntry, 0, entryCount)
 	for i := int64(0); i < entryCount; i++ {
 		tid, err := r.ReadBits(ix.ltid)

@@ -56,8 +56,8 @@ func (b *distBar) lower(d float64) {
 }
 
 // workerScratch holds the allocation-heavy per-worker state reused across
-// queries via a sync.Pool: the bit readers carry 64 KiB read-ahead windows
-// each, which dominate a worker's setup cost.
+// queries via a sync.Pool: readers, their seam-stitch buffers, and the
+// per-term diff slice, which dominate a worker's setup cost.
 type workerScratch struct {
 	tupleRd *storage.ChainBitReader
 	termRds []*storage.ChainBitReader
@@ -317,6 +317,17 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 	return nil
 }
 
-// release returns the scratch to the pool, dropping nothing: the readers'
-// windows are the point of reuse.
-func (sc *workerScratch) release() { scratchPool.Put(sc) }
+// release closes the readers — their windows are pinned buffer-pool frames,
+// and an idle pin would block eviction between queries — then returns the
+// scratch (readers, stitch buffers, diff slice) to the pool for reuse.
+func (sc *workerScratch) release() {
+	if sc.tupleRd != nil {
+		sc.tupleRd.Close()
+	}
+	for _, r := range sc.termRds {
+		if r != nil {
+			r.Close()
+		}
+	}
+	scratchPool.Put(sc)
+}

@@ -36,6 +36,27 @@ type SearchStats struct {
 // Total returns the query's full wall time.
 func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall }
 
+// readerSet tracks the ChainBitReaders one scan pass opens so their pinned
+// buffer-pool windows are released when the pass ends (a dropped reader
+// would hold one page pinned — a leak the iva_pool_pinned_frames gauge
+// exists to catch).
+type readerSet []*storage.ChainBitReader
+
+func (rs *readerSet) open(segs *storage.SegStore, c storage.ChainID, bits int64) *storage.ChainBitReader {
+	r := storage.NewChainBitReader(segs, c, bits)
+	*rs = append(*rs, r)
+	return r
+}
+
+// close must have a pointer receiver: `defer rds.close()` evaluates the
+// receiver at defer time, and a value receiver would snapshot the empty
+// slice before any open() appended to it — leaking every pin.
+func (rs *readerSet) close() {
+	for _, r := range *rs {
+		r.Close()
+	}
+}
+
 // termState is one query term prepared for scanning.
 type termState struct {
 	term   model.QueryTerm
@@ -162,12 +183,14 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 	if err != nil {
 		return nil, stats, err
 	}
+	var rds readerSet
+	defer rds.close()
 	for i := range terms {
 		if terms[i].st == nil {
 			continue
 		}
 		st := terms[i].st
-		cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+		cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
 		if err != nil {
 			return nil, stats, err
 		}
@@ -180,7 +203,7 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 	var refineWall, fetchWall time.Duration
 	var fetched int64
 
-	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {

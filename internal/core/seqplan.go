@@ -6,7 +6,6 @@ import (
 
 	"github.com/sparsewide/iva/internal/metric"
 	"github.com/sparsewide/iva/internal/model"
-	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/vector"
 )
 
@@ -49,12 +48,14 @@ func (ix *Index) SequentialPlanStats(q *model.Query, m *metric.Metric) (PlanStat
 
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	var rds readerSet
+	defer rds.close()
 	terms := make([]termState, len(q.Terms))
 	for i, term := range q.Terms {
 		ts := termState{term: term}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, storage.NewChainBitReader(ix.segs, st.chain, st.bitLen))
+			cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
 			if err != nil {
 				return ps, err
 			}
@@ -74,7 +75,7 @@ func (ix *Index) SequentialPlanStats(q *model.Query, m *metric.Metric) (PlanStat
 	uppers := make([]float64, 0, len(ix.entries))
 	lo := make([]float64, len(terms))
 	hi := make([]float64, len(terms))
-	tr := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {

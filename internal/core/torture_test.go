@@ -43,6 +43,7 @@ type tortureSnapshot struct {
 type tortureState struct {
 	tblDev, idxDev storage.Device // armed or raw
 	fd             *storage.FaultDevice
+	poolBytes      int64
 
 	pool       *storage.Pool
 	tblF, idxF *storage.File
@@ -57,9 +58,9 @@ type tortureState struct {
 	acked      int64 // entries at the last fully acknowledged sync; -1 before
 }
 
-func newTortureState(t *testing.T, armTable bool, budget int64) *tortureState {
+func newTortureState(t *testing.T, armTable bool, budget, poolBytes int64) *tortureState {
 	t.Helper()
-	s := &tortureState{acked: -1}
+	s := &tortureState{acked: -1, poolBytes: poolBytes}
 	tblMem, idxMem := storage.NewMemDevice(), storage.NewMemDevice()
 	s.tblDev, s.idxDev = storage.Device(tblMem), storage.Device(idxMem)
 	if armTable {
@@ -69,7 +70,7 @@ func newTortureState(t *testing.T, armTable bool, budget int64) *tortureState {
 		s.fd = storage.NewFaultDevice(idxMem, budget)
 		s.idxDev = s.fd
 	}
-	s.pool = storage.NewPool(0, 1<<20)
+	s.pool = storage.NewPool(0, s.poolBytes)
 	s.tblF = storage.NewFile(s.pool, s.tblDev)
 	s.idxF = storage.NewFile(s.pool, s.idxDev)
 	s.cat = table.NewCatalog()
@@ -197,7 +198,7 @@ func resumeAssert(t *testing.T, budget int64, s *tortureState, tbl *table.Table,
 func (s *tortureState) recover(t *testing.T, budget int64) {
 	t.Helper()
 	s.fd.Reset(-1)
-	pool := storage.NewPool(0, 1<<20)
+	pool := storage.NewPool(0, s.poolBytes)
 	tblF := storage.NewFile(pool, s.tblDev)
 	idxF := storage.NewFile(pool, s.idxDev)
 
@@ -284,14 +285,18 @@ func (s *tortureState) recover(t *testing.T, budget int64) {
 
 // runTortureSweep enumerates fault budgets until the script completes with
 // the armed device never tripping — i.e. every injection site was covered.
-func runTortureSweep(t *testing.T, armTable bool) {
+// poolBytes sizes the page pool: the 1 MiB default holds the whole working
+// set, while the tiny-pool variant forces CLOCK eviction between the crash
+// point and recovery, so fault handling is exercised with pages constantly
+// leaving and re-entering the cache.
+func runTortureSweep(t *testing.T, armTable bool, poolBytes int64) {
 	step := int64(1)
 	if testing.Short() {
 		step = 7
 	}
 	crashes := 0
 	for budget := int64(0); ; budget += step {
-		s := newTortureState(t, armTable, budget)
+		s := newTortureState(t, armTable, budget, poolBytes)
 		err := s.script()
 		if err == nil {
 			s.close()
@@ -310,6 +315,15 @@ func runTortureSweep(t *testing.T, armTable bool) {
 	}
 }
 
-func TestTortureSweepIndexDevice(t *testing.T) { runTortureSweep(t, false) }
+func TestTortureSweepIndexDevice(t *testing.T) { runTortureSweep(t, false, 1<<20) }
 
-func TestTortureSweepTableDevice(t *testing.T) { runTortureSweep(t, true) }
+func TestTortureSweepTableDevice(t *testing.T) { runTortureSweep(t, true, 1<<20) }
+
+// The tiny-pool sweeps rerun the same crash script with a 4-page cache, so
+// every list scan and recovery pass evicts concurrently with the armed
+// device: crash points now land while the CLOCK hand is moving and while
+// pinned reader windows force copy-on-write, which the roomy default pool
+// never exercises.
+func TestTortureSweepIndexDeviceTinyPool(t *testing.T) { runTortureSweep(t, false, 16<<10) }
+
+func TestTortureSweepTableDeviceTinyPool(t *testing.T) { runTortureSweep(t, true, 16<<10) }

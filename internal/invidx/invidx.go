@@ -319,6 +319,7 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	}
 	entryCount := int64(binary.LittleEndian.Uint64(b[24:]))
 	r := storage.NewChainBitReader(segs, ix.dirChain, ix.dirBits)
+	defer r.Close()
 	ix.entries = make([]dirEntry, 0, entryCount)
 	for i := int64(0); i < entryCount; i++ {
 		tid, err := r.ReadBits(ix.ltid)
@@ -382,10 +383,12 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 		for r.Remaining() >= int64(ix.ltid) {
 			v, err := r.ReadBits(ix.ltid)
 			if err != nil {
+				r.Close()
 				return nil, stats, err
 			}
 			candidates[model.TID(v)] = true
 		}
+		r.Close()
 	}
 	stats.Candidates = int64(len(candidates))
 
@@ -399,6 +402,7 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 	refineIOStart := pstats.Snapshot()
 
 	r := storage.NewChainBitReader(ix.segs, ix.dirChain, ix.dirBits)
+	defer r.Close()
 	for i := int64(0); i < int64(len(ix.entries)); i++ {
 		tidBits, err := r.ReadBits(ix.ltid)
 		if err != nil {

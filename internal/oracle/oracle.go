@@ -46,6 +46,10 @@ type Options struct {
 	// Dir, when non-empty, backs every engine with real files under it;
 	// empty runs fully in memory.
 	Dir string
+	// CacheBytes sizes the iVA engine's buffer pool (0 = 8 MiB). A few-page
+	// pool makes the soak run entirely through CLOCK eviction and pinned-
+	// window reloads, which the roomy default never touches.
+	CacheBytes int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -225,10 +229,14 @@ func Run(opt Options) (Result, error) {
 }
 
 func newHarness(opt Options) (*harness, error) {
+	cache := opt.CacheBytes
+	if cache <= 0 {
+		cache = 8 << 20
+	}
 	h := &harness{
 		opt:   opt,
 		gen:   workload.New(opt.Seed),
-		pool:  storage.NewPool(0, 8<<20),
+		pool:  storage.NewPool(0, cache),
 		ref:   make(map[model.TID]*model.Tuple),
 		refDF: make(map[model.AttrID]int64),
 	}

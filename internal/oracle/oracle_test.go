@@ -7,8 +7,9 @@ import (
 
 // Reproduction flags: a failure prints the exact invocation that replays it.
 var (
-	flagSeed = flag.Uint64("oracle.seed", 0x1fa5eed, "workload seed to replay")
-	flagOps  = flag.Int("oracle.ops", 0, "schedule length (0 = build-dependent default)")
+	flagSeed  = flag.Uint64("oracle.seed", 0x1fa5eed, "workload seed to replay")
+	flagOps   = flag.Int("oracle.ops", 0, "schedule length (0 = build-dependent default)")
+	flagCache = flag.Int64("oracle.cache", 0, "iVA buffer-pool bytes (0 = 8 MiB default)")
 )
 
 func ops(t *testing.T, def int) int {
@@ -24,7 +25,7 @@ func ops(t *testing.T, def int) int {
 // TestDifferential is the in-memory differential soak: iVA-file vs SII vs
 // DST vs brute force over one seeded schedule.
 func TestDifferential(t *testing.T) {
-	res, err := Run(Options{Seed: *flagSeed, Ops: ops(t, defaultOps), Logf: t.Logf})
+	res, err := Run(Options{Seed: *flagSeed, Ops: ops(t, defaultOps), CacheBytes: *flagCache, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,6 +35,22 @@ func TestDifferential(t *testing.T) {
 	}
 }
 
+// TestDifferentialSmallPool replays the soak with a 4-page buffer pool: every
+// filter scan and refine fetch goes through CLOCK eviction and pinned-window
+// reloads, and the results must stay bit-identical to the reference engines
+// across the whole parallelism grid.
+func TestDifferentialSmallPool(t *testing.T) {
+	n := ops(t, defaultOps) / 4
+	if n < 300 {
+		n = 300
+	}
+	res, err := Run(Options{Seed: *flagSeed + 2, Ops: n, CacheBytes: 16 << 10, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oracle (small pool): %+v", res)
+}
+
 // TestDifferentialOnDisk repeats a shorter run against real files, covering
 // the FileDevice reopen paths.
 func TestDifferentialOnDisk(t *testing.T) {
@@ -41,7 +58,7 @@ func TestDifferentialOnDisk(t *testing.T) {
 	if n < 300 {
 		n = 300
 	}
-	res, err := Run(Options{Seed: *flagSeed + 1, Ops: n, Dir: t.TempDir(), Logf: t.Logf})
+	res, err := Run(Options{Seed: *flagSeed + 1, Ops: n, Dir: t.TempDir(), CacheBytes: *flagCache, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,38 +5,94 @@ import (
 	"fmt"
 )
 
-// ChainBitReader reads a bit-packed stream stored in a segment chain. It
-// buffers a window of the chain's logical payload so that sequential scans
-// (the dominant access pattern of vector lists) hit the buffer pool once per
-// window rather than once per field.
+// ChainBitReader reads a bit-packed stream stored in a segment chain. Its
+// window is normally a pinned buffer-pool frame: the reader decodes straight
+// from the cached page with zero copies, and the pin guarantees the bytes
+// stay stable (writers copy-on-write around pinned frames). Near segment or
+// page seams, where the contiguous run is too short to be worth pinning, it
+// falls back to copying a small stitch buffer.
 type ChainBitReader struct {
 	s      *SegStore
 	c      ChainID
 	bitLen int64 // total readable bits
 
-	buf      []byte
-	bufStart int64 // logical byte offset of buf[0]
-	bufLen   int   // valid bytes in buf
-	pos      int64 // current bit position
+	buf      []byte // current window: pinned page view or own[:n]
+	bufStart int64  // logical byte offset of buf[0]; -1 when empty
+	pin      *Frame // non-nil while buf aliases a pinned frame
+	own      []byte // lazily allocated seam-stitching buffer
+	pos      int64  // current bit position
 }
 
-// DefaultWindow is the read-ahead window of ChainBitReader in bytes. It
-// plays the role of the "small disk cache" §IV-A relies on to keep the
-// interleaved scanning of several vector lists efficient: each refill pays
-// one positioning move and then streams sequentially.
-const DefaultWindow = 64 << 10
+// minPinRun is the shortest contiguous run worth pinning as a window; any
+// shorter remainder before a segment/page seam is stitched through `own`.
+const minPinRun = 64
+
+// stitchWindow is the size of the copying fallback window at seams.
+const stitchWindow = 256
 
 // NewChainBitReader returns a reader over the first bitLen bits of chain c.
+// Callers must Close the reader (or Reset it away) to release its pinned
+// window; an abandoned reader holds one page pinned until then.
 func NewChainBitReader(s *SegStore, c ChainID, bitLen int64) *ChainBitReader {
-	return &ChainBitReader{s: s, c: c, bitLen: bitLen, buf: make([]byte, DefaultWindow), bufStart: -1}
+	return &ChainBitReader{s: s, c: c, bitLen: bitLen, bufStart: -1}
 }
 
 // Reset rebinds the reader to a (possibly different) chain at bit position 0,
-// keeping the window buffer. Parallel scan workers use it to reopen cursors
-// at stripe checkpoints without reallocating the read-ahead window.
+// releasing the current window pin but keeping the stitch buffer. Parallel
+// scan workers use it to reopen cursors at stripe checkpoints without
+// reallocating.
 func (r *ChainBitReader) Reset(s *SegStore, c ChainID, bitLen int64) {
+	r.drop()
 	r.s, r.c, r.bitLen = s, c, bitLen
-	r.bufStart, r.bufLen, r.pos = -1, 0, 0
+	r.pos = 0
+}
+
+// Close releases the reader's pinned window. The reader stays usable (the
+// next read re-pins), so pooled readers Close between queries to avoid
+// holding pages pinned while idle.
+func (r *ChainBitReader) Close() { r.drop() }
+
+func (r *ChainBitReader) drop() {
+	if r.pin != nil {
+		r.pin.Release()
+		r.pin = nil
+	}
+	r.buf, r.bufStart = nil, -1
+}
+
+// refill positions the window at byteOff: pin the page under it when the
+// contiguous run is long enough, otherwise stitch across the seam by
+// copying.
+func (r *ChainBitReader) refill(byteOff int64) error {
+	capBytes, err := r.s.Len(r.c)
+	if err != nil {
+		return err
+	}
+	if byteOff >= capBytes {
+		return fmt.Errorf("storage: bit read past chain capacity")
+	}
+	r.drop()
+	fr, view, err := r.s.PinView(r.c, byteOff)
+	if err != nil {
+		return err
+	}
+	if len(view) >= minPinRun || int64(len(view)) >= capBytes-byteOff {
+		r.pin, r.buf, r.bufStart = fr, view, byteOff
+		return nil
+	}
+	fr.Release()
+	if r.own == nil {
+		r.own = make([]byte, stitchWindow)
+	}
+	want := int64(len(r.own))
+	if want > capBytes-byteOff {
+		want = capBytes - byteOff
+	}
+	if err := r.s.ReadAt(r.c, r.own[:want], byteOff); err != nil {
+		return err
+	}
+	r.buf, r.bufStart = r.own[:want], byteOff
+	return nil
 }
 
 // BitLen returns the stream length in bits.
@@ -63,24 +119,10 @@ func (r *ChainBitReader) SkipBits(n int64) error {
 }
 
 func (r *ChainBitReader) byteAt(byteOff int64) (byte, error) {
-	if r.bufStart < 0 || byteOff < r.bufStart || byteOff >= r.bufStart+int64(r.bufLen) {
-		// Refill the window starting at byteOff.
-		want := len(r.buf)
-		capBytes, err := r.s.Len(r.c)
-		if err != nil {
+	if r.bufStart < 0 || byteOff < r.bufStart || byteOff >= r.bufStart+int64(len(r.buf)) {
+		if err := r.refill(byteOff); err != nil {
 			return 0, err
 		}
-		if byteOff >= capBytes {
-			return 0, fmt.Errorf("storage: bit read past chain capacity")
-		}
-		if int64(want) > capBytes-byteOff {
-			want = int(capBytes - byteOff)
-		}
-		if err := r.s.ReadAt(r.c, r.buf[:want], byteOff); err != nil {
-			return 0, err
-		}
-		r.bufStart = byteOff
-		r.bufLen = want
 	}
 	return r.buf[byteOff-r.bufStart], nil
 }
@@ -98,7 +140,7 @@ func (r *ChainBitReader) ReadBits(width int) (uint64, error) {
 		return 0, fmt.Errorf("storage: bit read past end (pos=%d width=%d len=%d)", r.pos, width, r.bitLen)
 	}
 	if byteOff := r.pos >> 3; r.bufStart >= 0 && byteOff >= r.bufStart &&
-		byteOff+9 <= r.bufStart+int64(r.bufLen) {
+		byteOff+9 <= r.bufStart+int64(len(r.buf)) {
 		b := r.buf[byteOff-r.bufStart:]
 		x := binary.BigEndian.Uint64(b)
 		if off := r.pos & 7; off > 0 {

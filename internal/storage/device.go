@@ -47,13 +47,11 @@ func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	for i := range p {
-		p[i] = 0
+	n := 0
+	if off < int64(len(d.buf)) {
+		n = copy(p, d.buf[off:])
 	}
-	if off >= int64(len(d.buf)) {
-		return len(p), nil
-	}
-	copy(p, d.buf[off:])
+	clear(p[n:]) // only the sparse tail, not the whole buffer twice
 	return len(p), nil
 }
 
@@ -134,10 +132,8 @@ func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
 	d.mu.Lock()
 	size := d.size
 	d.mu.Unlock()
-	for i := range p {
-		p[i] = 0
-	}
 	if off >= size {
+		clear(p)
 		return len(p), nil
 	}
 	n := len(p)
@@ -147,6 +143,7 @@ func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
 	if _, err := d.f.ReadAt(p[:n], off); err != nil {
 		return 0, fmt.Errorf("storage: read: %w", err)
 	}
+	clear(p[n:])
 	return len(p), nil
 }
 

@@ -49,6 +49,23 @@ func (f *File) SetSize(n int64) {
 	f.mu.Unlock()
 }
 
+// PinPage pins the page containing byte offset off and returns the frame
+// plus the page's bytes from off to the page end. The caller must Release
+// the frame; until then the bytes are stable against concurrent writes
+// (copy-on-write) and the page cannot be evicted. This is the zero-copy path
+// ChainBitReader decodes from.
+func (f *File) PinPage(off int64) (*Frame, []byte, error) {
+	if off < 0 {
+		return nil, nil, fmt.Errorf("storage: negative pin offset %d", off)
+	}
+	ps := int64(f.pool.PageSize())
+	fr, err := f.pool.Get(f.id, off/ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fr, fr.Data()[off%ps:], nil
+}
+
 // ReadAt reads len(p) bytes at offset off through the buffer pool. Reads
 // beyond the logical size return zeros (the caller is expected to stay
 // within structures it wrote).

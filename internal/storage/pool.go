@@ -1,31 +1,59 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used when a Pool is created with size 0.
 const DefaultPageSize = 4096
 
-// Pool is a shared LRU buffer pool over one or more paged files. The paper's
+// minShardQuota is the smallest per-shard page quota worth striping for.
+// Pools too small to give every shard this many pages collapse to fewer
+// shards (down to one), so tiny test pools keep exact single-ring semantics.
+const minShardQuota = 8
+
+// Pool is a shared buffer pool over one or more paged files. The paper's
 // experiments run with one 10 MB cache shared by the index file and the
 // table file; a single Pool instance plays that role here.
 //
-// Pages are write-through: WritePage updates both the cached copy and the
-// device, so a crash between Sync calls loses no committed page (the store
+// Internally the pool is striped: pages hash onto nextPow2(GOMAXPROCS×4)
+// shards, each with its own lock and a CLOCK (second-chance) eviction ring,
+// so parallel filter workers never serialize on one mutex (the PR-2 striped
+// search made the old global-mutex LRU the scalability ceiling). The
+// pool-wide byte budget is kept as per-shard page quotas; the remainder of
+// the division, plus any pages a shard is forced to hold beyond its quota
+// because every resident frame is pinned, are tracked in small atomic
+// counters (spare / overflow).
+//
+// Pages are write-through: writePage updates both the device and the cached
+// frame, so a crash between Sync calls loses no committed page (the store
 // above provides checkpoint consistency, not WAL recovery; see DESIGN.md §6).
+//
+// Frames can be pinned (Get / Frame.Release): a pinned frame is never
+// evicted and its bytes never change — a write to a pinned page detaches the
+// old frame (copy-on-write) and installs a fresh one, so pinned readers keep
+// a page-consistent snapshot. ChainBitReader decodes straight from pinned
+// frames instead of copying every window.
 type Pool struct {
 	pageSize int
 	capPages int
 	stats    *Stats
 
-	mu    sync.Mutex
-	lru   *list.List // of *poolPage, front = most recent
-	pages map[pageKey]*list.Element
-	files map[uint32]*fileState
-	next  uint32
+	shards []*poolShard
+	mask   uint64 // len(shards)-1; shard count is a power of two
+
+	filesMu sync.RWMutex
+	files   map[uint32]*fileState
+	next    uint32
+
+	spare    atomic.Int64 // unassigned page quota shards may claim
+	overflow atomic.Int64 // resident ring pages beyond the byte budget
+	detached atomic.Int64 // live copy-on-write / invalidated frames still pinned
+	pinned   atomic.Int64 // outstanding pins (a quiesced pool must read 0)
+	lockWait atomic.Int64 // contended shard-lock acquisitions
 }
 
 type pageKey struct {
@@ -33,20 +61,90 @@ type pageKey struct {
 	page int64
 }
 
-type poolPage struct {
-	key  pageKey
-	data []byte
+// Frame is one pinned buffer-pool page. Data stays valid and immutable until
+// Release: writers never mutate a pinned frame in place (copy-on-write), and
+// a pinned frame is exempt from eviction.
+type Frame struct {
+	key   pageKey
+	shard *poolShard
+	data  []byte
+
+	// Guarded by shard.mu.
+	pins  int32
+	ref   bool // CLOCK reference bit
+	stale bool // detached from the shard (evict-on-release)
 }
+
+// Data returns the frame's page bytes. Valid until Release.
+func (f *Frame) Data() []byte { return f.data }
+
+// Release unpins the frame. The frame's bytes must not be used afterwards.
+func (f *Frame) Release() {
+	sh := f.shard
+	p := sh.pool
+	sh.lock()
+	f.pins--
+	if f.pins < 0 {
+		sh.unlock()
+		panic("storage: Frame released more times than pinned")
+	}
+	p.pinned.Add(-1)
+	if f.pins == 0 {
+		if f.stale {
+			p.detached.Add(-1)
+		} else if sh.over > 0 {
+			// The shard ran past its quota while this pin blocked eviction;
+			// shrink back toward budget now that a frame is evictable.
+			sh.reclaimLocked()
+		}
+	}
+	sh.unlock()
+}
+
+type poolShard struct {
+	pool  *Pool
+	quota int // base page quota from the pool budget
+
+	mu     sync.Mutex
+	frames map[pageKey]*Frame
+	ring   []*Frame // CLOCK ring; hand walks it circularly
+	hand   int
+	extra  int // pages claimed from pool.spare
+	over   int // resident pages beyond quota+extra (pin-forced)
+}
+
+// lock acquires the shard mutex, counting contended acquisitions so the
+// iva_pool_shard_lock_wait_total metric tracks striping effectiveness.
+func (sh *poolShard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	sh.pool.lockWait.Add(1)
+	sh.mu.Lock()
+}
+
+func (sh *poolShard) unlock() { sh.mu.Unlock() }
 
 type fileState struct {
 	dev      Device
-	lastRead int64 // last physically read page, -1 initially
+	lastRead atomic.Int64 // last physically read page, -1 initially
+	gone     atomic.Bool  // set by Unregister; bars late inserts
 	stats    *Stats
 }
 
 // NewPool returns a pool with the given page size and total cache capacity
-// in bytes. Zero values select DefaultPageSize and 10 MiB.
+// in bytes. Zero values select DefaultPageSize and 10 MiB. The shard count
+// is nextPow2(GOMAXPROCS×4), lowered until every shard owns at least
+// minShardQuota pages.
 func NewPool(pageSize int, capBytes int64) *Pool {
+	return NewPoolShards(pageSize, capBytes, 0)
+}
+
+// NewPoolShards is NewPool with an explicit shard count (rounded up to a
+// power of two; 0 selects the automatic count). A single shard reproduces
+// the old global-lock pool's behavior exactly — benchmarks use it as the
+// contention baseline.
+func NewPoolShards(pageSize int, capBytes int64, shards int) *Pool {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
@@ -57,30 +155,80 @@ func NewPool(pageSize int, capBytes int64) *Pool {
 	if capPages < 4 {
 		capPages = 4
 	}
-	return &Pool{
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0) * 4
+	}
+	n = nextPow2(n)
+	for n > 1 && capPages/n < minShardQuota {
+		n >>= 1
+	}
+	p := &Pool{
 		pageSize: pageSize,
 		capPages: capPages,
 		stats:    &Stats{},
-		lru:      list.New(),
-		pages:    make(map[pageKey]*list.Element),
+		shards:   make([]*poolShard, n),
+		mask:     uint64(n - 1),
 		files:    make(map[uint32]*fileState),
 	}
+	quota := capPages / n
+	p.spare.Store(int64(capPages - quota*n))
+	for i := range p.shards {
+		p.shards[i] = &poolShard{
+			pool:   p,
+			quota:  quota,
+			frames: make(map[pageKey]*Frame),
+		}
+	}
+	return p
+}
+
+// nextPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardOf maps a page key onto its shard with a splitmix-style mix so that
+// sequential pages of one file spread across shards.
+func (p *Pool) shardOf(key pageKey) *poolShard {
+	h := uint64(key.page)*0xBF58476D1CE4E5B9 ^ (uint64(key.file)+1)*0x94D049BB133111EB
+	h ^= h >> 31
+	return p.shards[h&p.mask]
 }
 
 // PageSize returns the pool's page size in bytes.
 func (p *Pool) PageSize() int { return p.pageSize }
+
+// CapPages returns the pool's byte budget in pages.
+func (p *Pool) CapPages() int { return p.capPages }
+
+// ShardCount returns the number of lock stripes.
+func (p *Pool) ShardCount() int { return len(p.shards) }
 
 // Stats returns the pool's I/O counters.
 func (p *Pool) Stats() *Stats { return p.stats }
 
 // Register attaches a device to the pool and returns its file handle id.
 func (p *Pool) Register(dev Device) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.filesMu.Lock()
+	defer p.filesMu.Unlock()
 	id := p.next
 	p.next++
-	p.files[id] = &fileState{dev: dev, lastRead: -1, stats: &Stats{}}
+	fs := &fileState{dev: dev, stats: &Stats{}}
+	fs.lastRead.Store(-1)
+	p.files[id] = fs
 	return id
+}
+
+// fileState resolves a registered file, or nil.
+func (p *Pool) fileState(id uint32) *fileState {
+	p.filesMu.RLock()
+	defer p.filesMu.RUnlock()
+	return p.files[id]
 }
 
 // FileStats returns the per-file I/O counters of a registered file, or nil if
@@ -89,135 +237,313 @@ func (p *Pool) Register(dev Device) uint32 {
 // refine I/O (table file) exactly, even with several workers reading pages
 // concurrently.
 func (p *Pool) FileStats(id uint32) *Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fs, ok := p.files[id]; ok {
+	if fs := p.fileState(id); fs != nil {
 		return fs.stats
 	}
 	return nil
 }
 
-// Unregister detaches a device, dropping its cached pages. The device is not
-// closed.
+// Unregister detaches a device, dropping its cached pages across all shards.
+// The device is not closed. Pinned frames of the file are detached, not
+// freed: their readers keep a stable snapshot until Release.
 func (p *Pool) Unregister(id uint32) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.filesMu.Lock()
+	fs := p.files[id]
 	delete(p.files, id)
-	for e := p.lru.Front(); e != nil; {
-		next := e.Next()
-		pg := e.Value.(*poolPage)
-		if pg.key.file == id {
-			p.lru.Remove(e)
-			delete(p.pages, pg.key)
-		}
-		e = next
+	p.filesMu.Unlock()
+	if fs != nil {
+		fs.gone.Store(true)
 	}
-}
-
-// readPageLocked returns the contents of page `page` of file `id`, loading it
-// from the device on a miss. The caller must hold p.mu; the returned slice is
-// the cached page and is only valid while the lock is held (writePage mutates
-// it in place).
-func (p *Pool) readPageLocked(id uint32, page int64) ([]byte, error) {
-	fs, ok := p.files[id]
-	if !ok {
-		return nil, fmt.Errorf("storage: unknown file %d", id)
-	}
-	key := pageKey{id, page}
-	if e, ok := p.pages[key]; ok {
-		p.lru.MoveToFront(e)
-		p.stats.recordHit()
-		fs.stats.recordHit()
-		return e.Value.(*poolPage).data, nil
-	}
-	data := make([]byte, p.pageSize)
-	if _, err := fs.dev.ReadAt(data, page*int64(p.pageSize)); err != nil {
-		return nil, err
-	}
-	c := classifyRead(fs.lastRead, page)
-	p.stats.recordRead(c)
-	fs.stats.recordRead(c)
-	fs.lastRead = page
-	p.insert(key, data)
-	return data, nil
-}
-
-// readInto copies the bytes of page `page` of file `id` starting at in-page
-// offset `in` into dst, returning the number of bytes copied. The copy runs
-// under the pool lock so a concurrent writePage to the same page can never
-// tear it — this is what makes Search safe against concurrent updates.
-func (p *Pool) readInto(id uint32, page int64, in int, dst []byte) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	data, err := p.readPageLocked(id, page)
-	if err != nil {
-		return 0, err
-	}
-	return copy(dst, data[in:]), nil
-}
-
-// writePage stores data as page `page` of file `id` and writes it through to
-// the device. len(data) must equal the page size.
-func (p *Pool) writePage(id uint32, page int64, data []byte) error {
-	if len(data) != p.pageSize {
-		return fmt.Errorf("storage: writePage with %d bytes, page size %d", len(data), p.pageSize)
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fs, ok := p.files[id]
-	if !ok {
-		return fmt.Errorf("storage: unknown file %d", id)
-	}
-	if _, err := fs.dev.WriteAt(data, page*int64(p.pageSize)); err != nil {
-		return err
-	}
-	p.stats.recordWrite()
-	fs.stats.recordWrite()
-	key := pageKey{id, page}
-	if e, ok := p.pages[key]; ok {
-		copy(e.Value.(*poolPage).data, data)
-		p.lru.MoveToFront(e)
-		return nil
-	}
-	cp := make([]byte, p.pageSize)
-	copy(cp, data)
-	p.insert(key, cp)
-	return nil
-}
-
-// insert adds a page, evicting the LRU page if at capacity. Caller holds mu.
-func (p *Pool) insert(key pageKey, data []byte) {
-	for p.lru.Len() >= p.capPages {
-		back := p.lru.Back()
-		pg := back.Value.(*poolPage)
-		p.lru.Remove(back)
-		delete(p.pages, pg.key)
-	}
-	p.pages[key] = p.lru.PushFront(&poolPage{key: key, data: data})
+	p.dropFilePages(id)
 }
 
 // InvalidateFile drops all cached pages of the file (used after rebuilds
 // that rewrite a device wholesale).
 func (p *Pool) InvalidateFile(id uint32) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for e := p.lru.Front(); e != nil; {
-		next := e.Next()
-		pg := e.Value.(*poolPage)
-		if pg.key.file == id {
-			p.lru.Remove(e)
-			delete(p.pages, pg.key)
-		}
-		e = next
-	}
-	if fs, ok := p.files[id]; ok {
-		fs.lastRead = -1
+	p.dropFilePages(id)
+	if fs := p.fileState(id); fs != nil {
+		fs.lastRead.Store(-1)
 	}
 }
 
-// CachedPages reports the number of pages currently resident.
-func (p *Pool) CachedPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lru.Len()
+// dropFilePages sweeps every shard, removing the file's frames. Shards are
+// locked one at a time; the pool never holds two shard locks at once.
+func (p *Pool) dropFilePages(id uint32) {
+	for _, sh := range p.shards {
+		sh.lock()
+		for key, fr := range sh.frames {
+			if key.file != id {
+				continue
+			}
+			sh.detachLocked(fr)
+		}
+		sh.syncOverLocked()
+		sh.unlock()
+	}
 }
+
+// detachLocked removes a frame from the shard's map and ring. A pinned frame
+// stays alive (stale, counted in detached) until its last Release.
+func (sh *poolShard) detachLocked(fr *Frame) {
+	delete(sh.frames, fr.key)
+	sh.ringRemoveLocked(fr)
+	if fr.pins > 0 {
+		fr.stale = true
+		sh.pool.detached.Add(1)
+	}
+}
+
+func (sh *poolShard) ringRemoveLocked(fr *Frame) {
+	for i, g := range sh.ring {
+		if g == fr {
+			last := len(sh.ring) - 1
+			sh.ring[i] = sh.ring[last]
+			sh.ring[last] = nil
+			sh.ring = sh.ring[:last]
+			if sh.hand >= len(sh.ring) {
+				sh.hand = 0
+			}
+			return
+		}
+	}
+}
+
+// syncOverLocked reconciles the shard's over-budget count (and the pool's
+// atomic overflow total) with the current ring occupancy.
+func (sh *poolShard) syncOverLocked() {
+	over := len(sh.ring) - (sh.quota + sh.extra)
+	if over < 0 {
+		over = 0
+	}
+	if over != sh.over {
+		sh.pool.overflow.Add(int64(over - sh.over))
+		sh.over = over
+	}
+}
+
+// evictOneLocked runs the CLOCK hand: skip pinned frames, give referenced
+// frames a second chance, evict the first unpinned unreferenced frame. Two
+// full sweeps guarantee progress when any frame is evictable.
+func (sh *poolShard) evictOneLocked() bool {
+	n := len(sh.ring)
+	for i := 0; i < 2*n; i++ {
+		fr := sh.ring[sh.hand]
+		if fr.pins > 0 {
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			continue
+		}
+		delete(sh.frames, fr.key)
+		sh.ringRemoveLocked(fr)
+		return true
+	}
+	return false
+}
+
+// ensureRoomLocked makes space for one more resident page: evict if
+// possible, claim a spare quota page otherwise, and as a last resort (every
+// frame pinned) run over budget, counted in the overflow gauge.
+func (sh *poolShard) ensureRoomLocked() {
+	for len(sh.ring) >= sh.quota+sh.extra {
+		if sh.evictOneLocked() {
+			continue
+		}
+		if sh.pool.takeSpare() {
+			sh.extra++
+			continue
+		}
+		break // pin-forced overflow; syncOverLocked accounts for it
+	}
+}
+
+// reclaimLocked evicts back down to quota after pin-forced overflow.
+func (sh *poolShard) reclaimLocked() {
+	for len(sh.ring) > sh.quota+sh.extra {
+		if !sh.evictOneLocked() {
+			break
+		}
+	}
+	sh.syncOverLocked()
+}
+
+func (p *Pool) takeSpare() bool {
+	for {
+		v := p.spare.Load()
+		if v <= 0 {
+			return false
+		}
+		if p.spare.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// loadLocked reads page `key.page` from the device straight into a fresh
+// frame and installs it. On a failed device read nothing changes: no frame
+// is inserted, no counter moves, and the file's read-position is not
+// advanced (a failed miss must not promote the key or skew the seq/near/rand
+// classification — see TestPoolFailedRead*).
+func (sh *poolShard) loadLocked(fs *fileState, key pageKey) (*Frame, error) {
+	p := sh.pool
+	data := make([]byte, p.pageSize)
+	if _, err := fs.dev.ReadAt(data, key.page*int64(p.pageSize)); err != nil {
+		return nil, err
+	}
+	if fs.gone.Load() {
+		// Unregistered while we were reading: serve nothing rather than
+		// resurrect a page the sweep may already have dropped.
+		return nil, fmt.Errorf("storage: unknown file %d", key.file)
+	}
+	c := classifyRead(fs.lastRead.Swap(key.page), key.page)
+	p.stats.recordRead(c)
+	fs.stats.recordRead(c)
+	fr := &Frame{key: key, shard: sh, data: data, ref: true}
+	sh.ensureRoomLocked()
+	sh.frames[key] = fr
+	sh.ring = append(sh.ring, fr)
+	sh.syncOverLocked()
+	return fr, nil
+}
+
+// Get returns the frame of page `page` of file `id`, pinned. The caller must
+// Release it; until then the frame's bytes are stable (writes to the page
+// install a fresh frame instead of mutating a pinned one) and the frame is
+// exempt from eviction.
+func (p *Pool) Get(id uint32, page int64) (*Frame, error) {
+	fs := p.fileState(id)
+	if fs == nil {
+		return nil, fmt.Errorf("storage: unknown file %d", id)
+	}
+	key := pageKey{id, page}
+	sh := p.shardOf(key)
+	sh.lock()
+	fr, ok := sh.frames[key]
+	if ok {
+		p.stats.recordHit()
+		fs.stats.recordHit()
+	} else {
+		var err error
+		if fr, err = sh.loadLocked(fs, key); err != nil {
+			sh.unlock()
+			return nil, err
+		}
+	}
+	fr.pins++
+	fr.ref = true
+	p.pinned.Add(1)
+	sh.unlock()
+	return fr, nil
+}
+
+// readInto copies the bytes of page `page` of file `id` starting at in-page
+// offset `in` into dst, returning the number of bytes copied. The single
+// copy runs under the page's shard lock, so a concurrent writePage to the
+// same page can never tear it — this is what makes Search safe against
+// concurrent updates. (On a miss the device reads directly into the frame
+// that will be cached; the old pool staged misses through a scratch buffer,
+// copying every missed page twice.)
+func (p *Pool) readInto(id uint32, page int64, in int, dst []byte) (int, error) {
+	fs := p.fileState(id)
+	if fs == nil {
+		return 0, fmt.Errorf("storage: unknown file %d", id)
+	}
+	key := pageKey{id, page}
+	sh := p.shardOf(key)
+	sh.lock()
+	fr, ok := sh.frames[key]
+	if ok {
+		p.stats.recordHit()
+		fs.stats.recordHit()
+		fr.ref = true
+	} else {
+		var err error
+		if fr, err = sh.loadLocked(fs, key); err != nil {
+			sh.unlock()
+			return 0, err
+		}
+	}
+	n := copy(dst, fr.data[in:])
+	sh.unlock()
+	return n, nil
+}
+
+// writePage stores data as page `page` of file `id` and writes it through to
+// the device. len(data) must equal the page size. If the resident frame is
+// pinned, it is detached and a fresh frame installed (copy-on-write), so
+// pinned readers keep their snapshot; an unpinned frame is updated in place.
+func (p *Pool) writePage(id uint32, page int64, data []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("storage: writePage with %d bytes, page size %d", len(data), p.pageSize)
+	}
+	fs := p.fileState(id)
+	if fs == nil {
+		return fmt.Errorf("storage: unknown file %d", id)
+	}
+	key := pageKey{id, page}
+	sh := p.shardOf(key)
+	sh.lock()
+	defer sh.unlock()
+	// Device first, under the shard lock: a failed write leaves the cache
+	// untouched, and two racing writers cannot publish device and cache
+	// states in opposite orders.
+	if _, err := fs.dev.WriteAt(data, page*int64(p.pageSize)); err != nil {
+		return err
+	}
+	p.stats.recordWrite()
+	fs.stats.recordWrite()
+	if fr, ok := sh.frames[key]; ok {
+		if fr.pins == 0 {
+			copy(fr.data, data)
+			fr.ref = true
+			return nil
+		}
+		sh.detachLocked(fr)
+	}
+	cp := make([]byte, p.pageSize)
+	copy(cp, data)
+	fr := &Frame{key: key, shard: sh, data: cp, ref: true}
+	sh.ensureRoomLocked()
+	sh.frames[key] = fr
+	sh.ring = append(sh.ring, fr)
+	sh.syncOverLocked()
+	return nil
+}
+
+// CachedPages reports the number of pages currently resident in rings
+// (detached pinned frames excluded).
+func (p *Pool) CachedPages() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.lock()
+		n += len(sh.ring)
+		sh.unlock()
+	}
+	return n
+}
+
+// ShardResident reports the resident page count of one shard.
+func (p *Pool) ShardResident(i int) int {
+	sh := p.shards[i]
+	sh.lock()
+	defer sh.unlock()
+	return len(sh.ring)
+}
+
+// PinnedFrames reports the number of outstanding pins. A quiesced pool must
+// read 0; a stuck nonzero value is a pin leak.
+func (p *Pool) PinnedFrames() int64 { return p.pinned.Load() }
+
+// OverflowPages reports how many pages the pool holds beyond its byte
+// budget: ring pages pins forced past the quota, plus detached
+// (copy-on-write or invalidated) frames still held by pinned readers. It is
+// bounded by the number of outstanding pins and returns to 0 as they are
+// released.
+func (p *Pool) OverflowPages() int64 { return p.overflow.Load() + p.detached.Load() }
+
+// LockWaits reports how many shard-lock acquisitions found the lock already
+// held — the pool's contention signal.
+func (p *Pool) LockWaits() int64 { return p.lockWait.Load() }

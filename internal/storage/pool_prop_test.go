@@ -1,0 +1,625 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The pool invariant battery. A randomized concurrent workload (Get/Release,
+// readInto, writePage, InvalidateFile, Unregister) runs against a model kept
+// in plain Go maps, asserting the pool's contract the whole time:
+//
+//   - the byte budget is never exceeded beyond what outstanding pins force;
+//   - a pinned frame's bytes never change (copy-on-write on writes);
+//   - no read ever observes a torn page or a version the model never wrote;
+//   - after Unregister, no page of the file is served;
+//   - every pin is returned (PinnedFrames ends at 0) and the pool shrinks
+//     back to budget (OverflowPages ends at 0);
+//   - cache hits + physical reads add up to exactly the successful request
+//     count — the accounting the query planner's I/O attribution rests on.
+//
+// Failures reproduce from one line, like the differential oracle:
+//
+//	go test ./internal/storage -run TestPoolInvariantProperty -pool.seed=N -pool.ops=M
+var (
+	poolSeed = flag.Int64("pool.seed", 0x9a7e5, "pool property workload seed to replay")
+	poolOps  = flag.Int("pool.ops", 0, "pool property ops per worker (0 = default)")
+)
+
+const (
+	propPageSize = 64
+	propCapPages = 32
+	propFiles    = 3
+	propPages    = 96 // per file; 3× the budget so eviction never stops
+)
+
+func poolRepro(run string, ops int) string {
+	return fmt.Sprintf("repro: go test ./internal/storage -run %s -pool.seed=%d -pool.ops=%d",
+		run, *poolSeed, ops)
+}
+
+// fillPropPage writes the deterministic content of (file, page, ver): the
+// version in the first 8 bytes, a splitmix stream keyed by all three after.
+// Any mix of two versions in one page fails verification — that is the torn-
+// read detector.
+func fillPropPage(buf []byte, file uint32, page, ver int64) {
+	binary.LittleEndian.PutUint64(buf, uint64(ver))
+	seed := uint64(file+1)*0x9E3779B97F4A7C15 ^ uint64(page)*0xBF58476D1CE4E5B9 ^ uint64(ver)*0x94D049BB133111EB
+	for i := 8; i < len(buf); i++ {
+		x := seed + uint64(i)*0x2545F4914F6CDD1D
+		x ^= x >> 29
+		x *= 0xBF58476D1CE4E5B9
+		buf[i] = byte(x >> 56)
+	}
+}
+
+// checkPropPage verifies buf is exactly one committed version of the page
+// (whichever version its header claims), i.e. untorn.
+func checkPropPage(buf []byte, file uint32, page int64) error {
+	ver := int64(binary.LittleEndian.Uint64(buf))
+	want := make([]byte, len(buf))
+	fillPropPage(want, file, page, ver)
+	if !bytes.Equal(buf, want) {
+		return fmt.Errorf("file %d page %d: torn or corrupt content (header claims ver %d)", file, page, ver)
+	}
+	return nil
+}
+
+// propModel is the reference state: the committed version of every page,
+// guarded per page so writers serialize with the verified-read op without
+// serializing the whole workload.
+type propModel struct {
+	pages [propFiles][propPages]struct {
+		mu  sync.Mutex
+		ver int64
+	}
+}
+
+type poolPropConfig struct {
+	seed     int64
+	opsPer   int           // per worker; 0 with a deadline means run until deadline
+	workers  int
+	deadline time.Duration // 0 = ops-bounded
+	faults   bool          // wrap devices in FaultDevice and cycle budgets
+	run      string        // test name for the repro line
+}
+
+// firstErr records the first failure from any goroutine.
+type firstErr struct {
+	once sync.Once
+	err  atomic.Pointer[error]
+}
+
+func (f *firstErr) set(err error) {
+	f.once.Do(func() { f.err.Store(&err) })
+}
+
+func (f *firstErr) get() error {
+	if p := f.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func runPoolProp(t *testing.T, cfg poolPropConfig) {
+	t.Helper()
+	p := NewPoolShards(propPageSize, propPageSize*propCapPages, 4)
+	if p.ShardCount() != 4 {
+		t.Fatalf("want 4 shards for the property pool, got %d", p.ShardCount())
+	}
+
+	mems := make([]*MemDevice, propFiles)
+	faults := make([]*FaultDevice, propFiles)
+	ids := make([]uint32, propFiles)
+	model := &propModel{}
+	buf := make([]byte, propPageSize)
+	for f := 0; f < propFiles; f++ {
+		mems[f] = NewMemDevice()
+		for pg := int64(0); pg < propPages; pg++ {
+			fillPropPage(buf, uint32(f), pg, 0)
+			if _, err := mems[f].WriteAt(buf, pg*propPageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var dev Device = mems[f]
+		if cfg.faults {
+			faults[f] = NewFaultDevice(mems[f], -1)
+			dev = faults[f]
+		}
+		ids[f] = p.Register(dev)
+		if ids[f] != uint32(f) {
+			t.Fatalf("file ids not dense: got %d want %d", ids[f], f)
+		}
+	}
+
+	var (
+		fail     firstErr
+		requests atomic.Int64 // successful Get/readInto calls
+		done     = make(chan struct{})
+		deadline time.Time
+	)
+	if cfg.deadline > 0 {
+		deadline = time.Now().Add(cfg.deadline)
+	}
+
+	// Budget sampler: the ring population may exceed the page budget only by
+	// what pins force (≤ one pin per worker at a time), plus sampling skew
+	// from reading the shards one lock at a time.
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		limit := p.CapPages() + 2*cfg.workers + 2
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n := p.CachedPages(); n > limit {
+				fail.set(fmt.Errorf("budget invariant: %d resident pages, limit %d (cap %d, %d workers)",
+					n, limit, p.CapPages(), cfg.workers))
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	worker := func(w int) error {
+		r := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+		scratch := make([]byte, propPageSize)
+		for op := 0; ; op++ {
+			if cfg.opsPer > 0 && op >= cfg.opsPer {
+				return nil
+			}
+			if cfg.opsPer == 0 && (op&63) == 0 && time.Now().After(deadline) {
+				return nil
+			}
+			if fail.get() != nil {
+				return nil
+			}
+			f := r.Intn(propFiles)
+			pg := int64(r.Intn(propPages))
+			switch c := r.Intn(100); {
+			case c < 40: // pinned read: verify untorn, prove snapshot immutability
+				fr, err := p.Get(ids[f], pg)
+				if err != nil {
+					if cfg.faults && errors.Is(err, ErrInjected) {
+						continue
+					}
+					return fmt.Errorf("op %d Get(%d,%d): %v", op, f, pg, err)
+				}
+				requests.Add(1)
+				if err := checkPropPage(fr.Data(), uint32(f), pg); err != nil {
+					fr.Release()
+					return fmt.Errorf("op %d: %v", op, err)
+				}
+				if c < 8 { // hold the pin across scheduling points
+					copy(scratch, fr.Data())
+					runtime.Gosched()
+					runtime.Gosched()
+					if !bytes.Equal(scratch, fr.Data()) {
+						fr.Release()
+						return fmt.Errorf("op %d: pinned frame of file %d page %d mutated under the pin", op, f, pg)
+					}
+				}
+				fr.Release()
+			case c < 60: // copying read
+				n, err := p.readInto(ids[f], pg, 0, scratch)
+				if err != nil {
+					if cfg.faults && errors.Is(err, ErrInjected) {
+						continue
+					}
+					return fmt.Errorf("op %d readInto(%d,%d): %v", op, f, pg, err)
+				}
+				requests.Add(1)
+				if n != propPageSize {
+					return fmt.Errorf("op %d readInto(%d,%d): short copy %d", op, f, pg, n)
+				}
+				if err := checkPropPage(scratch, uint32(f), pg); err != nil {
+					return fmt.Errorf("op %d: %v", op, err)
+				}
+			case c < 80: // write next version
+				slot := &model.pages[f][pg]
+				slot.mu.Lock()
+				next := slot.ver + 1
+				data := make([]byte, propPageSize)
+				fillPropPage(data, uint32(f), pg, next)
+				err := p.writePage(ids[f], pg, data)
+				if err == nil {
+					slot.ver = next
+				}
+				slot.mu.Unlock()
+				if err != nil && !(cfg.faults && errors.Is(err, ErrInjected)) {
+					return fmt.Errorf("op %d writePage(%d,%d): %v", op, f, pg, err)
+				}
+			case c < 95: // read-your-writes: under the page lock, the exact model version
+				slot := &model.pages[f][pg]
+				slot.mu.Lock()
+				fr, err := p.Get(ids[f], pg)
+				if err == nil {
+					requests.Add(1)
+					if got := int64(binary.LittleEndian.Uint64(fr.Data())); got != slot.ver {
+						err = fmt.Errorf("op %d: file %d page %d served ver %d, model has %d", op, f, pg, got, slot.ver)
+						fr.Release()
+						slot.mu.Unlock()
+						return err
+					}
+					fr.Release()
+				}
+				slot.mu.Unlock()
+				if err != nil && !(cfg.faults && errors.Is(err, ErrInjected)) {
+					return fmt.Errorf("op %d Get(%d,%d): %v", op, f, pg, err)
+				}
+			default: // drop the file's cache; later reads must reload from the device
+				p.InvalidateFile(ids[f])
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := worker(w); err != nil {
+				fail.set(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	samplerWG.Wait()
+
+	ops := cfg.opsPer
+	if err := fail.get(); err != nil {
+		t.Fatalf("%v\n  %s", err, poolRepro(cfg.run, ops))
+	}
+	if cfg.faults {
+		for _, fd := range faults {
+			fd.Reset(-1)
+		}
+	}
+
+	// Quiesced invariants.
+	if n := p.PinnedFrames(); n != 0 {
+		t.Fatalf("pin leak: %d frames still pinned after the workload\n  %s", n, poolRepro(cfg.run, ops))
+	}
+	if n := p.OverflowPages(); n != 0 {
+		t.Fatalf("%d overflow pages with no pins outstanding\n  %s", n, poolRepro(cfg.run, ops))
+	}
+	if n := p.CachedPages(); n > p.CapPages() {
+		t.Fatalf("quiesced pool holds %d pages, budget %d\n  %s", n, p.CapPages(), poolRepro(cfg.run, ops))
+	}
+	snap := p.Stats().Snapshot()
+	if snap.CacheHits+snap.PhysReads != requests.Load() {
+		t.Fatalf("accounting drift: %d hits + %d physical reads != %d successful requests\n  %s",
+			snap.CacheHits, snap.PhysReads, requests.Load(), poolRepro(cfg.run, ops))
+	}
+	if snap.SeqReads+snap.NearReads+snap.RandReads != snap.PhysReads {
+		t.Fatalf("read classes sum to %d, physical reads %d\n  %s",
+			snap.SeqReads+snap.NearReads+snap.RandReads, snap.PhysReads, poolRepro(cfg.run, ops))
+	}
+
+	// Every page must have converged to its committed model version.
+	for f := 0; f < propFiles; f++ {
+		for pg := int64(0); pg < propPages; pg++ {
+			fr, err := p.Get(ids[f], pg)
+			if err != nil {
+				t.Fatalf("final verify Get(%d,%d): %v\n  %s", f, pg, err, poolRepro(cfg.run, ops))
+			}
+			got := int64(binary.LittleEndian.Uint64(fr.Data()))
+			if want := model.pages[f][pg].ver; got != want {
+				fr.Release()
+				t.Fatalf("final verify: file %d page %d at ver %d, model committed %d\n  %s",
+					f, pg, got, want, poolRepro(cfg.run, ops))
+			}
+			if err := checkPropPage(fr.Data(), uint32(f), pg); err != nil {
+				fr.Release()
+				t.Fatalf("final verify: %v\n  %s", err, poolRepro(cfg.run, ops))
+			}
+			fr.Release()
+		}
+	}
+
+	// Unregister: the file disappears atomically; its stats pointer stays
+	// valid but frozen.
+	frozen := p.FileStats(ids[0]).Snapshot()
+	p.Unregister(ids[0])
+	if _, err := p.Get(ids[0], 0); err == nil {
+		t.Fatalf("Get served a page of an unregistered file\n  %s", poolRepro(cfg.run, ops))
+	}
+	if got := p.FileStats(ids[0]); got != nil {
+		t.Fatalf("FileStats of an unregistered file should be nil, got %+v", got.Snapshot())
+	}
+	_ = frozen
+	if n := p.PinnedFrames(); n != 0 {
+		t.Fatalf("pins after unregister: %d", n)
+	}
+}
+
+func propOps(def int) int {
+	if *poolOps > 0 {
+		return *poolOps
+	}
+	if testing.Short() {
+		return def / 4
+	}
+	return def
+}
+
+func TestPoolInvariantProperty(t *testing.T) {
+	runPoolProp(t, poolPropConfig{
+		seed:    *poolSeed,
+		opsPer:  propOps(4000),
+		workers: 8,
+		run:     "TestPoolInvariantProperty",
+	})
+}
+
+// TestPoolSoak is the time-bounded variant for -race CI runs: duration comes
+// from IVA_POOL_SOAK_MS (default 1s, 250ms under -short).
+func TestPoolSoak(t *testing.T) {
+	ms := 1000
+	if testing.Short() {
+		ms = 250
+	}
+	if v := os.Getenv("IVA_POOL_SOAK_MS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("IVA_POOL_SOAK_MS=%q: %v", v, err)
+		}
+		ms = n
+	}
+	runPoolProp(t, poolPropConfig{
+		seed:     *poolSeed + 1,
+		workers:  8,
+		deadline: time.Duration(ms) * time.Millisecond,
+		run:      "TestPoolSoak",
+	})
+}
+
+// TestPoolFaultSoak interleaves injected device failures with the concurrent
+// workload: a chaos goroutine keeps re-arming every device with small random
+// budgets, so misses and write-throughs fail mid-flight while other workers
+// evict, pin and invalidate. The pool must degrade to clean errors — no torn
+// pages, no phantom cache entries, every invariant of the quiesced pool
+// intact once the devices are healed.
+func TestPoolFaultSoak(t *testing.T) {
+	runPoolProp(t, poolPropConfig{
+		seed:    *poolSeed + 2,
+		opsPer:  propOps(3000),
+		workers: 8,
+		faults:  true,
+		run:     "TestPoolFaultSoak",
+	})
+}
+
+// captureDevice records the destination buffer of the last ReadAt, so a test
+// can prove the pool reads misses straight into the cached frame.
+type captureDevice struct {
+	*MemDevice
+	last []byte
+}
+
+func (d *captureDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.last = p
+	return d.MemDevice.ReadAt(p, off)
+}
+
+// TestPoolMissReadsIntoFrame pins the regression fix for the miss double
+// copy: the buffer handed to the device IS the frame that gets cached and
+// pinned, with no staging copy in between.
+func TestPoolMissReadsIntoFrame(t *testing.T) {
+	dev := &captureDevice{MemDevice: NewMemDevice()}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	if _, err := dev.MemDevice.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoolShards(128, 128*4, 1)
+	id := p.Register(dev)
+	fr, err := p.Get(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Release()
+	if dev.last == nil {
+		t.Fatal("device never saw a read")
+	}
+	if &fr.Data()[0] != &dev.last[0] {
+		t.Fatal("miss was staged through a scratch buffer instead of reading into the frame")
+	}
+}
+
+// TestPoolFailedReadNoSideEffects pins the failed-read regression: an
+// errored miss must not cache a frame, must not move any counter, and must
+// not advance the file's read position — the old pool "promoted" the failed
+// page, so the next successful read was misclassified as random.
+func TestPoolFailedReadNoSideEffects(t *testing.T) {
+	mem := NewMemDevice()
+	buf := make([]byte, 64)
+	for pg := int64(0); pg < 16; pg++ {
+		fillPropPage(buf, 0, pg, 0)
+		if _, err := mem.WriteAt(buf, pg*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd := NewFaultDevice(mem, -1)
+	p := NewPoolShards(64, 64*8, 1)
+	id := p.Register(fd)
+
+	// Establish a read position: pages 0 then 1 (the second is sequential).
+	for pg := int64(0); pg <= 1; pg++ {
+		fr, err := p.Get(id, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	before := p.Stats().Snapshot()
+	cached := p.CachedPages()
+
+	fd.Trip()
+	if _, err := p.Get(id, 9); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get on a tripped device: err=%v, want ErrInjected", err)
+	}
+	if _, err := p.readInto(id, 10, 0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("readInto on a tripped device: err=%v, want ErrInjected", err)
+	}
+	after := p.Stats().Snapshot()
+	if after != before {
+		t.Fatalf("failed reads moved counters: before %+v, after %+v", before, after)
+	}
+	if got := p.CachedPages(); got != cached {
+		t.Fatalf("failed reads changed residency: %d -> %d pages", cached, got)
+	}
+
+	// The read position must still be page 1: page 2 is a sequential read.
+	// Had the failed page 9 been promoted, this would classify as random.
+	fd.Reset(-1)
+	fr, err := p.Get(id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	final := p.Stats().Snapshot()
+	if final.SeqReads != before.SeqReads+1 {
+		t.Fatalf("read after failure classified wrong: seq %d -> %d (rand %d -> %d); failed read promoted the position",
+			before.SeqReads, final.SeqReads, before.RandReads, final.RandReads)
+	}
+}
+
+// TestPoolWriteCopyOnWrite: writing a pinned page must leave the pinned
+// snapshot untouched and serve the new bytes to the next reader; writing an
+// unpinned page updates the frame in place without a device read.
+func TestPoolWriteCopyOnWrite(t *testing.T) {
+	mem := NewMemDevice()
+	old := bytes.Repeat([]byte{0x11}, 64)
+	if _, err := mem.WriteAt(old, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoolShards(64, 64*4, 1)
+	id := p.Register(mem)
+
+	fr, err := p.Get(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), fr.Data()...)
+
+	neu := bytes.Repeat([]byte{0x22}, 64)
+	if err := p.writePage(id, 0, neu); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fr.Data(), snapshot) {
+		t.Fatal("write mutated a pinned frame in place")
+	}
+	if p.OverflowPages() != 1 {
+		t.Fatalf("detached frame not counted: OverflowPages=%d, want 1", p.OverflowPages())
+	}
+
+	fr2, err := p.Get(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fr2.Data(), neu) {
+		t.Fatal("reader after the write still sees the old bytes")
+	}
+	readsAfterCOW := p.Stats().Snapshot().PhysReads
+	fr.Release()
+	if p.OverflowPages() != 0 {
+		t.Fatalf("OverflowPages=%d after releasing the stale pin, want 0", p.OverflowPages())
+	}
+
+	// Unpinned in-place update: no new frame, no device read.
+	fr2.Release()
+	neu2 := bytes.Repeat([]byte{0x33}, 64)
+	if err := p.writePage(id, 0, neu2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fr2.Data(), neu2) {
+		t.Fatal("unpinned write did not update the resident frame in place")
+	}
+	fr3, err := p.Get(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr3.Release()
+	if !bytes.Equal(fr3.Data(), neu2) {
+		t.Fatal("read after in-place write sees stale bytes")
+	}
+	if got := p.Stats().Snapshot().PhysReads; got != readsAfterCOW {
+		t.Fatalf("in-place write path touched the device for reads: %d -> %d", readsAfterCOW, got)
+	}
+}
+
+// TestPoolPinForcedOverflow: when every resident frame is pinned the pool
+// must keep serving (running over budget, visibly in OverflowPages) and
+// shrink back once pins are released.
+func TestPoolPinForcedOverflow(t *testing.T) {
+	mem := NewMemDevice()
+	if _, err := mem.WriteAt(make([]byte, 64*16), 0); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoolShards(64, 64*4, 1)
+	id := p.Register(mem)
+
+	var frames []*Frame
+	for pg := int64(0); pg < 6; pg++ { // 2 past the 4-page budget
+		fr, err := p.Get(id, pg)
+		if err != nil {
+			t.Fatalf("page %d with all frames pinned: %v", pg, err)
+		}
+		frames = append(frames, fr)
+	}
+	if got := p.CachedPages(); got != 6 {
+		t.Fatalf("resident %d, want 6 (pins must force overflow, not eviction)", got)
+	}
+	if got := p.OverflowPages(); got != 2 {
+		t.Fatalf("OverflowPages=%d, want 2", got)
+	}
+	for _, fr := range frames {
+		fr.Release()
+	}
+	if got := p.OverflowPages(); got != 0 {
+		t.Fatalf("OverflowPages=%d after releasing all pins, want 0", got)
+	}
+	if got := p.CachedPages(); got > p.CapPages() {
+		t.Fatalf("resident %d after release, budget %d", got, p.CapPages())
+	}
+	if got := p.PinnedFrames(); got != 0 {
+		t.Fatalf("PinnedFrames=%d, want 0", got)
+	}
+}
+
+// TestPoolShardSpread sanity-checks the shard hash: sequential pages of one
+// file must not all land in one stripe.
+func TestPoolShardSpread(t *testing.T) {
+	p := NewPoolShards(DefaultPageSize, int64(DefaultPageSize)*minShardQuota*4, 4)
+	if p.ShardCount() != 4 {
+		t.Skipf("pool collapsed to %d shards", p.ShardCount())
+	}
+	counts := make(map[*poolShard]int)
+	for pg := int64(0); pg < 64; pg++ {
+		counts[p.shardOf(pageKey{file: 0, page: pg})]++
+	}
+	for sh, n := range counts {
+		if n > 32 {
+			t.Fatalf("shard %p took %d of 64 sequential pages", sh, n)
+		}
+	}
+	if len(counts) < 3 {
+		t.Fatalf("64 sequential pages hit only %d shards", len(counts))
+	}
+}

@@ -187,6 +187,33 @@ func (s *SegStore) ReadAt(c ChainID, p []byte, off int64) error {
 	return nil
 }
 
+// PinView pins the page under logical payload offset off of chain c and
+// returns the contiguous run of payload bytes starting there — bounded by
+// the end of the segment and the end of the page — plus the pinned frame.
+// The caller must Release the frame when done with the bytes.
+func (s *SegStore) PinView(c ChainID, off int64) (*Frame, []byte, error) {
+	s.mu.Lock()
+	segs, err := s.loadLocked(c)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	pay := int64(s.PayloadSize())
+	idx := off / pay
+	if idx >= int64(len(segs)) {
+		return nil, nil, fmt.Errorf("storage: pin past chain %d capacity", c)
+	}
+	in := off % pay
+	fr, b, err := s.f.PinPage(s.segOffset(segs[idx]) + segHeaderLen + in)
+	if err != nil {
+		return nil, nil, err
+	}
+	if run := pay - in; int64(len(b)) > run {
+		b = b[:run]
+	}
+	return fr, b, nil
+}
+
 // WriteAt writes p into chain c's logical payload stream at off, extending
 // the chain with fresh segments as needed.
 func (s *SegStore) WriteAt(c ChainID, p []byte, off int64) error {

@@ -195,4 +195,17 @@ func (p *Pool) RegisterPoolMetrics(r *obs.Registry, labels obs.Labels, m DiskMod
 		labels, func() float64 { return m.CostMS(st.Snapshot()) })
 	r.GaugeFunc("iva_pool_cached_pages", "Pages resident in the buffer pool.",
 		labels, func() float64 { return float64(p.CachedPages()) })
+	r.CounterFunc("iva_pool_shard_lock_wait_total", "Contended shard-lock acquisitions (striping effectiveness).",
+		labels, func() float64 { return float64(p.LockWaits()) })
+	r.GaugeFunc("iva_pool_shards", "Lock stripes in the buffer pool.",
+		labels, func() float64 { return float64(p.ShardCount()) })
+	r.GaugeFunc("iva_pool_pinned_frames", "Outstanding page pins; nonzero at quiesce is a pin leak.",
+		labels, func() float64 { return float64(p.PinnedFrames()) })
+	r.GaugeFunc("iva_pool_overflow_pages", "Pages held beyond the byte budget because pins block eviction.",
+		labels, func() float64 { return float64(p.OverflowPages()) })
+	for i := 0; i < p.ShardCount(); i++ {
+		i := i
+		r.GaugeFunc("iva_pool_shard_resident_pages", "Pages resident per pool shard.",
+			obs.With(labels, "pool_shard", fmt.Sprint(i)), func() float64 { return float64(p.ShardResident(i)) })
+	}
 }

@@ -1,0 +1,64 @@
+package iva
+
+import "testing"
+
+// TestStoreReleasesPoolPins asserts the pin-leak invariant at the API
+// surface: after any store operation returns, every buffer-pool pin taken by
+// its readers has been released (iva_pool_pinned_frames must read 0 at
+// quiesce). This is the regression test for the defer-time receiver bug
+// where `defer rds.close()` on a value receiver snapshotted the empty
+// reader set and leaked one pinned page per reader on every query.
+func TestStoreReleasesPoolPins(t *testing.T) {
+	s, err := Create("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	assertNoPins := func(stage string) {
+		t.Helper()
+		if n := s.pool.PinnedFrames(); n != 0 {
+			t.Fatalf("%s leaked %d pinned frames", stage, n)
+		}
+	}
+
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("insert+sync")
+
+	q := NewQuery(5).WhereNum("Price", 150).WhereText("Type", "Camera")
+	if _, _, err := s.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("Search")
+
+	if _, err := s.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("Explain")
+
+	if _, err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("Check")
+
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Search(q); err != nil {
+		t.Fatal(err)
+	}
+	assertNoPins("Delete+Rebuild+Search")
+}

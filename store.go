@@ -33,6 +33,11 @@ type Options struct {
 	CacheBytes int64
 	// PageSize is the cache page size (default 4 KiB).
 	PageSize int
+	// CacheShards is the buffer pool's lock-stripe count, rounded up to a
+	// power of two. 0 (the default) auto-sizes to GOMAXPROCS×4; 1 gives a
+	// single global lock (useful as a contention baseline). Small caches
+	// collapse to fewer shards so every stripe keeps a useful quota.
+	CacheShards int
 	// Metric names the combining function: "L1", "L2" (default) or "Linf".
 	Metric string
 	// Weights names the attribute weighting scheme: "EQU" (default) or
@@ -247,7 +252,7 @@ func (s *Store) coreOptions() core.Options {
 // is empty. An existing directory must not already contain a store.
 func Create(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	s := &Store{dir: dir, opts: opts, pool: storage.NewPool(opts.PageSize, opts.CacheBytes)}
+	s := &Store{dir: dir, opts: opts, pool: storage.NewPoolShards(opts.PageSize, opts.CacheBytes, opts.CacheShards)}
 	s.cat = table.NewCatalog()
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -294,7 +299,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts, pool: storage.NewPool(opts.PageSize, opts.CacheBytes), cat: cat}
+	s := &Store{dir: dir, opts: opts, pool: storage.NewPoolShards(opts.PageSize, opts.CacheBytes, opts.CacheShards), cat: cat}
 	tblDev, err := s.device(tableFileName)
 	if err != nil {
 		return nil, err
