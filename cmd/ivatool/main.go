@@ -10,7 +10,8 @@
 //	ivatool -dir DIR delete <tid>
 //	ivatool -dir DIR stats
 //	ivatool -dir DIR rebuild
-//	ivatool -dir DIR check -deep -seed 7 -ops 5000       # integrity check (+ differential oracle)
+//	ivatool -dir DIR check -checksums -deep -seed 7      # integrity check (+ checksum sweep, differential oracle)
+//	ivatool -dir DIR scrub -repair                       # verify every checksum; -repair rebuilds from a clean table
 //	ivatool -dir DIR demo                                # load a small product catalog
 //	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog
 //
@@ -43,7 +44,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if *dir == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ivatool -dir DIR <create|insert|query|get|delete|stats|rebuild|demo|serve> ...")
+		fmt.Fprintln(os.Stderr, "usage: ivatool -dir DIR <create|insert|query|get|delete|stats|rebuild|check|scrub|demo|serve> ...")
 		os.Exit(2)
 	}
 	opts := iva.Options{Metric: *metricF, Weights: *weights, SlowQueryThreshold: *slow}
@@ -180,6 +181,8 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		fmt.Println("rebuilt table and index files")
 	case "check":
 		return check(st, args)
+	case "scrub":
+		return scrub(st, args)
 	case "attrs":
 		for _, a := range st.Attrs() {
 			if a.DF == 0 {
@@ -194,12 +197,14 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 	return nil
 }
 
-// check runs the structural integrity check and, with -deep, the
-// differential oracle. It always emits one machine-readable summary line
-// (`check: status=... problems=N`) so scripts can grep the outcome, and
-// returns a non-nil error — hence exit status 1 — on any failure.
+// check runs the structural integrity check and, with -checksums, the
+// store-wide checksum sweep, and with -deep, the differential oracle. It
+// always emits one machine-readable summary line (`check: status=...
+// problems=N`) so scripts can grep the outcome, and returns a non-nil error
+// — hence exit status 1 — on any failure.
 func check(st *iva.Store, args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	sums := fs.Bool("checksums", false, "also verify every committed checksum (see scrub)")
 	deep := fs.Bool("deep", false, "also run the differential oracle in a scratch directory")
 	seed := fs.Uint64("seed", 0x1fa5eed, "oracle workload seed (with -deep)")
 	ops := fs.Int("ops", 2000, "oracle operation count (with -deep)")
@@ -222,6 +227,16 @@ func check(st *iva.Store, args []string) error {
 	}
 	if !rep.Ok() {
 		return fmt.Errorf("%d problems found", len(rep.Problems))
+	}
+	if *sums {
+		srep, err := st.Scrub()
+		if err != nil {
+			return err
+		}
+		printScrub(srep)
+		if !srep.Clean() {
+			return fmt.Errorf("%d checksum problems found", len(srep.Problems))
+		}
 	}
 	if !*deep {
 		return nil

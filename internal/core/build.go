@@ -56,7 +56,16 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 		tbl:      tbl,
 		ltid:     ltid,
 		posByTID: make(map[model.TID]int64),
+		// A fresh build writes the current format directly: Sync must not take
+		// its upgrade path (which would allocate a second checkpoint chain).
+		version:   indexVersion,
+		imode:     opts.Integrity,
+		crcChainA: storage.NoSegment,
+		crcChainB: storage.NoSegment,
 	}
+	// Arm checksum tracking before any chain is written; the full-map flag
+	// makes Build's final Sync compute every covered segment's word.
+	ix.initIntegrity(true)
 	if ix.tupleChain, err = segs.Create(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// trippingCtx reports context.Canceled after its Err method has been polled
+// threshold times — a deterministic stand-in for a context cancelled
+// mid-query, independent of scheduler timing.
+type trippingCtx struct {
+	context.Context
+	polls     atomic.Int64
+	threshold int64
+}
+
+func (c *trippingCtx) Err() error {
+	if c.polls.Add(1) > c.threshold {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSearchContextCancellation covers the query-lifecycle contract: an
+// already-expired context fails before any device read, a context cancelled
+// mid-scan stops the query with ctx.Err() at every parallelism, and neither
+// path leaks a pinned buffer-pool frame.
+func TestSearchContextCancellation(t *testing.T) {
+	cf := buildCorruptionFixture(t)
+	cf.restore(t)
+	pool := storage.NewPool(0, 1<<20)
+	tblF := storage.NewFile(pool, cf.tblDev)
+	idxF := storage.NewFile(pool, cf.idxDev)
+	defer tblF.Close()
+	defer idxF.Close()
+	tbl, err := table.Open(tblF, cf.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(idxF, tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cf.queries[0]
+
+	// Pre-expired: the pre-dispatch check must fire before any page is
+	// requested from the pool.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := pool.Stats().Snapshot()
+	if _, _, err := ix.SearchContext(expired, q, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: got %v, want context.Canceled", err)
+	}
+	after := pool.Stats().Snapshot()
+	if after.PhysReads != before.PhysReads || after.CacheHits != before.CacheHits {
+		t.Fatalf("expired ctx touched the device: %+v -> %+v", before, after)
+	}
+	if n := pool.PinnedFrames(); n != 0 {
+		t.Fatalf("expired ctx leaked %d pins", n)
+	}
+
+	// Mid-query: trip after a few polls so the cancellation lands inside
+	// the scan (sequential plan polls per 1024 positions and per refine
+	// fetch; stripe workers poll at every stripe claim).
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		ix.SetSearchParallelism(par)
+		for _, threshold := range []int64{1, 2, 4} {
+			ctx := &trippingCtx{Context: context.Background(), threshold: threshold}
+			_, _, err := ix.SearchContext(ctx, q, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("par=%d threshold=%d: got %v, want context.Canceled", par, threshold, err)
+			}
+			if n := pool.PinnedFrames(); n != 0 {
+				t.Fatalf("par=%d threshold=%d: cancellation leaked %d pins", par, threshold, n)
+			}
+		}
+	}
+
+	// Sanity: with no cancellation the same index still answers.
+	ix.SetSearchParallelism(0)
+	res, _, err := ix.SearchContext(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(res, cf.baseline[0]) {
+		t.Fatal("post-cancellation search diverged from baseline")
+	}
+	if n := pool.PinnedFrames(); n != 0 {
+		t.Fatalf("clean search leaked %d pins", n)
+	}
+}
+
+// TestCorruptionReleasesPins asserts that queries failing (Strict) or
+// degrading (default) on checksum mismatches release every pinned frame, at
+// every parallelism.
+func TestCorruptionReleasesPins(t *testing.T) {
+	cf := buildCorruptionFixture(t)
+	// Locate a committed vector-list byte from a clean open: corruption
+	// there is degradable, so both modes run their full query grid.
+	cf.restore(t)
+	probePool := storage.NewPool(0, 1<<20)
+	probeTblF := storage.NewFile(probePool, cf.tblDev)
+	probeIdxF := storage.NewFile(probePool, cf.idxDev)
+	probeTbl, err := table.Open(probeTblF, cf.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeIx, err := Open(probeIdxF, probeTbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exts := probeIx.VectorExtents()
+	if len(exts) == 0 {
+		t.Fatal("fixture has no committed vector extents")
+	}
+	off := exts[0].Offset + exts[0].Len/2
+	probeTblF.Close()
+	probeIdxF.Close()
+
+	for _, mode := range []IntegrityMode{IntegrityDegrade, IntegrityStrict} {
+		cf.restore(t)
+		cf.flip(t, off, 3)
+		pool := storage.NewPool(0, 1<<20)
+		tblF := storage.NewFile(pool, cf.tblDev)
+		idxF := storage.NewFile(pool, cf.idxDev)
+		tbl, err := table.Open(tblF, cf.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Open(idxF, tbl, Options{Integrity: mode})
+		if err == nil {
+			for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				ix.SetSearchParallelism(par)
+				for qi, q := range cf.queries {
+					res, _, err := ix.Search(q, nil)
+					if mode == IntegrityStrict && err != nil {
+						var ce *storage.CorruptionError
+						if !errors.As(err, &ce) {
+							t.Fatalf("strict par=%d: non-corruption error %v", par, err)
+						}
+					}
+					if err == nil && !sameResults(res, cf.baseline[qi]) {
+						t.Fatalf("mode=%v par=%d query %d: silently different results", mode, par, qi)
+					}
+					if n := pool.PinnedFrames(); n != 0 {
+						t.Fatalf("mode=%v par=%d query %d leaked %d pins", mode, par, qi, n)
+					}
+				}
+			}
+		}
+		tblF.Close()
+		idxF.Close()
+		if n := pool.PinnedFrames(); n != 0 {
+			t.Fatalf("mode=%v: close left %d pins", mode, n)
+		}
+	}
+	cf.restore(t)
+}

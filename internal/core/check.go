@@ -50,7 +50,7 @@ func (ix *Index) Check() (CheckReport, error) {
 	var live []liveTuple
 	var rds readerSet
 	defer rds.close()
-	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {
@@ -102,7 +102,7 @@ func (ix *Index) Check() (CheckReport, error) {
 		}
 		rep.Attributes++
 		aid := model.AttrID(id)
-		cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
+		cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
 		if err != nil {
 			rep.addf("attr %d: cursor: %v", id, err)
 			continue

@@ -85,25 +85,44 @@ func (ix *Index) currentAttrOffsets(extra func(a int) int64) []int64 {
 // Checkpoint chain layout (little-endian, byte-aligned):
 //
 //	u32 count
-//	count × record: u32 nattrs | nattrs × u64 attrOff
+//	count × record: u32 nattrs | nattrs × u64 attrOff | u32 crc   (v4)
+//
+// The per-record CRC32C trailer covers the record bytes folded with the
+// record's index, so a record that is bit-perfect but sitting at the wrong
+// position still fails verification. Trailers are deterministic, which keeps
+// the chain append-stable (old records re-serialize to identical bytes).
+// Pre-v4 chains carry no trailers; Sync migrates them to a fresh chain.
+const ckptTrailerLen = 4
+
+// ckptRecordCRC folds a serialized record (nattrs word + offsets) with its
+// index.
+func ckptRecordCRC(rec []byte, index int) uint32 {
+	var idx [4]byte
+	binary.LittleEndian.PutUint32(idx[:], uint32(index))
+	return storage.ChecksumUpdate(storage.Checksum(rec), idx[:])
+}
+
 func (ix *Index) writeCheckpoints() error {
 	if !ix.checkpointsEnabled() {
 		return nil
 	}
 	size := 4
 	for _, c := range ix.ckpts {
-		size += 4 + 8*len(c.attrOff)
+		size += 4 + 8*len(c.attrOff) + ckptTrailerLen
 	}
 	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf, uint32(len(ix.ckpts)))
 	p := 4
-	for _, c := range ix.ckpts {
+	for i, c := range ix.ckpts {
+		start := p
 		binary.LittleEndian.PutUint32(buf[p:], uint32(len(c.attrOff)))
 		p += 4
 		for _, off := range c.attrOff {
 			binary.LittleEndian.PutUint64(buf[p:], uint64(off))
 			p += 8
 		}
+		binary.LittleEndian.PutUint32(buf[p:], ckptRecordCRC(buf[start:p], i))
+		p += ckptTrailerLen
 	}
 	return ix.segs.WriteAt(ix.ckptChain, buf, 0)
 }
@@ -141,19 +160,55 @@ func (ix *Index) readCheckpoints(count int) error {
 		}
 		nattrs := int(binary.LittleEndian.Uint32(nb[:]))
 		if nattrs > len(ix.attrs) {
+			if ix.version >= 4 {
+				// An implausible count in a v4 chain is corruption (the nattrs
+				// word is covered by the record trailer it ruins).
+				return ix.corruptCheckpoint(i, count)
+			}
 			return fmt.Errorf("core: checkpoint %d references %d attrs, index has %d", i, nattrs, len(ix.attrs))
 		}
-		off += 4
-		body := make([]byte, 8*nattrs)
-		if err := ix.segs.ReadAt(ix.ckptChain, body, off); err != nil {
+		rec := make([]byte, 4+8*nattrs)
+		if err := ix.segs.ReadAt(ix.ckptChain, rec, off); err != nil {
 			return err
 		}
-		off += int64(len(body))
+		off += int64(len(rec))
+		if ix.version >= 4 {
+			var tr [ckptTrailerLen]byte
+			if err := ix.segs.ReadAt(ix.ckptChain, tr[:], off); err != nil {
+				return err
+			}
+			off += ckptTrailerLen
+			if binary.LittleEndian.Uint32(tr[:]) != ckptRecordCRC(rec, i) {
+				return ix.corruptCheckpoint(i, count)
+			}
+		}
 		offs := make([]int64, nattrs)
 		for a := 0; a < nattrs; a++ {
-			offs[a] = int64(binary.LittleEndian.Uint64(body[a*8:]))
+			offs[a] = int64(binary.LittleEndian.Uint64(rec[4+a*8:]))
 		}
 		ix.ckpts = append(ix.ckpts, checkpoint{attrOff: offs})
 	}
+	return nil
+}
+
+// corruptCheckpoint handles a checkpoint record whose CRC trailer failed at
+// open. Strict fails the open. DegradeReads drops the damaged record and
+// everything after it — but a truncated checkpoint list cannot drive the
+// striped plan (stripe s resumes from record s, and missing tail records
+// would silently skip the tuples they cover), so checkpointing is disabled
+// in-memory: searches fall back to the sequential plan and the next rebuild
+// re-records a full set. droppedCkpts counts the discarded records.
+func (ix *Index) corruptCheckpoint(i, count int) error {
+	if ix.imode == IntegrityStrict {
+		return &storage.CorruptionError{File: "iva.idx",
+			Offset: ix.segs.SegmentOffset(ix.ckptChain), Segment: uint32(ix.ckptChain),
+			Detail: fmt.Sprintf("checkpoint record %d checksum mismatch", i)}
+	}
+	it := &ix.integ
+	it.mu.Lock()
+	it.droppedCkpts = count - i
+	it.mu.Unlock()
+	ix.ckptChain = storage.NoSegment
+	ix.ckpts = nil
 	return nil
 }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// corruptionFixture is a small store on raw MemDevices so the sweep can flip
+// bits in the committed index image and reopen it.
+type corruptionFixture struct {
+	tblDev, idxDev *storage.MemDevice
+	cat            *table.Catalog
+	queries        []*model.Query
+	baseline       [][]model.Result
+	snapshot       []byte // committed index image
+	// committed[off] marks index-file bytes whose corruption MUST be
+	// detected: the superblock prefix and every fully-committed byte of a
+	// checksum-covered segment.
+	committed map[int64]bool
+}
+
+func buildCorruptionFixture(t *testing.T) *corruptionFixture {
+	t.Helper()
+	cf := &corruptionFixture{
+		tblDev:    storage.NewMemDevice(),
+		idxDev:    storage.NewMemDevice(),
+		cat:       table.NewCatalog(),
+		committed: make(map[int64]bool),
+	}
+	pool := storage.NewPool(0, 1<<20)
+	tblF := storage.NewFile(pool, cf.tblDev)
+	idxF := storage.NewFile(pool, cf.idxDev)
+	num, err := cf.cat.AddAttr("price", model.KindNumeric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := cf.cat.AddAttr("title", model.KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.New(tblF, cf.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 160; i++ {
+		vals := map[model.AttrID]model.Value{num: model.Num(float64(i%37) * 3)}
+		if i%2 == 0 {
+			vals[txt] = model.Text(fmt.Sprintf("camera model %d", i%23))
+		}
+		if _, _, err := tbl.Append(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.parallelEligible() {
+		t.Fatal("fixture not parallel-eligible")
+	}
+
+	qn := &model.Query{K: 5}
+	qn.NumTerm(num, 42)
+	qt := &model.Query{K: 5}
+	qt.TextTerm(txt, "camera model 7")
+	qb := &model.Query{K: 5}
+	qb.NumTerm(num, 60)
+	qb.TextTerm(txt, "camera model 3")
+	cf.queries = []*model.Query{qn, qt, qb}
+	for _, q := range cf.queries {
+		res, _, err := ix.Search(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf.baseline = append(cf.baseline, res)
+	}
+
+	// Record the byte ranges whose corruption the format promises to detect:
+	// the checksummed superblock prefix and the committed span of every
+	// covered segment (minus a partially-committed final byte, whose free low
+	// bits are legitimately ignored).
+	for off := int64(0); off < sbCRCOff+4; off++ {
+		cf.committed[off] = true
+	}
+	it := &ix.integ
+	it.mu.Lock()
+	for id, e := range it.words {
+		base := ix.segs.SegmentOffset(id) + 8 // past the segment header
+		n := int64(e.n)
+		if e.mask != 0 && n > 0 {
+			n-- // final byte is partial
+		}
+		for off := base; off < base+n; off++ {
+			cf.committed[off] = true
+		}
+	}
+	it.mu.Unlock()
+
+	tblF.Close()
+	idxF.Close()
+	cf.snapshot = make([]byte, cf.idxDev.Size())
+	if _, err := cf.idxDev.ReadAt(cf.snapshot, 0); err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func (cf *corruptionFixture) restore(t *testing.T) {
+	t.Helper()
+	if err := cf.idxDev.Truncate(int64(len(cf.snapshot))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.idxDev.WriteAt(cf.snapshot, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (cf *corruptionFixture) flip(t *testing.T, off int64, bit uint) {
+	t.Helper()
+	var b [1]byte
+	if _, err := cf.idxDev.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 1 << bit
+	if _, err := cf.idxDev.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameResults(a, b []model.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCorruptionTortureSweep flips one bit at a stride of byte offsets across
+// the committed index image, reopens the store in both integrity modes, and
+// asserts the contract the format makes: a query either fails with an error
+// or returns the exact clean top-k — never a silently different answer — and
+// every flip landing in checksummed bytes is detected by at least one of
+// open, query (DegradedSegments > 0), or Scrub.
+func TestCorruptionTortureSweep(t *testing.T) {
+	cf := buildCorruptionFixture(t)
+	stride := int64(211)
+	if testing.Short() {
+		stride = 1777
+	}
+	degradedTotal := 0
+	for _, mode := range []IntegrityMode{IntegrityDegrade, IntegrityStrict} {
+		for off := int64(0); off < int64(len(cf.snapshot)); off += stride {
+			bit := uint(off % 8)
+			cf.restore(t)
+			cf.flip(t, off, bit)
+			detected := cf.runOnce(t, mode, off, &degradedTotal)
+			if cf.committed[off] && !detected {
+				t.Fatalf("mode=%v flip at %d (bit %d): corruption of a checksummed byte was not detected",
+					mode, off, bit)
+			}
+		}
+	}
+	cf.restore(t)
+	if degradedTotal == 0 {
+		t.Fatal("sweep never exercised the degraded-read path")
+	}
+}
+
+// runOnce opens the flipped image and runs every query, enforcing the
+// never-silently-wrong invariant. It reports whether the flip was detected.
+func (cf *corruptionFixture) runOnce(t *testing.T, mode IntegrityMode, off int64, degradedTotal *int) bool {
+	t.Helper()
+	pool := storage.NewPool(0, 1<<20)
+	tblF := storage.NewFile(pool, cf.tblDev)
+	idxF := storage.NewFile(pool, cf.idxDev)
+	defer tblF.Close()
+	defer idxF.Close()
+	tbl, err := table.Open(tblF, cf.cat)
+	if err != nil {
+		t.Fatalf("flip at %d: table open: %v", off, err)
+	}
+	ix, err := Open(idxF, tbl, Options{Integrity: mode})
+	if err != nil {
+		return true // detected at open
+	}
+	detected := false
+	for qi, q := range cf.queries {
+		res, stats, err := ix.Search(q, nil)
+		if err != nil {
+			detected = true // detected at query time
+			continue
+		}
+		if !sameResults(res, cf.baseline[qi]) {
+			t.Fatalf("mode=%v flip at %d: query %d returned silently different results", mode, off, qi)
+		}
+		if stats.DegradedSegments > 0 {
+			*degradedTotal += stats.DegradedSegments
+			detected = true
+		}
+	}
+	if detected {
+		return true
+	}
+	rep, err := ix.Scrub()
+	if err != nil {
+		return true
+	}
+	if rep.Legacy {
+		t.Fatalf("flip at %d: v4 store scrubbed as legacy", off)
+	}
+	return !rep.Clean()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/sparsewide/iva/internal/metric"
@@ -58,7 +59,7 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
-	res, stats, err := ix.searchSequential(q, m, nil) // warm pass for the result itself
+	res, stats, err := ix.searchSequential(context.Background(), q, m, nil) // warm pass for the result itself
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +77,7 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		te := TermExplain{Attr: term.Attr, Kind: term.Kind, MinEst: math.Inf(1)}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
+			cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +96,7 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		ex.Terms[i] = te
 	}
 
-	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix, ix.tupleChain, ix.tupleBits)
 	diffs := make([]float64, len(terms))
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)

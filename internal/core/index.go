@@ -66,6 +66,10 @@ type Options struct {
 	// CheckpointEvery is the stripe width: a resumable checkpoint is
 	// recorded every CheckpointEvery tuple-list entries. Default 2048.
 	CheckpointEvery int64
+	// Integrity selects how checksum mismatches are handled at read time:
+	// IntegrityDegrade (default) widens corrupt vector segments to zero
+	// lower bounds, IntegrityStrict fails fast.
+	Integrity IntegrityMode
 }
 
 func (o Options) withDefaults() Options {
@@ -120,10 +124,22 @@ const (
 	indexMagic = 0x69564146 // "iVAF"
 	// v2 added the checkpoint chain; v3 added the shadow attribute-list slot
 	// and moved the authoritative checkpoint count into the superblock so a
-	// torn Sync can never mix new attribute tails with an old superblock.
-	// Older versions still open and are upgraded in place by their next Sync.
-	indexVersion = 3
+	// torn Sync can never mix new attribute tails with an old superblock; v4
+	// adds CRC32C integrity: a superblock trailer, per-record checkpoint
+	// trailers, and an out-of-line per-segment checksum map in a ping-ponged
+	// pair of checksum chains. Older versions still open (checksum-free,
+	// with a warning gauge) and are upgraded in place by their next Sync.
+	indexVersion = 4
 	ptrBits      = 40 // table offsets up to 1 TiB
+)
+
+// Superblock byte offsets of the v4 fields. The CRC trailer covers
+// bytes [0, sbCRCOff).
+const (
+	sbCRCChainAOff = 88
+	sbCRCChainBOff = 92
+	sbCRCSlotOff   = 96
+	sbCRCOff       = 100
 )
 
 // tombstonePtr marks a deleted tuple in the tuple list.
@@ -172,6 +188,16 @@ type Index struct {
 	ckptChain storage.ChainID
 	ckptEvery int64
 	ckpts     []checkpoint
+
+	// Format-v4 integrity: the committed on-disk version, the read-time
+	// mismatch policy, the ping-ponged checksum-map chains, and the
+	// in-memory checksum state (see integrity.go).
+	version   uint32
+	imode     IntegrityMode
+	crcChainA storage.ChainID
+	crcChainB storage.ChainID
+	crcSlot   int
+	integ     integrityState
 }
 
 // Table returns the table the index is bound to.
@@ -331,8 +357,9 @@ func chooseLayout(opts Options, codec *signature.Codec, info table.AttrInfo, lti
 // --- superblock and attribute-list persistence -----------------------------
 
 // writeSuperblock commits the current state, recording slot as the valid
-// attribute-list copy. It is the last write of a Sync (see Sync).
-func (ix *Index) writeSuperblock(slot int) error {
+// attribute-list copy and crcSlot as the valid checksum-map copy. It is the
+// last write of a Sync (see Sync).
+func (ix *Index) writeSuperblock(slot, crcSlot int) error {
 	var b [superblockSize]byte
 	binary.LittleEndian.PutUint32(b[0:], indexMagic)
 	binary.LittleEndian.PutUint32(b[4:], indexVersion)
@@ -353,6 +380,10 @@ func (ix *Index) writeSuperblock(slot int) error {
 	binary.LittleEndian.PutUint32(b[76:], uint32(ix.attrChainB))
 	b[80] = byte(slot)
 	binary.LittleEndian.PutUint32(b[84:], uint32(len(ix.ckpts)))
+	binary.LittleEndian.PutUint32(b[sbCRCChainAOff:], uint32(ix.crcChainA))
+	binary.LittleEndian.PutUint32(b[sbCRCChainBOff:], uint32(ix.crcChainB))
+	b[sbCRCSlotOff] = byte(crcSlot)
+	binary.LittleEndian.PutUint32(b[sbCRCOff:], storage.Checksum(b[:sbCRCOff]))
 	return ix.f.WriteAt(b[:], 0)
 }
 
@@ -460,19 +491,61 @@ func (ix *Index) Sync() error {
 		}
 		ix.attrChainB = chain
 	}
+	if ix.version < 4 {
+		// Upgrading a pre-v4 file: v4 checkpoint records carry CRC trailers
+		// (a different record size), so they go into a NEW chain — the old
+		// superblock keeps pointing at the intact old-format chain if we
+		// crash before the commit below. The checksum-map chains are fresh
+		// allocations for the same reason. The old checkpoint chain leaks a
+		// few segments; a rebuild reclaims them.
+		if ix.ckptChain != storage.NoSegment {
+			chain, err := ix.segs.Create()
+			if err != nil {
+				return err
+			}
+			ix.ckptChain = chain
+		}
+		ix.initIntegrity(true)
+	}
+	if ix.crcChainA == storage.NoSegment {
+		chain, err := ix.segs.Create()
+		if err != nil {
+			return err
+		}
+		ix.crcChainA = chain
+	}
+	if ix.crcChainB == storage.NoSegment {
+		chain, err := ix.segs.Create()
+		if err != nil {
+			return err
+		}
+		ix.crcChainB = chain
+	}
 	if err := ix.writeAttrList(ix.slotChain(target)); err != nil {
 		return err
 	}
 	if err := ix.writeCheckpoints(); err != nil {
 		return err
 	}
-	if err := ix.writeSuperblock(target); err != nil {
+	crcTarget := 1 - ix.crcSlot
+	if ix.version < 4 {
+		// First v4 commit: there is no committed map yet, either slot works;
+		// keep slot 0 so the layout is deterministic.
+		crcTarget = 0
+	}
+	if err := ix.writeCRCMap(ix.crcChain(crcTarget)); err != nil {
+		return err
+	}
+	if err := ix.writeSuperblock(target, crcTarget); err != nil {
 		return err
 	}
 	// The superblock write is durable in the write-through cache, so the
 	// on-disk commit now references target: flip before Sync so that even if
 	// the flush errors, a retry will not overwrite the committed slot.
 	ix.attrSlot = target
+	ix.crcSlot = crcTarget
+	ix.version = indexVersion
+	ix.commitIntegrity()
 	return ix.f.Sync()
 }
 
@@ -497,6 +570,14 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	version := binary.LittleEndian.Uint32(b[4:])
 	if version < 1 || version > indexVersion {
 		return nil, fmt.Errorf("core: index version %d unsupported", version)
+	}
+	if version >= 4 {
+		// Everything below trusts the superblock fields, so the trailer is
+		// checked before any of them are used.
+		if storage.Checksum(b[:sbCRCOff]) != binary.LittleEndian.Uint32(b[sbCRCOff:]) {
+			return nil, &storage.CorruptionError{File: "iva.idx", Offset: 0,
+				Segment: storage.NoCorruptSegment, Detail: "superblock checksum mismatch"}
+		}
 	}
 	opts.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
 	opts.N = int(binary.LittleEndian.Uint32(b[16:]))
@@ -527,6 +608,10 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 		deleted:    int64(binary.LittleEndian.Uint64(b[44:])),
 		attrChain:  storage.ChainID(binary.LittleEndian.Uint32(b[52:])),
 		posByTID:   make(map[model.TID]int64),
+		version:    version,
+		imode:      opts.Integrity,
+		crcChainA:  storage.NoSegment,
+		crcChainB:  storage.NoSegment,
 	}
 	if pb := int(b[21]); pb != ptrBits {
 		return nil, fmt.Errorf("core: index built with %d ptr bits, binary uses %d", pb, ptrBits)
@@ -571,6 +656,29 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 		}
 		ckptCount = int(binary.LittleEndian.Uint32(b[84:]))
 	}
+	// v4 superblocks name the ping-ponged checksum-map chains. The committed
+	// map loads before any chain data is read so the first-touch verification
+	// hooks below have words to check against.
+	if version >= 4 {
+		ix.crcChainA = storage.ChainID(binary.LittleEndian.Uint32(b[sbCRCChainAOff:]))
+		ix.crcChainB = storage.ChainID(binary.LittleEndian.Uint32(b[sbCRCChainBOff:]))
+		ix.crcSlot = int(b[sbCRCSlotOff])
+		if ix.crcSlot != 0 && ix.crcSlot != 1 {
+			return nil, fmt.Errorf("core: superblock checksum slot %d", ix.crcSlot)
+		}
+		ix.initIntegrity(false)
+		if ix.crcChain(ix.crcSlot) != storage.NoSegment {
+			if err := ix.loadCRCMap(ix.crcChain(ix.crcSlot)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The attribute list is read through segs.ReadAt (no reader hook), and
+	// corrupt layout metadata cannot be degraded around — verify its
+	// committed segments up front in both modes.
+	if err := ix.verifyChain(ix.slotChain(ix.attrSlot)); err != nil {
+		return nil, err
+	}
 	if err := ix.readAttrList(nattrs, ix.slotChain(ix.attrSlot)); err != nil {
 		return nil, err
 	}
@@ -587,6 +695,7 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 func (ix *Index) loadTupleList(entryCount int64) error {
 	r := storage.NewChainBitReader(ix.segs, ix.tupleChain, ix.tupleBits)
 	defer r.Close()
+	ix.attachVerify(r, ix.tupleChain)
 	ix.entries = make([]tupleEntry, 0, entryCount)
 	for i := int64(0); i < entryCount; i++ {
 		tid, err := r.ReadBits(ix.ltid)

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+// IntegrityMode selects how a checksum mismatch is handled at read time.
+type IntegrityMode int
+
+const (
+	// IntegrityDegrade (the default) keeps queries answerable: a corrupt
+	// vector-list segment is treated as contributing a zero lower bound for
+	// its tuples, which sends them all to the refine phase — slower, but the
+	// paper's no-false-negative guarantee survives because refinement
+	// computes exact distances from the (separately checksummed) table.
+	// Corrupt tuple-list segments and table records still fail the query:
+	// without trustworthy ptrs or record bytes there is nothing to refine.
+	IntegrityDegrade IntegrityMode = iota
+	// IntegrityStrict fails any operation that touches corrupt bytes.
+	IntegrityStrict
+)
+
+// segCRC is the committed checksum-map entry of one index segment.
+type segCRC struct {
+	crc  uint32 // CRC32C over the committed span
+	n    int    // committed payload bytes (span is always a prefix)
+	mask uint8  // committed bits of the final byte; 0 means all 8
+	off  int64  // byte offset of this crc word in the committed crc chain; -1 = not on disk
+}
+
+// integrityState is the v4 checksum machinery of an open index. The
+// per-segment CRC32C words live out-of-line in a ping-ponged pair of
+// checksum chains committed by the superblock, so segment payloads keep
+// their full v3 size and a v3 file upgrades in place without rewriting data.
+type integrityState struct {
+	mu       sync.Mutex
+	enabled  bool // v4 semantics active (building or committed)
+	words    map[storage.SegID]segCRC
+	dirty    map[storage.SegID]struct{} // written since the last Sync; unverifiable
+	verified map[storage.SegID]struct{} // verified since open
+
+	// full forces the next Sync to recompute every covered segment: set on a
+	// v3→v4 upgrade and when the committed map itself failed verification.
+	full bool
+	// mapDropped records that the committed checksum map was unreadable and
+	// DegradeReads continued without it (reads run unverified until the next
+	// Sync rewrites the map).
+	mapDropped bool
+	// droppedCkpts counts checkpoint records discarded at open because their
+	// CRC trailer mismatched (DegradeReads only).
+	droppedCkpts int
+}
+
+// chainCover names one chain whose committed prefix the checksum map covers.
+type chainCover struct {
+	chain storage.ChainID
+	bits  int64
+}
+
+const crcMapMagic = 0x4352434D // "CRCM"
+
+// markDirty is the SegStore write observer: any segment whose payload is
+// written becomes unverifiable until the next Sync recomputes its word.
+func (ix *Index) markDirty(id storage.SegID) {
+	it := &ix.integ
+	it.mu.Lock()
+	if it.enabled {
+		it.dirty[id] = struct{}{}
+		delete(it.verified, id)
+	}
+	it.mu.Unlock()
+}
+
+// initIntegrity arms the integrity state and installs the write observer.
+// full requests a whole-map recompute at the next Sync (fresh build or
+// upgrade from a pre-v4 file).
+func (ix *Index) initIntegrity(full bool) {
+	it := &ix.integ
+	it.mu.Lock()
+	it.enabled = true
+	it.full = it.full || full
+	if it.words == nil {
+		it.words = make(map[storage.SegID]segCRC)
+	}
+	if it.dirty == nil {
+		it.dirty = make(map[storage.SegID]struct{})
+	}
+	if it.verified == nil {
+		it.verified = make(map[storage.SegID]struct{})
+	}
+	it.mu.Unlock()
+	ix.segs.SetWriteObserver(ix.markDirty)
+}
+
+// coveredChains lists the chains the checksum map covers together with their
+// committed bit lengths: the tuple list, the attribute-list slot named by
+// slotChain, and every attribute's vector list. The checkpoint chain is
+// covered by per-record trailers instead, and the checksum chains cover
+// themselves with a trailing map CRC.
+func (ix *Index) coveredChains(attrList storage.ChainID) []chainCover {
+	covers := make([]chainCover, 0, 2+len(ix.attrs))
+	covers = append(covers, chainCover{ix.tupleChain, ix.tupleBits})
+	if attrList != storage.NoSegment {
+		covers = append(covers, chainCover{attrList, int64(attrElemSize*len(ix.attrs)) * 8})
+	}
+	for i := range ix.attrs {
+		if ix.attrs[i].exists {
+			covers = append(covers, chainCover{ix.attrs[i].chain, ix.attrs[i].bitLen})
+		}
+	}
+	return covers
+}
+
+// segSpan returns the committed span of the k-th segment of a chain holding
+// `bits` committed bits.
+func segSpan(k int, bits int64, pay int) (n int, mask uint8) {
+	cb := (bits + 7) / 8
+	start := int64(k) * int64(pay)
+	span := cb - start
+	if span <= 0 {
+		return 0, 0
+	}
+	if span > int64(pay) {
+		return pay, 0
+	}
+	if rem := uint8(bits & 7); rem != 0 {
+		return int(span), rem
+	}
+	return int(span), 0
+}
+
+// maskTail zeroes the uncommitted low bits of the final committed byte
+// (streams are MSB-first, so committed bits are the high ones).
+func maskTail(p []byte, mask uint8) {
+	if mask != 0 && len(p) > 0 {
+		p[len(p)-1] &= 0xFF << (8 - mask)
+	}
+}
+
+// recomputeChainCRCs refreshes the in-memory words for one covered chain.
+// When onlyStale is true, segments whose dirty flag is clear and whose
+// stored span already matches the committed length are kept as-is.
+func (ix *Index) recomputeChainCRCs(cov chainCover, onlyStale bool, buf []byte) error {
+	ids, err := ix.segs.ChainSegments(cov.chain)
+	if err != nil {
+		return err
+	}
+	pay := ix.segs.PayloadSize()
+	it := &ix.integ
+	for k, id := range ids {
+		n, mask := segSpan(k, cov.bits, pay)
+		it.mu.Lock()
+		old, ok := it.words[id]
+		_, isDirty := it.dirty[id]
+		it.mu.Unlock()
+		if onlyStale && ok && !isDirty && old.n == n && old.mask == mask {
+			continue
+		}
+		var crc uint32
+		if n > 0 {
+			if err := ix.segs.ReadSegmentPayload(id, buf[:n]); err != nil {
+				return err
+			}
+			maskTail(buf[:n], mask)
+			crc = storage.Checksum(buf[:n])
+		}
+		it.mu.Lock()
+		it.words[id] = segCRC{crc: crc, n: n, mask: mask, off: -1}
+		it.verified[id] = struct{}{}
+		it.mu.Unlock()
+	}
+	return nil
+}
+
+// writeCRCMap recomputes stale segment words, serializes the checksum map,
+// and writes it to the target checksum-chain slot. Offsets of the crc words
+// within the target chain are recorded so a later Delete can write its word
+// through; they become authoritative when the superblock commits the slot.
+// Caller holds ix.mu.
+func (ix *Index) writeCRCMap(target storage.ChainID) error {
+	it := &ix.integ
+	it.mu.Lock()
+	full := it.full
+	it.mu.Unlock()
+
+	covers := ix.coveredChains(ix.slotChain(1 - ix.attrSlot))
+	// The attribute list being committed is the slot Sync just wrote, which
+	// is the one the superblock is about to point at: 1-attrSlot before the
+	// in-memory flip. coveredChains above received it explicitly.
+	buf := make([]byte, ix.segs.PayloadSize())
+	for _, cov := range covers {
+		if err := ix.recomputeChainCRCs(cov, !full, buf); err != nil {
+			return err
+		}
+	}
+
+	var blob []byte
+	blob = binary.LittleEndian.AppendUint32(blob, crcMapMagic)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(covers)))
+	type wordPos struct {
+		id  storage.SegID
+		off int64
+	}
+	var poss []wordPos
+	for _, cov := range covers {
+		ids, err := ix.segs.ChainSegments(cov.chain)
+		if err != nil {
+			return err
+		}
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(cov.chain))
+		blob = binary.LittleEndian.AppendUint64(blob, uint64(cov.bits))
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(len(ids)))
+		it.mu.Lock()
+		for _, id := range ids {
+			poss = append(poss, wordPos{id, int64(len(blob))})
+			blob = binary.LittleEndian.AppendUint32(blob, it.words[id].crc)
+		}
+		it.mu.Unlock()
+	}
+	blob = binary.LittleEndian.AppendUint32(blob, storage.Checksum(blob))
+	if err := ix.segs.WriteAt(target, blob, 0); err != nil {
+		return err
+	}
+	it.mu.Lock()
+	for _, p := range poss {
+		w := it.words[p.id]
+		w.off = p.off
+		it.words[p.id] = w
+	}
+	it.mu.Unlock()
+	return nil
+}
+
+// commitIntegrity finalizes integrity state after the superblock committed:
+// dirty segments were recomputed, the map was written, the new epoch starts.
+func (ix *Index) commitIntegrity() {
+	it := &ix.integ
+	it.mu.Lock()
+	it.dirty = make(map[storage.SegID]struct{})
+	it.full = false
+	it.mapDropped = false
+	it.mu.Unlock()
+}
+
+// loadCRCMap reads the committed checksum map from chain c. A map that is
+// itself damaged is detected by its trailing CRC; under DegradeReads the
+// index continues with verification disabled until the next Sync (recorded
+// in mapDropped), under Strict the open fails.
+func (ix *Index) loadCRCMap(c storage.ChainID) error {
+	fail := func(detail string) error {
+		if ix.imode == IntegrityStrict {
+			return &storage.CorruptionError{File: "iva.idx",
+				Offset: ix.segs.SegmentOffset(c), Segment: uint32(c), Detail: detail}
+		}
+		it := &ix.integ
+		it.mu.Lock()
+		it.words = make(map[storage.SegID]segCRC)
+		it.mapDropped = true
+		it.full = true
+		it.mu.Unlock()
+		return nil
+	}
+	capBytes, err := ix.segs.Len(c)
+	if err != nil {
+		return err
+	}
+	var pos int64
+	running := uint32(0)
+	read := func(p []byte) bool {
+		if pos+int64(len(p)) > capBytes {
+			return false
+		}
+		if err := ix.segs.ReadAt(c, p, pos); err != nil {
+			return false
+		}
+		pos += int64(len(p))
+		running = storage.ChecksumUpdate(running, p)
+		return true
+	}
+	var hdr [8]byte
+	if !read(hdr[:]) || binary.LittleEndian.Uint32(hdr[0:4]) != crcMapMagic {
+		return fail("checksum map header")
+	}
+	nchains := binary.LittleEndian.Uint32(hdr[4:8])
+	if nchains > uint32(ix.segs.Segments())+1 {
+		return fail("checksum map chain count")
+	}
+	type pendingWord struct {
+		id storage.SegID
+		segCRC
+	}
+	var pending []pendingWord
+	pay := ix.segs.PayloadSize()
+	for i := uint32(0); i < nchains; i++ {
+		var ch [16]byte
+		if !read(ch[:]) {
+			return fail("checksum map truncated")
+		}
+		head := storage.ChainID(binary.LittleEndian.Uint32(ch[0:4]))
+		bits := int64(binary.LittleEndian.Uint64(ch[4:12]))
+		nsegs := binary.LittleEndian.Uint32(ch[12:16])
+		ids, err := ix.segs.ChainSegments(head)
+		if err != nil || uint32(len(ids)) < nsegs {
+			return fail("checksum map names unknown segments")
+		}
+		for k := uint32(0); k < nsegs; k++ {
+			var w [4]byte
+			wordOff := pos
+			if !read(w[:]) {
+				return fail("checksum map truncated")
+			}
+			n, mask := segSpan(int(k), bits, pay)
+			pending = append(pending, pendingWord{ids[k], segCRC{
+				crc: binary.LittleEndian.Uint32(w[:]), n: n, mask: mask, off: wordOff,
+			}})
+		}
+	}
+	want := running
+	var trailer [4]byte
+	if pos+4 > capBytes {
+		return fail("checksum map truncated")
+	}
+	if err := ix.segs.ReadAt(c, trailer[:], pos); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != want {
+		return fail("checksum map trailer mismatch")
+	}
+	it := &ix.integ
+	it.mu.Lock()
+	for _, p := range pending {
+		it.words[p.id] = p.segCRC
+	}
+	it.mu.Unlock()
+	return nil
+}
+
+// verifySegment checks one segment against its committed CRC32C word on
+// first touch. Dirty (unsynced) and uncovered segments are skipped; a
+// verified segment is not re-read until the next open (Scrub forces a full
+// re-verification).
+func (ix *Index) verifySegment(id storage.SegID) error {
+	it := &ix.integ
+	it.mu.Lock()
+	if !it.enabled {
+		it.mu.Unlock()
+		return nil
+	}
+	if _, ok := it.dirty[id]; ok {
+		it.mu.Unlock()
+		return nil
+	}
+	if _, ok := it.verified[id]; ok {
+		it.mu.Unlock()
+		return nil
+	}
+	e, ok := it.words[id]
+	it.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := ix.checkWord(id, e); err != nil {
+		return err
+	}
+	it.mu.Lock()
+	it.verified[id] = struct{}{}
+	it.mu.Unlock()
+	return nil
+}
+
+// checkWord reads a segment's committed span and compares it to e.
+func (ix *Index) checkWord(id storage.SegID, e segCRC) error {
+	var crc uint32
+	if e.n > 0 {
+		buf := make([]byte, e.n)
+		if err := ix.segs.ReadSegmentPayload(id, buf); err != nil {
+			return err
+		}
+		maskTail(buf, e.mask)
+		crc = storage.Checksum(buf)
+	}
+	if crc != e.crc {
+		return &storage.CorruptionError{File: "iva.idx",
+			Offset: ix.segs.SegmentOffset(id), Segment: uint32(id),
+			Detail: fmt.Sprintf("segment checksum mismatch (%d committed bytes)", e.n)}
+	}
+	return nil
+}
+
+// attachVerify hooks first-touch checksum verification into a chain reader.
+// The chain's segment list is resolved once: appends cannot race a query
+// (both run under ix.mu), and pooled readers re-attach after every Reset.
+func (ix *Index) attachVerify(r *storage.ChainBitReader, c storage.ChainID) {
+	it := &ix.integ
+	it.mu.Lock()
+	enabled := it.enabled
+	it.mu.Unlock()
+	if !enabled {
+		r.SetVerify(nil)
+		return
+	}
+	ids, err := ix.segs.ChainSegments(c)
+	if err != nil {
+		return // the read itself will surface the chain error
+	}
+	pay := int64(ix.segs.PayloadSize())
+	r.SetVerify(func(off, n int64) error {
+		first := off / pay
+		last := (off + n - 1) / pay
+		for k := first; k <= last && k < int64(len(ids)); k++ {
+			if err := ix.verifySegment(ids[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// crcRepairRange recomputes and writes through the checksum words of the
+// segments under a bit range that was just mutated in place (tombstoning a
+// tuple-list ptr is the only such mutation). The committed map must stay
+// true for the committed bytes it describes without waiting for a Sync,
+// because a tombstone may become durable before the Sync that acknowledges
+// it. A crash between the tombstone write and this write-through leaves a
+// detected (never silent) mismatch on that segment; scrub -repair rebuilds.
+func (ix *Index) crcRepairRange(c storage.ChainID, bitOff int64, width int) error {
+	it := &ix.integ
+	it.mu.Lock()
+	enabled := it.enabled
+	it.mu.Unlock()
+	if !enabled {
+		return nil
+	}
+	ids, err := ix.segs.ChainSegments(c)
+	if err != nil {
+		return err
+	}
+	pay := int64(ix.segs.PayloadSize())
+	firstSeg := (bitOff / 8) / pay
+	lastSeg := ((bitOff+int64(width)+7)/8 - 1) / pay
+	for k := firstSeg; k <= lastSeg && k < int64(len(ids)); k++ {
+		id := ids[k]
+		it.mu.Lock()
+		e, ok := it.words[id]
+		it.mu.Unlock()
+		if !ok || e.n == 0 {
+			continue
+		}
+		buf := make([]byte, e.n)
+		if err := ix.segs.ReadSegmentPayload(id, buf); err != nil {
+			return err
+		}
+		maskTail(buf, e.mask)
+		e.crc = storage.Checksum(buf)
+		it.mu.Lock()
+		it.words[id] = e
+		it.verified[id] = struct{}{}
+		it.mu.Unlock()
+		if e.off >= 0 && ix.crcChain(ix.crcSlot) != storage.NoSegment {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], e.crc)
+			if err := ix.segs.WriteAt(ix.crcChain(ix.crcSlot), w[:], e.off); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyChain checks every committed segment of a chain against its word
+// immediately (not first-touch). Open uses it on the attribute-list slot,
+// whose reads bypass ChainBitReader: corrupt attribute metadata cannot be
+// degraded around (it defines every layout), so damage here fails the open
+// in both modes.
+func (ix *Index) verifyChain(c storage.ChainID) error {
+	it := &ix.integ
+	it.mu.Lock()
+	enabled := it.enabled
+	it.mu.Unlock()
+	if !enabled || c == storage.NoSegment {
+		return nil
+	}
+	ids, err := ix.segs.ChainSegments(c)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := ix.verifySegment(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crcChain maps a checksum-map slot number to its chain.
+func (ix *Index) crcChain(slot int) storage.ChainID {
+	if slot == 0 {
+		return ix.crcChainA
+	}
+	return ix.crcChainB
+}
+
+// FormatVersion returns the committed on-disk format version (4 after the
+// first Sync of an upgraded store; pre-4 files read checksum-free).
+func (ix *Index) FormatVersion() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int(ix.version)
+}
+
+// IntegrityMode returns the mode the index was opened with.
+func (ix *Index) IntegrityMode() IntegrityMode { return ix.imode }
+
+// DroppedCheckpoints returns the number of checkpoint records discarded at
+// open because their CRC trailer failed (DegradeReads only).
+func (ix *Index) DroppedCheckpoints() int {
+	it := &ix.integ
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.droppedCkpts
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -69,6 +70,7 @@ var scratchPool = sync.Pool{New: func() interface{} { return &workerScratch{} }}
 // stripeWorker is one goroutine of the parallel plan.
 type stripeWorker struct {
 	ix    *Index
+	ctx   context.Context
 	q     *model.Query
 	m     *metric.Metric
 	terms []termState // private copies: counters and cursors are per-worker
@@ -76,6 +78,10 @@ type stripeWorker struct {
 	bar   *distBar
 	next  *atomic.Int64 // shared stripe claim counter
 	abort *atomic.Bool
+
+	// degSegs collects the distinct corrupt vector-list segments this worker
+	// degraded past (DegradeReads); merged into SearchStats at the end.
+	degSegs map[uint32]struct{}
 
 	scratch *workerScratch
 
@@ -89,7 +95,7 @@ type stripeWorker struct {
 
 // searchParallel executes the striped plan with par workers. Caller holds
 // ix.mu.RLock and has verified parallelEligible.
-func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Span, par int) ([]model.Result, SearchStats, error) {
+func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.Metric, parent *obs.Span, par int) ([]model.Result, SearchStats, error) {
 	var stats SearchStats
 	nstripes := len(ix.ckpts)
 	if par > nstripes {
@@ -116,8 +122,9 @@ func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Sp
 		terms := make([]termState, len(shared))
 		copy(terms, shared) // st and qs shared, counters/cursor per worker
 		sw := &stripeWorker{
-			ix: ix, q: q, m: m, terms: terms,
+			ix: ix, ctx: ctx, q: q, m: m, terms: terms,
 			pool: topk.New(q.K), bar: &bar, next: &next, abort: &abort,
+			degSegs: make(map[uint32]struct{}),
 			scratch: scratchPool.Get().(*workerScratch),
 		}
 		workers[w] = sw
@@ -131,6 +138,7 @@ func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Sp
 
 	merged := make([]termState, len(shared))
 	copy(merged, shared)
+	allDeg := make(map[uint32]struct{})
 	var sumBusy, sumRefine, sumFetch time.Duration
 	for _, sw := range workers {
 		sw.scratch.release()
@@ -142,12 +150,16 @@ func (ix *Index) searchParallel(q *model.Query, m *metric.Metric, parent *obs.Sp
 		sumBusy += sw.busyWall
 		sumRefine += sw.refineWall
 		sumFetch += sw.fetchWall
+		for id := range sw.degSegs {
+			allDeg[id] = struct{}{}
+		}
 		for i := range merged {
 			merged[i].defined += sw.terms[i].defined
 			merged[i].ndf += sw.terms[i].ndf
 			merged[i].pruned += sw.terms[i].pruned
 		}
 	}
+	stats.DegradedSegments = len(allDeg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -200,6 +212,14 @@ func (sw *stripeWorker) run(nstripes int) {
 		if s >= int64(nstripes) || sw.abort.Load() {
 			return
 		}
+		// Stripe boundaries are the cancellation points of the parallel
+		// filter phase: one worker observing an expired context aborts the
+		// other workers' next claims too.
+		if err := sw.ctx.Err(); err != nil {
+			sw.err = err
+			sw.abort.Store(true)
+			return
+		}
 		if err := sw.scanStripe(s); err != nil {
 			sw.err = err
 			sw.abort.Store(true)
@@ -226,6 +246,10 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 		sc.tupleRd.Reset(ix.segs, ix.tupleChain, ix.tupleBits)
 	}
 	tr := sc.tupleRd
+	// Readers come from the scratch pool, so the verify hook must be
+	// re-attached after every Reset (the pooled reader may have been bound to
+	// another index, or to nothing).
+	ix.attachVerify(tr, ix.tupleChain)
 	if err := tr.SeekBit(startPos * int64(ix.elemBits())); err != nil {
 		return err
 	}
@@ -234,6 +258,10 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 		if ts.st == nil {
 			continue
 		}
+		// Each stripe reopens cursors from its checkpoint, so a term degraded
+		// in an earlier stripe resynchronizes here: degradation is scoped to
+		// the stripe that read the corrupt segment.
+		ts.degraded = false
 		for len(sc.termRds) <= i {
 			sc.termRds = append(sc.termRds, nil)
 		}
@@ -242,9 +270,13 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 		} else {
 			sc.termRds[i].Reset(ix.segs, ts.st.chain, ts.st.bitLen)
 		}
+		ix.attachVerify(sc.termRds[i], ts.st.chain)
 		cur, err := vector.NewCursorAt(ts.st.layout, sc.termRds[i],
 			ck.attrOffset(int(ts.term.Attr)), startPos)
 		if err != nil {
+			if ix.degradeTerm(ts, err, sw.degSegs) {
+				continue
+			}
 			return err
 		}
 		cur.EnableScratch()
@@ -272,7 +304,7 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 		sw.scanned++
 
 		for i := range sw.terms {
-			d, ndf, err := sw.terms[i].estimateInfo(m, tid, pos)
+			d, ndf, err := sw.terms[i].boundWithPolicy(ix, m, tid, pos, sw.degSegs)
 			if err != nil {
 				return err
 			}
@@ -300,6 +332,9 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 			continue
 		}
 
+		if err := sw.ctx.Err(); err != nil {
+			return err
+		}
 		rStart := time.Now()
 		tp, err := ix.tbl.Fetch(int64(ptrBitsVal))
 		if err != nil {

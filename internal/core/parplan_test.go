@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -79,14 +80,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 		for trial := 0; trial < 8; trial++ {
 			q := fx.randQuery(t, 1+fx.rng.Intn(3), 1+fx.rng.Intn(10))
 			fx.ix.mu.RLock()
-			seq, seqStats, seqErr := fx.ix.searchSequential(q, m, nil)
+			seq, seqStats, seqErr := fx.ix.searchSequential(context.Background(), q, m, nil)
 			fx.ix.mu.RUnlock()
 			if seqErr != nil {
 				t.Fatalf("%s trial %d: sequential: %v", name, trial, seqErr)
 			}
 			for _, par := range []int{2, 4, 8} {
 				fx.ix.mu.RLock()
-				got, stats, err := fx.ix.searchParallel(q, m, nil, par)
+				got, stats, err := fx.ix.searchParallel(context.Background(), q, m, nil, par)
 				fx.ix.mu.RUnlock()
 				if err != nil {
 					t.Fatalf("%s trial %d par %d: %v", name, trial, par, err)
@@ -119,8 +120,8 @@ func TestParallelOneWorkerFullStatsEquality(t *testing.T) {
 		for trial := 0; trial < 6; trial++ {
 			q := fx.randQuery(t, 2, 5)
 			fx.ix.mu.RLock()
-			seq, seqStats, err1 := fx.ix.searchSequential(q, m, nil)
-			got, stats, err2 := fx.ix.searchParallel(q, m, nil, 1)
+			seq, seqStats, err1 := fx.ix.searchSequential(context.Background(), q, m, nil)
+			got, stats, err2 := fx.ix.searchParallel(context.Background(), q, m, nil, 1)
 			fx.ix.mu.RUnlock()
 			if err1 != nil || err2 != nil {
 				t.Fatalf("%s trial %d: %v / %v", name, trial, err1, err2)
@@ -165,8 +166,8 @@ func TestParallelAfterUpdates(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		q := fx.randQuery(t, 2, 8)
 		fx.ix.mu.RLock()
-		seq, _, err1 := fx.ix.searchSequential(q, m, nil)
-		got, _, err2 := fx.ix.searchParallel(q, m, nil, 4)
+		seq, _, err1 := fx.ix.searchSequential(context.Background(), q, m, nil)
+		got, _, err2 := fx.ix.searchParallel(context.Background(), q, m, nil, 4)
 		fx.ix.mu.RUnlock()
 		if err1 != nil || err2 != nil {
 			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
@@ -234,8 +235,8 @@ func TestCheckpointPersistence(t *testing.T) {
 	m := metric.Default()
 	q := (&model.Query{K: 7}).TextTerm(a, "canon").NumTerm(b, 300)
 	ix2.mu.RLock()
-	seq, _, err1 := ix2.searchSequential(q, m, nil)
-	par, _, err2 := ix2.searchParallel(q, m, nil, 4)
+	seq, _, err1 := ix2.searchSequential(context.Background(), q, m, nil)
+	par, _, err2 := ix2.searchParallel(context.Background(), q, m, nil, 4)
 	ix2.mu.RUnlock()
 	if err1 != nil || err2 != nil {
 		t.Fatalf("%v / %v", err1, err2)
@@ -376,9 +377,9 @@ func benchmarkPlan(b *testing.B, par int) {
 		fx.ix.mu.RLock()
 		var err error
 		if par == 0 {
-			_, _, err = fx.ix.searchSequential(q, m, nil)
+			_, _, err = fx.ix.searchSequential(context.Background(), q, m, nil)
 		} else {
-			_, _, err = fx.ix.searchParallel(q, m, nil, par)
+			_, _, err = fx.ix.searchParallel(context.Background(), q, m, nil, par)
 		}
 		fx.ix.mu.RUnlock()
 		if err != nil {

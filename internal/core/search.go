@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -31,6 +33,10 @@ type SearchStats struct {
 	// Workers is the number of filter workers the executed plan ran with
 	// (1 for the sequential plan).
 	Workers int
+	// DegradedSegments is the number of distinct corrupt vector-list
+	// segments the query read past under DegradeReads (each forced its
+	// term's lower bound to zero, sending the affected tuples to refine).
+	DegradedSegments int
 }
 
 // Total returns the query's full wall time.
@@ -42,8 +48,9 @@ func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall 
 // exists to catch).
 type readerSet []*storage.ChainBitReader
 
-func (rs *readerSet) open(segs *storage.SegStore, c storage.ChainID, bits int64) *storage.ChainBitReader {
-	r := storage.NewChainBitReader(segs, c, bits)
+func (rs *readerSet) open(ix *Index, c storage.ChainID, bits int64) *storage.ChainBitReader {
+	r := storage.NewChainBitReader(ix.segs, c, bits)
+	ix.attachVerify(r, c)
 	*rs = append(*rs, r)
 	return r
 }
@@ -68,6 +75,47 @@ type termState struct {
 	defined int64 // tuples with an indexed value on the attribute
 	ndf     int64 // tuples undefined on it (charged the ndf penalty)
 	pruned  int64 // pruned tuples where this term's bound was the largest
+
+	// degraded marks a term whose vector list hit a checksum mismatch under
+	// DegradeReads: for the rest of the scan unit it contributes a zero
+	// lower bound — always ≤ the true difference, so no false negatives —
+	// and every tuple it would have pruned goes to refine instead. The
+	// parallel plan clears it per stripe (each stripe reopens cursors from
+	// a checkpoint, resynchronizing past the damage).
+	degraded bool
+}
+
+// boundWithPolicy is estimateInfo under the read-integrity policy: a
+// *storage.CorruptionError from the term's vector list degrades the term
+// when the index allows it (noting the segment in deg), every other error —
+// and every error under IntegrityStrict — fails the query.
+func (ts *termState) boundWithPolicy(ix *Index, m *metric.Metric, tid model.TID, pos int64, deg map[uint32]struct{}) (float64, bool, error) {
+	if ts.degraded {
+		return 0, false, nil
+	}
+	d, ndf, err := ts.estimateInfo(m, tid, pos)
+	if err != nil {
+		if !ix.degradeTerm(ts, err, deg) {
+			return 0, false, err
+		}
+		return 0, false, nil
+	}
+	return d, ndf, nil
+}
+
+// degradeTerm applies the DegradeReads policy to an error from a term's
+// vector list, reporting whether it was absorbed.
+func (ix *Index) degradeTerm(ts *termState, err error, deg map[uint32]struct{}) bool {
+	if ix.imode != IntegrityDegrade {
+		return false
+	}
+	var ce *storage.CorruptionError
+	if !errors.As(err, &ce) {
+		return false
+	}
+	ts.degraded = true
+	deg[ce.Segment] = struct{}{}
+	return true
 }
 
 // Search answers a top-k structured similarity query with Algorithm 1: the
@@ -76,7 +124,15 @@ type termState struct {
 // Prop. 3.3 and §III-C) gates a random access to the table file where the
 // exact distance is computed against the temporary result pool.
 func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, SearchStats, error) {
-	return ix.SearchTraced(q, m, nil)
+	return ix.SearchTracedContext(context.Background(), q, m, nil)
+}
+
+// SearchContext is Search under a context: cancellation and deadlines are
+// honored at stripe boundaries in the filter phase and before each refine
+// fetch, returning ctx.Err() with the stats accumulated so far. An already-
+// expired context fails before any device read.
+func (ix *Index) SearchContext(ctx context.Context, q *model.Query, m *metric.Metric) ([]model.Result, SearchStats, error) {
+	return ix.SearchTracedContext(ctx, q, m, nil)
 }
 
 // SearchTraced is Search with per-query tracing: when parent is non-nil, the
@@ -89,7 +145,16 @@ func (ix *Index) Search(q *model.Query, m *metric.Metric) ([]model.Result, Searc
 //
 // A nil parent makes tracing free (no spans are allocated).
 func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
+	return ix.SearchTracedContext(context.Background(), q, m, parent)
+}
+
+// SearchTracedContext is SearchTraced under a context (see SearchContext).
+func (ix *Index) SearchTracedContext(ctx context.Context, q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
 	if err := q.Validate(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Expired before dispatch: fail without touching the device.
 		return nil, SearchStats{}, err
 	}
 	if m == nil {
@@ -98,9 +163,9 @@ func (ix *Index) SearchTraced(q *model.Query, m *metric.Metric, parent *obs.Span
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if par := ix.effectiveParallelism(); par > 1 && ix.parallelEligible() {
-		return ix.searchParallel(q, m, parent, par)
+		return ix.searchParallel(ctx, q, m, parent, par)
 	}
-	return ix.searchSequential(q, m, parent)
+	return ix.searchSequential(ctx, q, m, parent)
 }
 
 // effectiveParallelism resolves Options.SearchParallelism (0 = all cores).
@@ -171,8 +236,9 @@ func (ix *Index) prepareTerms(q *model.Query) ([]termState, error) {
 // searchSequential is the single-goroutine Algorithm 1 pass. It remains the
 // plan for small indexes, v1 index files (no checkpoints), SearchParallelism
 // = 1, and the instrumented Explain path. Caller holds ix.mu.RLock.
-func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.Span) ([]model.Result, SearchStats, error) {
-	var stats SearchStats
+// The stats return is named so the deferred DegradedSegments assignment below
+// reaches the caller on every return path, including early errors.
+func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric.Metric, parent *obs.Span) (_ []model.Result, stats SearchStats, _ error) {
 	stats.Workers = 1
 	idxIO := ix.segs.File().IOStats()
 	tblIO := ix.tbl.IOStats()
@@ -183,6 +249,8 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 	if err != nil {
 		return nil, stats, err
 	}
+	degSegs := make(map[uint32]struct{})
+	defer func() { stats.DegradedSegments = len(degSegs) }()
 	var rds readerSet
 	defer rds.close()
 	for i := range terms {
@@ -190,8 +258,11 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 			continue
 		}
 		st := terms[i].st
-		cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
+		cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
 		if err != nil {
+			if ix.degradeTerm(&terms[i], err, degSegs) {
+				continue
+			}
 			return nil, stats, err
 		}
 		cur.EnableScratch()
@@ -203,8 +274,13 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 	var refineWall, fetchWall time.Duration
 	var fetched int64
 
-	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
+		if pos&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {
 			return nil, stats, err
@@ -220,7 +296,7 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 		stats.Scanned++
 
 		for i := range terms {
-			d, ndf, err := terms[i].estimateInfo(m, tid, pos)
+			d, ndf, err := terms[i].boundWithPolicy(ix, m, tid, pos, degSegs)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -249,6 +325,9 @@ func (ix *Index) searchSequential(q *model.Query, m *metric.Metric, parent *obs.
 		}
 
 		// Refine: random access to the table file, exact distance.
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		rStart := time.Now()
 		tp, err := ix.tbl.Fetch(int64(ptrBitsVal))
 		if err != nil {

@@ -55,7 +55,7 @@ func (ix *Index) SequentialPlanStats(q *model.Query, m *metric.Metric) (PlanStat
 		ts := termState{term: term}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, rds.open(ix.segs, st.chain, st.bitLen))
+			cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
 			if err != nil {
 				return ps, err
 			}
@@ -75,7 +75,7 @@ func (ix *Index) SequentialPlanStats(q *model.Query, m *metric.Metric) (PlanStat
 	uppers := make([]float64, 0, len(ix.entries))
 	lo := make([]float64, len(terms))
 	hi := make([]float64, len(terms))
-	tr := rds.open(ix.segs, ix.tupleChain, ix.tupleBits)
+	tr := rds.open(ix, ix.tupleChain, ix.tupleBits)
 	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
 		tidBits, err := tr.ReadBits(ix.ltid)
 		if err != nil {

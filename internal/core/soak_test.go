@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestCorruptionSoak is the randomized companion to the deterministic
+// torture sweep: for a bounded wall-clock budget it keeps flipping random
+// bits (sometimes several at once) anywhere in the committed index image,
+// reopening in a random integrity mode at a random parallelism, and holding
+// the same contract — fail or answer exactly, and always detect damage to
+// checksummed bytes. The budget defaults to ~2s so the tier-1 run stays
+// fast; nightly CI sets IVA_CORRUPTION_SOAK (a Go duration) to run it for
+// minutes under -race.
+func TestCorruptionSoak(t *testing.T) {
+	budget := 2 * time.Second
+	if env := os.Getenv("IVA_CORRUPTION_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("IVA_CORRUPTION_SOAK=%q: %v", env, err)
+		}
+		budget = d
+	} else if testing.Short() {
+		budget = 300 * time.Millisecond
+	}
+
+	cf := buildCorruptionFixture(t)
+	rng := rand.New(rand.NewSource(0x50a4_c0de))
+	deadline := time.Now().Add(budget)
+	iters, degradedTotal := 0, 0
+	for time.Now().Before(deadline) {
+		iters++
+		cf.restore(t)
+		mode := IntegrityMode(rng.Intn(2))
+		flips := 1 + rng.Intn(3)
+		anyCommitted := false
+		var firstOff int64
+		for f := 0; f < flips; f++ {
+			off := rng.Int63n(int64(len(cf.snapshot)))
+			if f == 0 {
+				firstOff = off
+			}
+			if cf.committed[off] {
+				anyCommitted = true
+			}
+			cf.flip(t, off, uint(rng.Intn(8)))
+		}
+		detected := cf.runOnce(t, mode, firstOff, &degradedTotal)
+		if anyCommitted && !detected {
+			t.Fatalf("soak iter %d (mode=%v, %d flips): corruption of a checksummed byte was not detected",
+				iters, mode, flips)
+		}
+	}
+	cf.restore(t)
+	t.Logf("corruption soak: %d iterations in %v, %d degraded segment reads", iters, budget, degradedTotal)
+	if iters < 3 {
+		t.Fatalf("soak budget %v only allowed %d iterations", budget, iters)
+	}
+}

@@ -186,6 +186,11 @@ func (ix *Index) Delete(tid model.TID) error {
 	if err := storage.WriteBitsAt(ix.segs, ix.tupleChain, bitOff, tombstonePtr, ptrBits); err != nil {
 		return err
 	}
+	// The tombstone mutates committed bytes in place, so the committed
+	// checksum map must be written through (see crcRepairRange).
+	if err := ix.crcRepairRange(ix.tupleChain, bitOff, ptrBits); err != nil {
+		return err
+	}
 	if err := ix.tbl.NoteDelete(tp.Values); err != nil {
 		return err
 	}

@@ -58,6 +58,19 @@ func TestOpenV2Upgrade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Rewrite the checkpoint chain in the legacy trailer-free v2 record
+	// layout, so the downgraded image below is faithful byte-for-byte (v4
+	// records carry CRC trailers a v2 reader would misparse).
+	legacy := binary.LittleEndian.AppendUint32(nil, uint32(len(ix.ckpts)))
+	for _, c := range ix.ckpts {
+		legacy = binary.LittleEndian.AppendUint32(legacy, uint32(len(c.attrOff)))
+		for _, off := range c.attrOff {
+			legacy = binary.LittleEndian.AppendUint64(legacy, uint64(off))
+		}
+	}
+	if err := ix.segs.WriteAt(ix.ckptChain, legacy, 0); err != nil {
+		t.Fatal(err)
+	}
 	tblF.Close()
 	idxF.Close()
 

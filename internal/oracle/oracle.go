@@ -67,6 +67,12 @@ type Result struct {
 	Rebuilds    int // forced + overflow-triggered, summed over engines
 	RoundTrips  int
 	MaxLive     int
+	// CorruptionChecks counts completed seeded bit-flip sweeps (0 or 1 per
+	// run); DegradedReads sums the corrupt segments queries degraded past
+	// during them (0 when the seeded queries never touched the flipped
+	// attribute — detection then came from Scrub).
+	CorruptionChecks int
+	DegradedReads    int
 }
 
 // combo is one point of the metric grid.
@@ -994,5 +1000,5 @@ func (h *harness) finalSweep() error {
 	if !rep.Ok() {
 		return h.failf("final iva check: %v", rep.Problems)
 	}
-	return nil
+	return h.corruptionSweep()
 }

@@ -33,6 +33,9 @@ func TestDifferential(t *testing.T) {
 	if res.Searches == 0 || res.Deletes == 0 || res.Reopens == 0 || res.Rebuilds == 0 {
 		t.Fatalf("schedule did not exercise all op kinds: %+v", res)
 	}
+	if res.CorruptionChecks == 0 {
+		t.Fatalf("run skipped the seeded corruption sweep: %+v", res)
+	}
 }
 
 // TestDifferentialSmallPool replays the soak with a 4-page buffer pool: every

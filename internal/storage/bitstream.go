@@ -21,6 +21,12 @@ type ChainBitReader struct {
 	pin      *Frame // non-nil while buf aliases a pinned frame
 	own      []byte // lazily allocated seam-stitching buffer
 	pos      int64  // current bit position
+
+	// verify, when set, is called before a fresh window over logical bytes
+	// [off, off+n) is handed to the decoder. The index integrity layer hooks
+	// it to checksum each segment on first touch; a non-nil return aborts
+	// the read with that error (typically a *CorruptionError).
+	verify func(off, n int64) error
 }
 
 // minPinRun is the shortest contiguous run worth pinning as a window; any
@@ -52,6 +58,9 @@ func (r *ChainBitReader) Reset(s *SegStore, c ChainID, bitLen int64) {
 // holding pages pinned while idle.
 func (r *ChainBitReader) Close() { r.drop() }
 
+// SetVerify installs (or clears) the window-verification hook.
+func (r *ChainBitReader) SetVerify(fn func(off, n int64) error) { r.verify = fn }
+
 func (r *ChainBitReader) drop() {
 	if r.pin != nil {
 		r.pin.Release()
@@ -77,6 +86,12 @@ func (r *ChainBitReader) refill(byteOff int64) error {
 		return err
 	}
 	if len(view) >= minPinRun || int64(len(view)) >= capBytes-byteOff {
+		if r.verify != nil {
+			if err := r.verify(byteOff, int64(len(view))); err != nil {
+				fr.Release()
+				return err
+			}
+		}
 		r.pin, r.buf, r.bufStart = fr, view, byteOff
 		return nil
 	}
@@ -87,6 +102,11 @@ func (r *ChainBitReader) refill(byteOff int64) error {
 	want := int64(len(r.own))
 	if want > capBytes-byteOff {
 		want = capBytes - byteOff
+	}
+	if r.verify != nil {
+		if err := r.verify(byteOff, want); err != nil {
+			return err
+		}
 	}
 	if err := r.s.ReadAt(r.c, r.own[:want], byteOff); err != nil {
 		return err

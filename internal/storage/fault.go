@@ -18,6 +18,7 @@ type FaultDevice struct {
 	mu        sync.Mutex
 	remaining int64 // successful ops left; <0 means unlimited
 	tripped   bool
+	torn      bool // when tripping on a WriteAt, persist a prefix first
 }
 
 // NewFaultDevice wraps inner, allowing `ops` successful operations before
@@ -49,6 +50,29 @@ func (d *FaultDevice) Reset(ops int64) {
 	d.mu.Unlock()
 }
 
+// SetTornWrites toggles torn-write mode: when the budget trips on a WriteAt,
+// the first half of the buffer is persisted before the call fails. This
+// models a power cut mid-write — the failure the format-v4 checksums must
+// detect rather than a clean all-or-nothing device error.
+func (d *FaultDevice) SetTornWrites(on bool) {
+	d.mu.Lock()
+	d.torn = on
+	d.mu.Unlock()
+}
+
+// CorruptBitFlip flips one bit of the underlying device in place, bypassing
+// the operation budget. It models silent media corruption: no error at write
+// time, wrong bytes at read time.
+func (d *FaultDevice) CorruptBitFlip(off int64, bit uint) error {
+	var b [1]byte
+	if _, err := d.inner.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err := d.inner.WriteAt(b[:], off)
+	return err
+}
+
 func (d *FaultDevice) step() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -76,6 +100,12 @@ func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt implements Device.
 func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 	if err := d.step(); err != nil {
+		d.mu.Lock()
+		torn := d.torn
+		d.mu.Unlock()
+		if torn && len(p) > 1 {
+			d.inner.WriteAt(p[:len(p)/2], off)
+		}
 		return 0, err
 	}
 	return d.inner.WriteAt(p, off)

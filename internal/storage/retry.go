@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// retryAttempts is the total number of tries per operation (1 initial + 2
+// retries); retryBaseDelay/retryMaxDelay bound the full-jitter backoff.
+const (
+	retryAttempts  = 3
+	retryBaseDelay = 500 * time.Microsecond
+	retryMaxDelay  = 20 * time.Millisecond
+)
+
+// RetryDevice wraps a Device and retries operations that fail with
+// transient, kernel-signalled errors (EINTR/EAGAIN class) using capped
+// exponential backoff with full jitter. Persistent errors — corruption,
+// ENOSPC, injected faults — pass through on the first failure. The Store
+// wraps its FileDevices with it so a signal landing mid-pread does not fail
+// a query.
+type RetryDevice struct {
+	inner   Device
+	retries atomic.Int64
+	onRetry atomic.Pointer[func()]
+	sleep   func(time.Duration) // test seam; nil means time.Sleep
+}
+
+// NewRetryDevice wraps inner with transient-error retries.
+func NewRetryDevice(inner Device) *RetryDevice { return &RetryDevice{inner: inner} }
+
+// OnRetry installs a callback invoked once per retried operation (after the
+// backoff sleep, before the retry). Used to feed iva_device_retries_total.
+func (d *RetryDevice) OnRetry(fn func()) { d.onRetry.Store(&fn) }
+
+// Retries returns the number of retries performed so far.
+func (d *RetryDevice) Retries() int64 { return d.retries.Load() }
+
+// transientError reports whether err is worth retrying: an interrupted or
+// would-block syscall, not a persistent failure.
+func transientError(err error) bool {
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+func (d *RetryDevice) do(op func() error) error {
+	var err error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if err = op(); err == nil || !transientError(err) {
+			return err
+		}
+		if attempt == retryAttempts-1 {
+			break
+		}
+		// Full jitter: uniform in [0, base<<attempt], capped.
+		ceil := retryBaseDelay << attempt
+		if ceil > retryMaxDelay {
+			ceil = retryMaxDelay
+		}
+		delay := time.Duration(rand.Int63n(int64(ceil) + 1))
+		if d.sleep != nil {
+			d.sleep(delay)
+		} else {
+			time.Sleep(delay)
+		}
+		d.retries.Add(1)
+		if fn := d.onRetry.Load(); fn != nil {
+			(*fn)()
+		}
+	}
+	return err
+}
+
+// ReadAt implements Device.
+func (d *RetryDevice) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	err := d.do(func() (e error) { n, e = d.inner.ReadAt(p, off); return })
+	return n, err
+}
+
+// WriteAt implements Device.
+func (d *RetryDevice) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	err := d.do(func() (e error) { n, e = d.inner.WriteAt(p, off); return })
+	return n, err
+}
+
+// Size implements Device.
+func (d *RetryDevice) Size() int64 { return d.inner.Size() }
+
+// Truncate implements Device.
+func (d *RetryDevice) Truncate(size int64) error {
+	return d.do(func() error { return d.inner.Truncate(size) })
+}
+
+// Sync implements Device.
+func (d *RetryDevice) Sync() error {
+	return d.do(func() error { return d.inner.Sync() })
+}
+
+// Close implements Device.
+func (d *RetryDevice) Close() error { return d.inner.Close() }

@@ -38,6 +38,11 @@ type SegStore struct {
 	nseg   int64               // segments allocated (derived from file size)
 	chains map[ChainID][]SegID // lazily loaded chain → ordered segments
 	tails  map[ChainID]SegID   // chain → last segment
+
+	// onWrite, when set, observes every segment whose payload bytes are
+	// written. The index integrity layer uses it to mark segments dirty so
+	// the next Sync recomputes their CRC32C words.
+	onWrite func(SegID)
 }
 
 // NewSegStore lays segments of segSize bytes inside f starting at byte
@@ -74,6 +79,37 @@ func (s *SegStore) Segments() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.nseg
+}
+
+// SetWriteObserver installs fn to be called with the id of every segment
+// whose payload bytes are subsequently written. Pass nil to remove it.
+func (s *SegStore) SetWriteObserver(fn func(SegID)) {
+	s.mu.Lock()
+	s.onWrite = fn
+	s.mu.Unlock()
+}
+
+// ChainSegments returns chain c's segments in logical order. The returned
+// slice is shared with the store's cache and must not be modified; it is
+// stable for as long as the caller prevents concurrent appends (the index
+// holds its own lock across a query).
+func (s *SegStore) ChainSegments(c ChainID) ([]SegID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked(c)
+}
+
+// SegmentOffset returns the file byte offset of segment id's header.
+func (s *SegStore) SegmentOffset(id SegID) int64 { return s.segOffset(id) }
+
+// ReadSegmentPayload reads the first len(p) payload bytes of segment id,
+// regardless of which chain it belongs to. The integrity layer uses it to
+// recompute and verify per-segment checksums.
+func (s *SegStore) ReadSegmentPayload(id SegID, p []byte) error {
+	if len(p) > s.PayloadSize() {
+		return fmt.Errorf("storage: payload read of %d exceeds segment size", len(p))
+	}
+	return s.f.ReadAt(p, s.segOffset(id)+segHeaderLen)
 }
 
 func (s *SegStore) segOffset(id SegID) int64 {
@@ -240,6 +276,7 @@ func (s *SegStore) WriteAt(c ChainID, p []byte, off int64) error {
 	}
 	s.chains[c] = segs
 	s.tails[c] = segs[len(segs)-1]
+	obs := s.onWrite
 	s.mu.Unlock()
 
 	for len(p) > 0 {
@@ -252,6 +289,9 @@ func (s *SegStore) WriteAt(c ChainID, p []byte, off int64) error {
 		at := s.segOffset(segs[idx]) + segHeaderLen + in
 		if err := s.f.WriteAt(p[:n], at); err != nil {
 			return err
+		}
+		if obs != nil {
+			obs(segs[idx])
 		}
 		p = p[n:]
 		off += int64(n)

@@ -28,6 +28,8 @@ type Table struct {
 	live     int64        // live (non-deleted) tuples
 	total    int64        // records present in the file, incl. deleted
 	dataEnd  int64        // next append offset
+	crcStart int64        // records at ptr >= crcStart carry a CRC32C trailer
+	upgraded bool         // header flags bit 0 was unset when the file was opened
 	accesses atomic.Int64 // random tuple fetches (Fig. 8 metric)
 }
 
@@ -35,6 +37,12 @@ const (
 	tableMagic   = 0x53575442 // "SWTB"
 	headerSize   = 64
 	maxRecordLen = 1 << 24
+
+	// flagRecordCRC marks a header whose crcStart watermark is valid: every
+	// record appended at or beyond it ends in a CRC32C trailer (format v4).
+	flagRecordCRC = 1 << 0
+
+	recordTrailerLen = 4
 )
 
 // New creates an empty table over f. Existing file contents are discarded.
@@ -42,7 +50,7 @@ func New(f *storage.File, cat *Catalog) (*Table, error) {
 	if err := f.Truncate(0); err != nil {
 		return nil, err
 	}
-	t := &Table{f: f, cat: cat, dataEnd: headerSize}
+	t := &Table{f: f, cat: cat, dataEnd: headerSize, crcStart: headerSize}
 	if err := t.writeHeader(); err != nil {
 		return nil, err
 	}
@@ -66,6 +74,16 @@ func Open(f *storage.File, cat *Catalog) (*Table, error) {
 		total:   int64(binary.LittleEndian.Uint64(hdr[16:24])),
 		dataEnd: int64(binary.LittleEndian.Uint64(hdr[24:32])),
 	}
+	if binary.LittleEndian.Uint32(hdr[32:36])&flagRecordCRC != 0 {
+		t.crcStart = int64(binary.LittleEndian.Uint64(hdr[36:44]))
+	} else {
+		// Pre-v4 file: existing records stay trailer-free, but everything
+		// appended from here on is covered. The watermark equals the
+		// committed dataEnd, so a crash before the next Sync (which persists
+		// the upgraded header) rolls both back together.
+		t.crcStart = t.dataEnd
+		t.upgraded = true
+	}
 	return t, nil
 }
 
@@ -76,6 +94,8 @@ func (t *Table) writeHeader() error {
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(t.live))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(t.total))
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(t.dataEnd))
+	binary.LittleEndian.PutUint32(hdr[32:36], flagRecordCRC)
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(t.crcStart))
 	return t.f.WriteAt(hdr[:], 0)
 }
 
@@ -124,6 +144,27 @@ func (t *Table) IOStats() *storage.Stats { return t.f.IOStats() }
 
 // Accesses returns the number of random tuple fetches since the last reset.
 func (t *Table) Accesses() int64 { return t.accesses.Load() }
+
+// CRCStart returns the watermark from which records carry CRC32C trailers.
+// Records before it (written by a pre-v4 store) are read unverified until a
+// rebuild rewrites them.
+func (t *Table) CRCStart() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crcStart
+}
+
+// Legacy reports whether the file holds any trailer-free pre-v4 records.
+func (t *Table) Legacy() bool { return t.CRCStart() > headerSize }
+
+// recordCRC returns the trailer value for a record (length word + body) at
+// ptr. The offset is mixed in so a record read from the wrong place — a
+// misdirected I/O — fails verification even if its bytes are intact.
+func recordCRC(rec []byte, ptr int64) uint32 {
+	var off [8]byte
+	binary.LittleEndian.PutUint64(off[:], uint64(ptr))
+	return storage.ChecksumUpdate(storage.Checksum(rec), off[:])
+}
 
 // ResetAccesses zeroes the fetch counter.
 func (t *Table) ResetAccesses() { t.accesses.Store(0) }
@@ -252,6 +293,7 @@ func (t *Table) AppendWithTID(tid model.TID, values map[model.AttrID]model.Value
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ptr := t.dataEnd
+	rec = binary.LittleEndian.AppendUint32(rec, recordCRC(rec, ptr))
 	if err := t.f.WriteAt(rec, ptr); err != nil {
 		return 0, err
 	}
@@ -292,11 +334,30 @@ func (t *Table) readAt(ptr int64) (*model.Tuple, error) {
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n == 0 || n > maxRecordLen {
+		if ptr >= t.CRCStart() {
+			return nil, &storage.CorruptionError{File: "table.swt", Offset: ptr,
+				Segment: storage.NoCorruptSegment, Detail: fmt.Sprintf("bad record length %d", n)}
+		}
 		return nil, fmt.Errorf("table: bad record length %d at %d", n, ptr)
 	}
-	body := make([]byte, n)
+	covered := ptr >= t.CRCStart()
+	body := make([]byte, n, n+recordTrailerLen)
+	if covered {
+		body = body[:n+recordTrailerLen]
+	}
 	if err := t.f.ReadAt(body, ptr+4); err != nil {
 		return nil, err
+	}
+	if covered {
+		want := binary.LittleEndian.Uint32(body[n:])
+		body = body[:n]
+		var off [8]byte
+		binary.LittleEndian.PutUint64(off[:], uint64(ptr))
+		crc := storage.ChecksumUpdate(storage.ChecksumUpdate(storage.Checksum(lenBuf[:]), body), off[:])
+		if crc != want {
+			return nil, &storage.CorruptionError{File: "table.swt", Offset: ptr,
+				Segment: storage.NoCorruptSegment, Detail: "record checksum mismatch"}
+		}
 	}
 	return decodeRecord(body)
 }
@@ -309,28 +370,76 @@ func (t *Table) Scan(fn func(ptr int64, tp *model.Tuple) error) error {
 	end := t.dataEnd
 	t.mu.Unlock()
 	for ptr := int64(headerSize); ptr < end; {
-		var lenBuf [4]byte
-		if err := t.f.ReadAt(lenBuf[:], ptr); err != nil {
-			return err
-		}
-		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
-		if n == 0 || n > maxRecordLen {
-			return fmt.Errorf("table: bad record length %d at %d", n, ptr)
-		}
-		body := make([]byte, n)
-		if err := t.f.ReadAt(body, ptr+4); err != nil {
-			return err
-		}
-		tp, err := decodeRecord(body)
+		tp, next, err := t.scanOne(ptr)
 		if err != nil {
 			return err
 		}
 		if err := fn(ptr, tp); err != nil {
 			return err
 		}
-		ptr += 4 + n
+		ptr = next
 	}
 	return nil
+}
+
+// scanOne reads, verifies and decodes the record at ptr, returning the
+// decoded tuple and the offset of the next record.
+func (t *Table) scanOne(ptr int64) (*model.Tuple, int64, error) {
+	tp, err := t.readAt(ptr)
+	if err != nil {
+		return nil, 0, err
+	}
+	var lenBuf [4]byte
+	if err := t.f.ReadAt(lenBuf[:], ptr); err != nil {
+		return nil, 0, err
+	}
+	next := ptr + 4 + int64(binary.LittleEndian.Uint32(lenBuf[:]))
+	if ptr >= t.CRCStart() {
+		next += recordTrailerLen
+	}
+	return tp, next, nil
+}
+
+// ScrubReport summarizes a table checksum sweep.
+type ScrubReport struct {
+	Records int // records swept
+	Covered int // records carrying a CRC32C trailer
+	Legacy  int // pre-v4 records with no trailer (unverifiable)
+	Corrupt int // records whose trailer or structure failed verification
+	// Problems holds one message per corrupt record (capped at 50).
+	Problems []string
+}
+
+// Clean reports whether the sweep found no corruption.
+func (r *ScrubReport) Clean() bool { return r.Corrupt == 0 }
+
+// Scrub sweeps every record up to the committed dataEnd, verifying the
+// CRC32C trailer and decodability of each. A corrupt record ends the sweep
+// for the rest of the file (record framing cannot be trusted past it).
+func (t *Table) Scrub() ScrubReport {
+	t.mu.Lock()
+	end := t.dataEnd
+	crcStart := t.crcStart
+	t.mu.Unlock()
+	var rep ScrubReport
+	for ptr := int64(headerSize); ptr < end; {
+		_, next, err := t.scanOne(ptr)
+		if err != nil {
+			rep.Corrupt++
+			if len(rep.Problems) < 50 {
+				rep.Problems = append(rep.Problems, err.Error())
+			}
+			return rep
+		}
+		rep.Records++
+		if ptr >= crcStart {
+			rep.Covered++
+		} else {
+			rep.Legacy++
+		}
+		ptr = next
+	}
+	return rep
 }
 
 // Rebuild rewrites the table into dst keeping only tuples for which keep

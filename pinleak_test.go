@@ -1,6 +1,12 @@
 package iva
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
 
 // TestStoreReleasesPoolPins asserts the pin-leak invariant at the API
 // surface: after any store operation returns, every buffer-pool pin taken by
@@ -61,4 +67,96 @@ func TestStoreReleasesPoolPins(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertNoPins("Delete+Rebuild+Search")
+}
+
+// storeTrippingCtx reports context.Canceled after Err has been polled
+// threshold times, so a cancellation lands deterministically mid-query.
+type storeTrippingCtx struct {
+	context.Context
+	polls     atomic.Int64
+	threshold int64
+}
+
+func (c *storeTrippingCtx) Err() error {
+	if c.polls.Add(1) > c.threshold {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSearchContextReleasesPoolPins extends the pin-leak invariant to the
+// failing-query paths: a pre-cancelled SearchContext and a context tripped
+// mid-query must both return ctx.Err() with zero frames left pinned, at
+// every parallelism.
+func TestSearchContextReleasesPoolPins(t *testing.T) {
+	s, err := Create("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 300; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i%97)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(5).WhereNum("Price", 150).WhereText("Type", "Camera")
+	wantRes, _, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-cancelled: must fail before touching the device.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := s.pool.Stats().Snapshot()
+	if _, _, err := s.SearchContext(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: got %v, want context.Canceled", err)
+	}
+	after := s.pool.Stats().Snapshot()
+	if after.PhysReads != before.PhysReads || after.CacheHits != before.CacheHits {
+		t.Fatalf("pre-cancelled ctx touched the pool: %+v -> %+v", before, after)
+	}
+	if n := s.pool.PinnedFrames(); n != 0 {
+		t.Fatalf("pre-cancelled SearchContext leaked %d pins", n)
+	}
+
+	// Mid-query trips across the parallelism grid.
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		s.ix.SetSearchParallelism(par)
+		for _, threshold := range []int64{1, 3, 5} {
+			ctx := &storeTrippingCtx{Context: context.Background(), threshold: threshold}
+			_, _, err := s.SearchContext(ctx, q)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("par=%d threshold=%d: got %v, want context.Canceled", par, threshold, err)
+			}
+			if n := s.pool.PinnedFrames(); n != 0 {
+				t.Fatalf("par=%d threshold=%d: cancellation leaked %d pins", par, threshold, n)
+			}
+		}
+	}
+
+	// The store still answers correctly after all those aborted queries.
+	s.ix.SetSearchParallelism(0)
+	res, _, err := s.SearchContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(wantRes) {
+		t.Fatalf("post-cancellation search returned %d results, want %d", len(res), len(wantRes))
+	}
+	for i := range res {
+		if res[i].TID != wantRes[i].TID {
+			t.Fatalf("post-cancellation result %d: got id %d, want %d", i, res[i].TID, wantRes[i].TID)
+		}
+	}
+	if n := s.pool.PinnedFrames(); n != 0 {
+		t.Fatalf("clean search leaked %d pins", n)
+	}
 }

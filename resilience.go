@@ -1,0 +1,195 @@
+package iva
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// IntegrityMode selects how a checksum mismatch found at read time is
+// handled (Options.Integrity).
+type IntegrityMode int
+
+const (
+	// DegradeReads (the default) keeps queries answerable through vector-
+	// list corruption: a corrupt segment contributes zero lower bounds, so
+	// every affected tuple goes to refine, where the exact distance is
+	// computed from the (verified) table record. Results are therefore
+	// still exact — degradation trades filter I/O for correctness, never
+	// correctness for availability. The damage is surfaced in
+	// QueryStats.DegradedSegments and the iva_corrupt_segments_total
+	// counter.
+	DegradeReads IntegrityMode = iota
+	// Strict fails any operation that touches corrupt bytes with a
+	// *CorruptionError.
+	Strict
+)
+
+// CorruptionError is the typed error every checksum mismatch surfaces as;
+// match it with errors.As. File names the damaged store file, Offset the
+// byte position of the damaged structure, and Segment the index segment id
+// when the damage is segment-scoped.
+type CorruptionError = storage.CorruptionError
+
+// SearchContext is Search under a context: cancellation and deadlines are
+// honored at stripe boundaries during the filter phase and before every
+// refine fetch, returning ctx.Err() with the partial stats accumulated so
+// far. An already-expired context fails before any device read. It composes
+// with Options.QueryTimeout — the earlier deadline wins.
+func (s *Store) SearchContext(ctx context.Context, q *Query) ([]Result, QueryStats, error) {
+	return s.search(ctx, q, nil)
+}
+
+// ScrubReport is the machine-readable outcome of one Store.Scrub pass.
+type ScrubReport struct {
+	// FormatVersion is the index file's committed on-disk version; Legacy
+	// marks pre-v4 index files, which carry no checksums (the first Sync
+	// upgrades them in place).
+	FormatVersion int
+	Legacy        bool
+
+	// Index segment sweep: segments covered by the committed checksum map,
+	// how many failed their CRC32C word, and how many were skipped because
+	// they hold unsynced writes.
+	IndexSegments        int
+	CorruptIndexSegments int
+	DirtyIndexSegments   int
+
+	// Checkpoint record sweep, plus records already dropped when the index
+	// was opened under DegradeReads.
+	Checkpoints        int
+	CorruptCheckpoints int
+	DroppedCheckpoints int
+
+	// SuperblockOK reports the index superblock trailer check; MapDropped
+	// that the committed checksum map itself was unreadable and segment
+	// coverage is degraded until the next Sync.
+	SuperblockOK bool
+	MapDropped   bool
+
+	// Table record sweep: records swept, records carrying a CRC32C trailer,
+	// pre-v4 records without one, and records that failed verification.
+	TableRecords  int
+	TableCovered  int
+	TableLegacy   int
+	CorruptTable  int
+	// CatalogOK reports that the catalog file re-decoded cleanly (always
+	// true for in-memory stores, which have no catalog file).
+	CatalogOK bool
+
+	// Problems holds one line per damaged structure, prefixed with the file
+	// it lives in.
+	Problems []string
+
+	// Shards holds the per-shard reports when the scrub ran on a Sharded
+	// store; the top-level counters are sums.
+	Shards []*ScrubReport
+}
+
+// Clean reports whether the scrub found no damage. A Legacy index is clean
+// by definition — there is nothing to verify against — but the flag (and the
+// iva_format_legacy gauge) surface the reduced assurance.
+func (r *ScrubReport) Clean() bool {
+	return r.CorruptIndexSegments == 0 && r.CorruptCheckpoints == 0 &&
+		r.DroppedCheckpoints == 0 && r.SuperblockOK && !r.MapDropped &&
+		r.CorruptTable == 0 && r.CatalogOK
+}
+
+// Scrub sweeps every file of the store verifying every committed checksum:
+// the index superblock, each covered index segment, each checkpoint record,
+// each table record, and the catalog. Unlike query-time verification it
+// re-reads every covered byte (the first-touch cache is ignored) and never
+// degrades — damage is reported, not worked around. Read-only and safe on a
+// live store; pair it with Rebuild to repair a damaged index from a clean
+// table.
+func (s *Store) Scrub() (*ScrubReport, error) {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	ixRep, err := s.ix.Scrub()
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScrubReport{
+		FormatVersion:        ixRep.FormatVersion,
+		Legacy:               ixRep.Legacy,
+		IndexSegments:        ixRep.Segments,
+		CorruptIndexSegments: ixRep.CorruptSegments,
+		DirtyIndexSegments:   ixRep.DirtySegments,
+		Checkpoints:          ixRep.Checkpoints,
+		CorruptCheckpoints:   ixRep.CorruptCheckpoints,
+		DroppedCheckpoints:   ixRep.DroppedCheckpoints,
+		SuperblockOK:         ixRep.SuperblockOK,
+		MapDropped:           ixRep.MapDropped,
+		CatalogOK:            true,
+	}
+	for _, p := range ixRep.Problems {
+		rep.Problems = append(rep.Problems, "iva.idx: "+p)
+	}
+
+	tblRep := s.tbl.Scrub()
+	rep.TableRecords = tblRep.Records
+	rep.TableCovered = tblRep.Covered
+	rep.TableLegacy = tblRep.Legacy
+	rep.CorruptTable = tblRep.Corrupt
+	for _, p := range tblRep.Problems {
+		rep.Problems = append(rep.Problems, "table.swt: "+p)
+	}
+
+	if s.dir != "" {
+		blob, err := os.ReadFile(filepath.Join(s.dir, catalogFileName))
+		if err != nil {
+			rep.CatalogOK = false
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %v", catalogFileName, err))
+		} else if _, err := table.DecodeCatalog(blob); err != nil {
+			rep.CatalogOK = false
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %v", catalogFileName, err))
+		}
+	}
+	return rep, nil
+}
+
+// SearchContext is Sharded.Search under a context; the context fans out to
+// every shard (see Store.SearchContext).
+func (s *Sharded) SearchContext(ctx context.Context, q *Query) ([]Result, QueryStats, error) {
+	return s.searchContext(ctx, q)
+}
+
+// Scrub sweeps every shard (see Store.Scrub) and sums the reports. The
+// summed report keeps each shard's full report in Shards; FormatVersion is
+// the lowest across shards and Legacy/flags are ORed so a single damaged or
+// lagging shard marks the whole partition.
+func (s *Sharded) Scrub() (*ScrubReport, error) {
+	agg := &ScrubReport{SuperblockOK: true, CatalogOK: true}
+	for i, st := range s.shards {
+		r, err := st.Scrub()
+		if err != nil {
+			return nil, fmt.Errorf("iva: shard %d: %w", i, err)
+		}
+		if i == 0 || r.FormatVersion < agg.FormatVersion {
+			agg.FormatVersion = r.FormatVersion
+		}
+		agg.Legacy = agg.Legacy || r.Legacy
+		agg.IndexSegments += r.IndexSegments
+		agg.CorruptIndexSegments += r.CorruptIndexSegments
+		agg.DirtyIndexSegments += r.DirtyIndexSegments
+		agg.Checkpoints += r.Checkpoints
+		agg.CorruptCheckpoints += r.CorruptCheckpoints
+		agg.DroppedCheckpoints += r.DroppedCheckpoints
+		agg.SuperblockOK = agg.SuperblockOK && r.SuperblockOK
+		agg.MapDropped = agg.MapDropped || r.MapDropped
+		agg.TableRecords += r.TableRecords
+		agg.TableCovered += r.TableCovered
+		agg.TableLegacy += r.TableLegacy
+		agg.CorruptTable += r.CorruptTable
+		agg.CatalogOK = agg.CatalogOK && r.CatalogOK
+		for _, p := range r.Problems {
+			agg.Problems = append(agg.Problems, fmt.Sprintf("shard %d: %s", i, p))
+		}
+		agg.Shards = append(agg.Shards, r)
+	}
+	return agg, nil
+}

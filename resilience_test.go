@@ -1,0 +1,223 @@
+package iva
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func fillStore(t *testing.T, s *Store, n int) *Query {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i%83)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return NewQuery(5).WhereNum("Price", 140).WhereText("Type", "Camera")
+}
+
+// TestQueryTimeout covers Options.QueryTimeout: a store-wide deadline turns
+// into context.DeadlineExceeded on a search that cannot finish in time.
+func TestQueryTimeout(t *testing.T) {
+	s, err := Create("", Options{QueryTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := fillStore(t, s, 200)
+	if _, _, err := s.Search(q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if n := s.pool.PinnedFrames(); n != 0 {
+		t.Fatalf("timed-out query leaked %d pins", n)
+	}
+}
+
+// TestScrubFreshClean asserts a freshly written store scrubs clean on the
+// current format version — the ivatool `scrub` happy path.
+func TestScrubFreshClean(t *testing.T) {
+	s, err := Create(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s, 120)
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fresh store not clean: %+v", rep.Problems)
+	}
+	if rep.Legacy || rep.FormatVersion < 4 {
+		t.Fatalf("fresh store should be v4+, got version=%d legacy=%v", rep.FormatVersion, rep.Legacy)
+	}
+	if rep.IndexSegments == 0 || rep.TableRecords == 0 {
+		t.Fatalf("scrub covered nothing: %+v", rep)
+	}
+}
+
+// TestCorruptionEndToEnd is the full public-API corruption story on a disk
+// store: flip one committed index bit, then confirm Strict mode refuses with
+// a typed CorruptionError, the default DegradeReads mode returns the exact
+// baseline answer while reporting the damage (QueryStats, Prometheus
+// counter, Scrub), and Rebuild from the clean table restores a clean store.
+func TestCorruptionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fillStore(t, s, 240)
+	want, _, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exts := s.ix.VectorExtents()
+	if len(exts) == 0 {
+		t.Fatal("store has no committed vector extents")
+	}
+	off := exts[0].Offset + exts[0].Len/2
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idxPath := filepath.Join(dir, "iva.idx")
+	blob, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[off] ^= 0x08
+	if err := os.WriteFile(idxPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict: the query must fail with the typed corruption error.
+	s, err = Open(dir, Options{Integrity: Strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Search(q)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("strict search: got %v, want *CorruptionError", err)
+	}
+	if ce.File == "" || ce.Detail == "" {
+		t.Fatalf("corruption error lacks context: %+v", ce)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default DegradeReads: exact answer, damage visible everywhere.
+	s, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, qs, err := s.Search(q)
+	if err != nil {
+		t.Fatalf("degraded search failed: %v", err)
+	}
+	if qs.DegradedSegments < 1 {
+		t.Fatalf("degraded search reported %d degraded segments", qs.DegradedSegments)
+	}
+	if len(res) != len(want) {
+		t.Fatalf("degraded search returned %d results, want %d", len(res), len(want))
+	}
+	for i := range res {
+		if res[i].TID != want[i].TID {
+			t.Fatalf("degraded result %d: got tid %d, want %d", i, res[i].TID, want[i].TID)
+		}
+	}
+	if ok, err := regexp.MatchString(`iva_corrupt_segments_total [1-9]`, s.MetricsText()); err != nil || !ok {
+		t.Fatalf("iva_corrupt_segments_total not incremented (err=%v)", err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.CorruptIndexSegments < 1 {
+		t.Fatalf("scrub missed the damage: %+v", rep)
+	}
+	if rep.CorruptTable != 0 || !rep.CatalogOK {
+		t.Fatalf("scrub blamed the wrong file: %+v", rep)
+	}
+
+	// Repair: the table is intact, so a rebuild restores a clean index.
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err = s.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("rebuild left problems: %+v", rep.Problems)
+	}
+	res, qs, err = s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DegradedSegments != 0 {
+		t.Fatalf("post-rebuild search still degraded: %d", qs.DegradedSegments)
+	}
+	for i := range res {
+		if res[i].TID != want[i].TID {
+			t.Fatalf("post-rebuild result %d: got tid %d, want %d", i, res[i].TID, want[i].TID)
+		}
+	}
+}
+
+// TestShardedResilience covers the partition-level surface: Scrub sums shard
+// reports and SearchContext propagates cancellation across shards.
+func TestShardedResilience(t *testing.T) {
+	s, err := CreateSharded("", 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 160; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i%71)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("sharded scrub not clean: %+v", rep.Problems)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("summed report kept %d shard reports, want 2", len(rep.Shards))
+	}
+
+	q := NewQuery(3).WhereNum("Price", 120)
+	if _, _, err := s.SearchContext(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SearchContext(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sharded cancelled search: got %v, want context.Canceled", err)
+	}
+}

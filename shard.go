@@ -1,6 +1,7 @@
 package iva
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -170,6 +171,10 @@ func (s *Sharded) Update(global TID, row Row) (TID, error) {
 // breakdown is kept in QueryStats.Shards. A fan-out at or above the
 // slow-query threshold is logged once, with one child span per shard.
 func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
+	return s.searchContext(context.Background(), q)
+}
+
+func (s *Sharded) searchContext(ctx context.Context, q *Query) ([]Result, QueryStats, error) {
 	type shardOut struct {
 		res   []Result
 		stats QueryStats
@@ -184,7 +189,7 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 		go func(i int, st *Store) {
 			defer wg.Done()
 			// Queries are stateless request descriptions; shards share one.
-			outs[i].res, outs[i].stats, outs[i].err = st.search(q, root)
+			outs[i].res, outs[i].stats, outs[i].err = st.search(ctx, q, root)
 		}(i, st)
 	}
 	wg.Wait()
@@ -206,6 +211,7 @@ func (s *Sharded) Search(q *Query) ([]Result, QueryStats, error) {
 		agg.CacheHits += o.stats.CacheHits
 		agg.PhysReads += o.stats.PhysReads
 		agg.DiskCostMS += o.stats.DiskCostMS
+		agg.DegradedSegments += o.stats.DegradedSegments
 		// Shards run concurrently: the critical path is the slowest shard.
 		if o.stats.FilterTime > agg.FilterTime {
 			agg.FilterTime = o.stats.FilterTime

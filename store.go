@@ -1,6 +1,7 @@
 package iva
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -73,6 +74,22 @@ type Options struct {
 	// the sequential plan. Results are identical either way — the parallel
 	// plan is byte-for-byte deterministic.
 	SearchParallelism int
+	// Integrity selects how a checksum mismatch found at read time is
+	// handled. DegradeReads (the default) keeps queries answerable: a
+	// corrupt vector-list segment contributes zero lower bounds, so the
+	// affected tuples all go to refine and results stay exact (refine
+	// recomputes true distances from the table file); the damage is counted
+	// in QueryStats.DegradedSegments and iva_corrupt_segments_total. Strict
+	// fails any operation touching corrupt bytes with a *CorruptionError.
+	// Corruption of the tuple list, attribute metadata or table records
+	// fails the operation in both modes — there is nothing sound to degrade
+	// to.
+	Integrity IntegrityMode
+	// QueryTimeout bounds every search's wall time. A query past the
+	// deadline stops at the next stripe boundary or refine fetch and
+	// returns context.DeadlineExceeded. Zero disables the bound;
+	// SearchContext composes with it (the earlier deadline wins).
+	QueryTimeout time.Duration
 
 	// Set by CreateSharded/OpenSharded so every shard publishes into one
 	// registry and slow-query log under a per-shard label.
@@ -155,6 +172,8 @@ type storeMetrics struct {
 	rebuilds    *obs.Counter
 	scanned     *obs.Counter
 	accesses    *obs.Counter
+	corruptSegs *obs.Counter
+	devRetries  *obs.Counter
 	queryDur    *obs.Histogram
 	filterDur   *obs.Histogram
 	refineDur   *obs.Histogram
@@ -186,6 +205,8 @@ func (s *Store) initObs() {
 		rebuilds:    s.reg.Counter("iva_rebuilds_total", "Table/index file rebuilds.", labels),
 		scanned:     s.reg.Counter("iva_query_scanned_tuples_total", "Tuple-list entries filtered across all queries.", labels),
 		accesses:    s.reg.Counter("iva_query_table_accesses_total", "Random table-file accesses across all queries.", labels),
+		corruptSegs: s.reg.Counter("iva_corrupt_segments_total", "Corrupt vector-list segments queries degraded past.", labels),
+		devRetries:  s.reg.Counter("iva_device_retries_total", "Device operations retried after transient kernel errors.", labels),
 		queryDur:    s.reg.Histogram("iva_query_duration_seconds", "End-to-end search latency.", labels, nil),
 		filterDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
 			obs.With(labels, "phase", "filter"), nil),
@@ -222,6 +243,14 @@ func (s *Store) initObs() {
 		defer s.engineMu.RUnlock()
 		return float64(s.ix.SearchWorkers())
 	})
+	s.reg.GaugeFunc("iva_format_legacy", "1 while the index file predates format v4 (no checksum coverage until the next sync).", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		if s.ix.FormatVersion() < 4 {
+			return 1
+		}
+		return 0
+	})
 }
 
 const (
@@ -236,6 +265,7 @@ func (s *Store) coreOptions() core.Options {
 	opts := core.Options{
 		Alpha: s.opts.Alpha, N: s.opts.N, TIDHeadroom: s.tidHeadroom,
 		SearchParallelism: s.opts.SearchParallelism,
+		Integrity:         core.IntegrityMode(s.opts.Integrity),
 	}
 	if len(s.opts.AlphaPerAttr) > 0 {
 		opts.AlphaOverride = make(map[model.AttrID]float64, len(s.opts.AlphaPerAttr))
@@ -325,10 +355,26 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 func (s *Store) device(name string) (storage.Device, error) {
+	var dev storage.Device
 	if s.dir == "" {
-		return storage.NewMemDevice(), nil
+		dev = storage.NewMemDevice()
+	} else {
+		var err error
+		if dev, err = storage.OpenFileDevice(filepath.Join(s.dir, name)); err != nil {
+			return nil, err
+		}
 	}
-	return storage.OpenFileDevice(filepath.Join(s.dir, name))
+	// Transient kernel errors (EINTR/EAGAIN) retry with backoff instead of
+	// failing the query. The metric handle is nil until initObs; retries
+	// before that (none in practice — devices see no I/O until the store is
+	// wired up) are simply not counted.
+	rd := storage.NewRetryDevice(dev)
+	rd.OnRetry(func() {
+		if c := s.om.devRetries; c != nil {
+			c.Inc()
+		}
+	})
+	return rd, nil
 }
 
 func (s *Store) buildMetric() error {
@@ -567,6 +613,11 @@ type QueryStats struct {
 	// Workers is the number of filter workers the executed plan ran with
 	// (1 for the sequential plan; on a Sharded store, the largest shard's).
 	Workers int
+	// DegradedSegments counts the distinct corrupt vector-list segments the
+	// query read past under DegradeReads. Zero on a healthy store; any
+	// other value means the results are still exact but the index needs a
+	// scrub and rebuild (on a Sharded store, the per-shard sum).
+	DegradedSegments int
 	// Shards holds the per-shard breakdown when the query ran on a
 	// Sharded store (nil on a single store). The top-level counters are
 	// sums; the times are the slowest shard's (the critical path).
@@ -581,17 +632,22 @@ type QueryStats struct {
 // store's metrics registry; a query at or above Options.SlowQueryThreshold
 // is captured in the slow-query log with its full per-term trace.
 func (s *Store) Search(q *Query) ([]Result, QueryStats, error) {
-	return s.search(q, nil)
+	return s.search(context.Background(), q, nil)
 }
 
 // search runs one query under a trace span. A non-nil parent adopts the
 // query's trace (the sharded fan-out), and then the slow-query decision is
 // the parent's: only root queries are logged, so a slow fan-out appears once
 // with its per-shard children rather than once per shard.
-func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error) {
+func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Result, QueryStats, error) {
 	var qs QueryStats
 	if q.err != nil {
 		return nil, qs, q.err
+	}
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
 	}
 	sp := obs.StartSpan("query")
 	parent.Adopt(sp)
@@ -620,11 +676,17 @@ func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error)
 	plan.End()
 
 	s.engineMu.RLock()
-	res, st, err := s.ix.SearchTraced(mq, s.met, sp)
+	res, st, err := s.ix.SearchTracedContext(ctx, mq, s.met, sp)
 	s.engineMu.RUnlock()
 	if err != nil {
 		sp.End()
 		s.om.queryErrs.Inc()
+		// Partial stats still describe the work done before the failure —
+		// a cancelled query reports how far it got.
+		qs.Scanned = st.Scanned
+		qs.TableAccesses = st.TableAccesses
+		qs.Workers = st.Workers
+		qs.DegradedSegments = st.DegradedSegments
 		return nil, qs, err
 	}
 	// The root span (and so the slow-query log) records the merged final
@@ -637,14 +699,18 @@ func (s *Store) search(q *Query, parent *obs.Span) ([]Result, QueryStats, error)
 
 	io := st.FilterIO.Add(st.RefineIO)
 	qs = QueryStats{
-		Scanned:       st.Scanned,
-		TableAccesses: st.TableAccesses,
-		FilterTime:    st.FilterWall,
-		RefineTime:    st.RefineWall,
-		CacheHits:     io.CacheHits,
-		PhysReads:     io.PhysReads,
-		DiskCostMS:    s.disk.CostMS(io),
-		Workers:       st.Workers,
+		Scanned:          st.Scanned,
+		TableAccesses:    st.TableAccesses,
+		FilterTime:       st.FilterWall,
+		RefineTime:       st.RefineWall,
+		CacheHits:        io.CacheHits,
+		PhysReads:        io.PhysReads,
+		DiskCostMS:       s.disk.CostMS(io),
+		Workers:          st.Workers,
+		DegradedSegments: st.DegradedSegments,
+	}
+	if st.DegradedSegments > 0 {
+		s.om.corruptSegs.Add(int64(st.DegradedSegments))
 	}
 	s.om.queries.Inc()
 	s.om.scanned.Add(st.Scanned)
