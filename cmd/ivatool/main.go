@@ -5,15 +5,17 @@
 //
 //	ivatool -dir DIR create
 //	ivatool -dir DIR insert '<attr>=<value>' [...]      # value: number or text
-//	ivatool -dir DIR query -k 10 '<attr>=<value>' [...]
+//	ivatool -dir DIR query [-profile] '<attr>=<value>' [...]
 //	ivatool -dir DIR get <tid>
 //	ivatool -dir DIR delete <tid>
-//	ivatool -dir DIR stats
+//	ivatool -dir DIR stats [-strict]                     # -strict exits non-zero on recorded scrub damage
 //	ivatool -dir DIR rebuild
 //	ivatool -dir DIR check -checksums -deep -seed 7      # integrity check (+ checksum sweep, differential oracle)
 //	ivatool -dir DIR scrub -repair                       # verify every checksum; -repair rebuilds from a clean table
 //	ivatool -dir DIR demo                                # load a small product catalog
-//	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog
+//	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog, /debug/trace
+//	                                                     # (-pprof adds /debug/pprof; -scrub-interval paces the
+//	                                                     #  background scrubber, 0 disables it)
 //
 // Attribute values that parse as numbers are numeric; everything else is
 // text. Multiple strings for one text attribute repeat the attribute:
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -34,12 +37,14 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "store directory (required)")
-		k       = flag.Int("k", 10, "top-k for queries")
-		metricF = flag.String("metric", "L2", "distance metric: L1, L2, Linf")
-		weights = flag.String("weights", "EQU", "attribute weights: EQU, ITF")
-		addr    = flag.String("addr", "127.0.0.1:9090", "listen address for serve")
-		slow    = flag.Duration("slow", 250*time.Millisecond, "slow-query log threshold for serve")
+		dir        = flag.String("dir", "", "store directory (required)")
+		k          = flag.Int("k", 10, "top-k for queries")
+		metricF    = flag.String("metric", "L2", "distance metric: L1, L2, Linf")
+		weights    = flag.String("weights", "EQU", "attribute weights: EQU, ITF")
+		addr       = flag.String("addr", "127.0.0.1:9090", "listen address for serve")
+		slow       = flag.Duration("slow", 250*time.Millisecond, "slow-query log threshold for serve")
+		pprofFlag  = flag.Bool("pprof", false, "expose /debug/pprof on serve (off by default; see README security note)")
+		scrubEvery = flag.Duration("scrub-interval", 10*time.Minute, "background scrub cycle target for serve (0 disables)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -48,14 +53,22 @@ func main() {
 		os.Exit(2)
 	}
 	opts := iva.Options{Metric: *metricF, Weights: *weights, SlowQueryThreshold: *slow}
+	sv := serveOpts{addr: *addr, pprof: *pprofFlag, scrubEvery: *scrubEvery}
 	cmd, rest := args[0], args[1:]
-	if err := run(cmd, rest, *dir, *k, *addr, opts); err != nil {
+	if err := run(cmd, rest, *dir, *k, sv, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, args []string, dir string, k int, addr string, opts iva.Options) error {
+// serveOpts carries the serve-only flags through run.
+type serveOpts struct {
+	addr       string
+	pprof      bool
+	scrubEvery time.Duration
+}
+
+func run(cmd string, args []string, dir string, k int, sv serveOpts, opts iva.Options) error {
 	switch cmd {
 	case "create":
 		st, err := iva.Create(dir, opts)
@@ -92,8 +105,13 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		}
 		fmt.Printf("inserted tuple %d\n", tid)
 	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		profile := fs.Bool("profile", false, "print the executed plan's per-phase profile (EXPLAIN ANALYZE)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
 		q := iva.NewQuery(k)
-		for _, a := range args {
+		for _, a := range fs.Args() {
 			attr, val, err := splitPair(a)
 			if err != nil {
 				return err
@@ -103,6 +121,21 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 			} else {
 				q.WhereText(attr, val)
 			}
+		}
+		if *profile {
+			res, prof, err := st.SearchProfiled(q)
+			if err != nil {
+				return err
+			}
+			for _, r := range res {
+				row, err := st.Get(r.TID)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("tid=%d dist=%.3f %s\n", r.TID, r.Dist, formatRow(row))
+			}
+			fmt.Print(prof.Render())
+			return nil
 		}
 		res, stats, err := st.Search(q)
 		if err != nil {
@@ -161,19 +194,9 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		}
 		fmt.Printf("deleted tuple %d\n", tid)
 	case "stats":
-		s := st.Stats()
-		fmt.Printf("tuples      %d\n", s.Tuples)
-		fmt.Printf("deleted     %d\n", s.Deleted)
-		fmt.Printf("attributes  %d\n", s.Attributes)
-		fmt.Printf("table bytes %d\n", s.TableBytes)
-		fmt.Printf("index bytes %d\n", s.IndexBytes)
-		fmt.Printf("rebuilds    %d\n", s.Rebuilds)
-		fmt.Printf("cache hits  %d (%.1f%% hit rate)\n", s.IO.CacheHits, 100*s.IO.HitRate())
-		fmt.Printf("phys reads  %d (seq %d near %d rand %d)\n",
-			s.IO.PhysReads, s.IO.SeqReads, s.IO.NearReads, s.IO.RandReads)
-		fmt.Printf("phys writes %d\n", s.IO.PhysWrites)
+		return stats(st, dir, args)
 	case "serve":
-		return serve(st, addr)
+		return serve(st, sv.addr, sv.pprof, sv.scrubEvery)
 	case "rebuild":
 		if err := st.Rebuild(); err != nil {
 			return err
@@ -182,7 +205,7 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 	case "check":
 		return check(st, args)
 	case "scrub":
-		return scrub(st, args)
+		return scrub(st, dir, args)
 	case "attrs":
 		for _, a := range st.Attrs() {
 			if a.DF == 0 {
@@ -193,6 +216,60 @@ func run(cmd string, args []string, dir string, k int, addr string, opts iva.Opt
 		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// stats prints the store's shape and, when a scrub report has been persisted
+// (by `ivatool scrub` or a background scrubber), the last sweep's age and
+// per-shard damage. With -strict, recorded damage (or a damaged/degraded
+// health verdict) exits non-zero so cron jobs can alert on it.
+func stats(st *iva.Store, dir string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	strict := fs.Bool("strict", false, "exit non-zero when the persisted scrub report records damage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := st.Stats()
+	fmt.Printf("tuples      %d\n", s.Tuples)
+	fmt.Printf("deleted     %d\n", s.Deleted)
+	fmt.Printf("attributes  %d\n", s.Attributes)
+	fmt.Printf("table bytes %d\n", s.TableBytes)
+	fmt.Printf("index bytes %d\n", s.IndexBytes)
+	fmt.Printf("rebuilds    %d\n", s.Rebuilds)
+	fmt.Printf("cache hits  %d (%.1f%% hit rate)\n", s.IO.CacheHits, 100*s.IO.HitRate())
+	fmt.Printf("phys reads  %d (seq %d near %d rand %d)\n",
+		s.IO.PhysReads, s.IO.SeqReads, s.IO.NearReads, s.IO.RandReads)
+	fmt.Printf("phys writes %d\n", s.IO.PhysWrites)
+
+	snap, err := iva.LoadScrubReport(filepath.Join(dir, "scrub-report.json"))
+	if os.IsNotExist(err) {
+		fmt.Printf("scrub       never (no scrub report)\n")
+		if *strict {
+			return fmt.Errorf("stats -strict: no scrub report recorded")
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrub       %s ago, health=%s\n", time.Since(snap.Time).Round(time.Second), snap.Health)
+	damaged := 0
+	for _, sh := range snap.Shards {
+		if sh.Report == nil {
+			fmt.Printf("  shard %d: not yet swept\n", sh.Shard)
+			continue
+		}
+		bad := sh.Report.CorruptIndexSegments + sh.Report.CorruptCheckpoints + sh.Report.CorruptTable
+		fmt.Printf("  shard %d: swept %s ago, degraded segments %d, corrupt checkpoints %d, corrupt table records %d\n",
+			sh.Shard, time.Since(sh.LastSweep).Round(time.Second),
+			sh.Report.CorruptIndexSegments, sh.Report.CorruptCheckpoints, sh.Report.CorruptTable)
+		if bad > 0 || sh.Err != "" {
+			damaged++
+		}
+	}
+	if *strict && (snap.Health == "damaged" || damaged > 0) {
+		return fmt.Errorf("stats -strict: scrub recorded damage on %d shard(s) (health=%s)", damaged, snap.Health)
 	}
 	return nil
 }

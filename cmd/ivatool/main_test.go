@@ -56,43 +56,43 @@ func TestParseRow(t *testing.T) {
 func TestRunLifecycle(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	opts := iva.Options{Metric: "L2", Weights: "EQU"}
-	if err := run("create", nil, dir, 10, "", opts); err != nil {
+	if err := run("create", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("insert", []string{"Type=Camera", "Price=230"}, dir, 10, "", opts); err != nil {
+	if err := run("insert", []string{"Type=Camera", "Price=230"}, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("query", []string{"Type=Camera", "Price=200"}, dir, 5, "", opts); err != nil {
+	if err := run("query", []string{"Type=Camera", "Price=200"}, dir, 5, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("explain", []string{"Type=Camera", "Price=200"}, dir, 5, "", opts); err != nil {
+	if err := run("explain", []string{"Type=Camera", "Price=200"}, dir, 5, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("get", []string{"0"}, dir, 10, "", opts); err != nil {
+	if err := run("get", []string{"0"}, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("stats", nil, dir, 10, "", opts); err != nil {
+	if err := run("stats", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("rebuild", nil, dir, 10, "", opts); err != nil {
+	if err := run("rebuild", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("check", nil, dir, 10, "", opts); err != nil {
+	if err := run("check", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("attrs", nil, dir, 10, "", opts); err != nil {
+	if err := run("attrs", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("delete", []string{"0"}, dir, 10, "", opts); err != nil {
+	if err := run("delete", []string{"0"}, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("get", []string{"0"}, dir, 10, "", opts); err == nil {
+	if err := run("get", []string{"0"}, dir, 10, serveOpts{}, opts); err == nil {
 		t.Fatal("get of deleted tuple succeeded")
 	}
-	if err := run("frobnicate", nil, dir, 10, "", opts); err == nil {
+	if err := run("frobnicate", nil, dir, 10, serveOpts{}, opts); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run("get", []string{"notanumber"}, dir, 10, "", opts); err == nil {
+	if err := run("get", []string{"notanumber"}, dir, 10, serveOpts{}, opts); err == nil {
 		t.Fatal("bad tid accepted")
 	}
 }
@@ -100,10 +100,10 @@ func TestRunLifecycle(t *testing.T) {
 func TestDemo(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "demo")
 	opts := iva.Options{}
-	if err := run("demo", nil, dir, 10, "", opts); err != nil {
+	if err := run("demo", nil, dir, 10, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("query", []string{"Type=Digital Camera", "Company=Canon"}, dir, 3, "", opts); err != nil {
+	if err := run("query", []string{"Type=Digital Camera", "Company=Canon"}, dir, 3, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
 	}
 }

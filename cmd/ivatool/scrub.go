@@ -3,6 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
+	"time"
 
 	"github.com/sparsewide/iva"
 )
@@ -19,7 +21,7 @@ import (
 // liveness — which rows were deleted — is recorded only in the index's
 // tuple list, so rebuilding from the table alone could resurrect deleted
 // rows. Recovery there means restoring the index from a backup or replica.
-func scrub(st *iva.Store, args []string) error {
+func scrub(st *iva.Store, dir string, args []string) error {
 	fs := flag.NewFlagSet("scrub", flag.ContinueOnError)
 	repair := fs.Bool("repair", false, "rebuild the index from the table if only the index is damaged")
 	if err := fs.Parse(args); err != nil {
@@ -30,6 +32,7 @@ func scrub(st *iva.Store, args []string) error {
 		return err
 	}
 	printScrub(rep)
+	persistScrub(dir, rep)
 	if rep.Clean() {
 		return nil
 	}
@@ -50,11 +53,37 @@ func scrub(st *iva.Store, args []string) error {
 		return err
 	}
 	printScrub(rep)
+	persistScrub(dir, rep)
 	if !rep.Clean() {
 		return fmt.Errorf("repair left %d problems", len(rep.Problems))
 	}
 	fmt.Println("scrub: repair complete")
 	return nil
+}
+
+// persistScrub records the sweep outcome in <dir>/scrub-report.json, the
+// same snapshot the background scrubber maintains, so a later `ivatool
+// stats` (or `stats -strict`) reports scrub age and damage without
+// re-sweeping.
+func persistScrub(dir string, rep *iva.ScrubReport) {
+	health := "ok"
+	if !rep.Clean() {
+		health = "damaged"
+	} else if rep.Legacy {
+		health = "degraded"
+	}
+	now := time.Now()
+	snap := iva.ScrubSnapshot{Time: now, Health: health}
+	if len(rep.Shards) > 0 {
+		for i, r := range rep.Shards {
+			snap.Shards = append(snap.Shards, iva.ShardScrubStatus{Shard: i, LastSweep: now, Report: r})
+		}
+	} else {
+		snap.Shards = []iva.ShardScrubStatus{{Shard: 0, LastSweep: now, Report: rep}}
+	}
+	if err := iva.SaveScrubReport(filepath.Join(dir, "scrub-report.json"), snap); err != nil {
+		fmt.Printf("scrub: warning: could not persist report: %v\n", err)
+	}
 }
 
 func printScrub(rep *iva.ScrubReport) {

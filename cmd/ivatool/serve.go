@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"github.com/sparsewide/iva"
 )
@@ -10,9 +12,14 @@ import (
 // serveMux mounts the store's observability endpoints:
 //
 //	/metrics         Prometheus text exposition (text/plain; version=0.0.4)
-//	/healthz         runs Store.Check, 200 "ok" or 503 with the problems
-//	/debug/querylog  the slow-query log as JSON, newest first
-func serveMux(st *iva.Store) *http.ServeMux {
+//	/healthz         the scrub scheduler's verdict (ok/degraded/damaged) when
+//	                 a scrubber runs; otherwise runs Store.Check, 200 "ok" or
+//	                 503 with the problems
+//	/debug/querylog  the slow-query log: JSON (default) or ?format=text
+//	/debug/trace     the sampled trace ring + histogram exemplars as JSON;
+//	                 ?id=<trace_id> fetches one retained trace
+//	/debug/pprof     the runtime profiler, only when enablePprof is set
+func serveMux(st *iva.Store, sc *iva.Scrubber, enablePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -21,6 +28,10 @@ func serveMux(st *iva.Store) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if sc != nil {
+			sc.ServeHealthz(w, r)
+			return
+		}
 		rep, err := st.Check()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -37,16 +48,66 @@ func serveMux(st *iva.Store) *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/querylog", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := st.WriteSlowQueriesText(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := st.WriteSlowQueries(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := st.WriteSlowQueries(w); err != nil {
+		if id := r.URL.Query().Get("id"); id != "" {
+			tr := st.FindTrace(id)
+			if tr == nil {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			blob, err := tr.MarshalJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(append(blob, '\n'))
+			return
+		}
+		if err := st.WriteTraces(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if enablePprof {
+		// Registered by hand on the private mux: importing net/http/pprof
+		// only touches http.DefaultServeMux, which is never served here, so
+		// the profiler is reachable solely behind the -pprof flag.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// serve blocks on an HTTP listener exposing the store.
-func serve(st *iva.Store, addr string) error {
-	fmt.Printf("serving /metrics, /healthz, /debug/querylog on %s\n", addr)
-	return http.ListenAndServe(addr, serveMux(st))
+// serve blocks on an HTTP listener exposing the store. A positive scrub
+// interval starts the background scrub scheduler for the server's lifetime.
+func serve(st *iva.Store, addr string, enablePprof bool, scrubEvery time.Duration) error {
+	var sc *iva.Scrubber
+	if scrubEvery > 0 {
+		sc = st.StartScrubber(iva.ScrubberOptions{Interval: scrubEvery})
+		defer sc.Stop()
+	}
+	endpoints := "/metrics, /healthz, /debug/querylog, /debug/trace"
+	if enablePprof {
+		endpoints += ", /debug/pprof"
+	}
+	fmt.Printf("serving %s on %s\n", endpoints, addr)
+	return http.ListenAndServe(addr, serveMux(st, sc, enablePprof))
 }

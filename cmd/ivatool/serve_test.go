@@ -37,7 +37,7 @@ func TestServeEndpoints(t *testing.T) {
 		}
 	}
 
-	srv := httptest.NewServer(serveMux(st))
+	srv := httptest.NewServer(serveMux(st, nil, false))
 	defer srv.Close()
 
 	get := func(path string) (string, *http.Response) {

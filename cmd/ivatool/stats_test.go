@@ -1,0 +1,81 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sparsewide/iva"
+)
+
+// TestStatsScrubReport covers the stats command's scrub-report surface:
+// without a report it stays informational (but -strict demands one), after a
+// scrub it reports age and per-shard counts, and -strict turns recorded
+// damage into a non-zero exit.
+func TestStatsScrubReport(t *testing.T) {
+	dir := t.TempDir()
+	opts := iva.Options{}
+	if err := run("create", nil, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("insert", []string{"Type=Camera", "Price=230"}, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Never scrubbed: plain stats pass, -strict refuses.
+	if err := run("stats", nil, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatalf("stats without a report: %v", err)
+	}
+	if err := run("stats", []string{"-strict"}, dir, 10, serveOpts{}, opts); err == nil {
+		t.Fatal("stats -strict passed without any scrub report")
+	}
+
+	// A clean scrub persists a report both modes accept.
+	if err := run("scrub", nil, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("stats", []string{"-strict"}, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatalf("stats -strict after a clean scrub: %v", err)
+	}
+
+	// Recorded damage (same snapshot format the scrubber and `ivatool
+	// scrub` persist) must fail -strict but not plain stats.
+	rep := &iva.ScrubReport{}
+	rep.CorruptIndexSegments = 2
+	snap := iva.ScrubSnapshot{
+		Time:   time.Now(),
+		Health: "damaged",
+		Shards: []iva.ShardScrubStatus{{Shard: 0, LastSweep: time.Now(), Report: rep}},
+	}
+	if err := iva.SaveScrubReport(filepath.Join(dir, "scrub-report.json"), snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("stats", nil, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatalf("plain stats on a damaged report: %v", err)
+	}
+	err := run("stats", []string{"-strict"}, dir, 10, serveOpts{}, opts)
+	if err == nil {
+		t.Fatal("stats -strict passed on a damaged scrub report")
+	}
+	if !strings.Contains(err.Error(), "damage") {
+		t.Fatalf("strict failure does not name the damage: %v", err)
+	}
+}
+
+// TestQueryProfileCommand smoke-tests `ivatool query -profile` end to end.
+func TestQueryProfileCommand(t *testing.T) {
+	dir := t.TempDir()
+	opts := iva.Options{}
+	if err := run("create", nil, dir, 10, serveOpts{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := run("insert", []string{"Type=Camera", "Price=230"}, dir, 10, serveOpts{}, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run("query", []string{"-profile", "Type=Camera", "Price=200"}, dir, 5, serveOpts{}, opts); err != nil {
+		t.Fatalf("query -profile: %v", err)
+	}
+}

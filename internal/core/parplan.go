@@ -85,6 +85,7 @@ type stripeWorker struct {
 
 	scratch *workerScratch
 
+	stripes    int64 // stripes claimed from the shared counter
 	scanned    int64
 	fetched    int64
 	refineWall time.Duration
@@ -102,6 +103,7 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 		par = nstripes
 	}
 	stats.Workers = par
+	stats.StripesTotal = nstripes
 	idxIO := ix.segs.File().IOStats()
 	tblIO := ix.tbl.IOStats()
 	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()
@@ -140,7 +142,9 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 	copy(merged, shared)
 	allDeg := make(map[uint32]struct{})
 	var sumBusy, sumRefine, sumFetch time.Duration
-	for _, sw := range workers {
+	var claimed int64
+	stats.WorkerProfiles = make([]WorkerStats, len(workers))
+	for w, sw := range workers {
 		sw.scratch.release()
 		if sw.err != nil && err == nil {
 			err = sw.err
@@ -150,6 +154,10 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 		sumBusy += sw.busyWall
 		sumRefine += sw.refineWall
 		sumFetch += sw.fetchWall
+		claimed += sw.stripes
+		stats.WorkerProfiles[w] = WorkerStats{
+			Stripes: sw.stripes, Scanned: sw.scanned, Fetched: sw.fetched, Busy: sw.busyWall,
+		}
 		for id := range sw.degSegs {
 			allDeg[id] = struct{}{}
 		}
@@ -160,19 +168,25 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 		}
 	}
 	stats.DegradedSegments = len(allDeg)
+	if n := int64(nstripes) - claimed; n > 0 {
+		stats.StripesSkipped = int(n) // the plan aborted before covering them
+	}
 	if err != nil {
 		return nil, stats, err
 	}
 
+	mergeStart := time.Now()
 	results := mergeWorkerPools(workers, q.K)
+	stats.MergeWall = time.Since(mergeStart)
 	total := time.Since(wallStart)
 	// Workers overlap in real time, so their phase durations are CPU sums;
-	// apportion the elapsed wall by the refine share of total busy time so
-	// that FilterWall + RefineWall still equals the query's wall clock.
+	// apportion the elapsed pre-merge wall by the refine share of total busy
+	// time so that FilterWall + RefineWall + MergeWall still equals the
+	// query's wall clock.
 	if sumBusy > 0 {
-		stats.RefineWall = time.Duration(float64(total) * float64(sumRefine) / float64(sumBusy))
+		stats.RefineWall = time.Duration(float64(total-stats.MergeWall) * float64(sumRefine) / float64(sumBusy))
 	}
-	stats.FilterWall = total - stats.RefineWall
+	stats.FilterWall = total - stats.RefineWall - stats.MergeWall
 	stats.FilterIO = idxIO.Snapshot().Sub(startIdx)
 	stats.RefineIO = tblIO.Snapshot().Sub(startTbl)
 	if parent != nil {
@@ -220,6 +234,7 @@ func (sw *stripeWorker) run(nstripes int) {
 			sw.abort.Store(true)
 			return
 		}
+		sw.stripes++
 		if err := sw.scanStripe(s); err != nil {
 			sw.err = err
 			sw.abort.Store(true)

@@ -59,7 +59,13 @@ func (r *ScrubReport) addProblem(format string, args ...interface{}) {
 // verification it ignores the first-touch cache — every covered byte is
 // re-read — and it never degrades: damage is reported, not worked around.
 // Read-only; safe to run on a live index.
-func (ix *Index) Scrub() (*ScrubReport, error) {
+func (ix *Index) Scrub() (*ScrubReport, error) { return ix.ScrubYield(nil) }
+
+// ScrubYield is Scrub with a pacing hook: a non-nil yield is called once per
+// verified unit (segment or checkpoint record), letting a background scrubber
+// time-slice and I/O-throttle the sweep. Note the index read lock is held for
+// the whole pass, so yields should stay short.
+func (ix *Index) ScrubYield(yield func()) (*ScrubReport, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	rep := &ScrubReport{FormatVersion: int(ix.version), SuperblockOK: true}
@@ -94,6 +100,9 @@ func (ix *Index) Scrub() (*ScrubReport, error) {
 				continue // beyond the committed prefix (fresh segment)
 			}
 			rep.Segments++
+			if yield != nil {
+				yield()
+			}
 			if dirty {
 				rep.DirtySegments++
 				continue
@@ -128,7 +137,7 @@ func (ix *Index) Scrub() (*ScrubReport, error) {
 	}
 	if ix.checkpointsEnabled() {
 		count := int(binary.LittleEndian.Uint32(b[84:]))
-		if n, bad, err := ix.scrubCheckpoints(count); err != nil {
+		if n, bad, err := ix.scrubCheckpoints(count, yield); err != nil {
 			return nil, err
 		} else {
 			rep.Checkpoints = n
@@ -191,9 +200,12 @@ func (ix *Index) VectorExtents() []VectorExtent {
 // trailer. Framing past a damaged record is untrustworthy (the length prefix
 // is inside the damage), so the remainder is counted corrupt and the sweep
 // stops.
-func (ix *Index) scrubCheckpoints(count int) (checked, bad int, err error) {
+func (ix *Index) scrubCheckpoints(count int, yield func()) (checked, bad int, err error) {
 	off := int64(4)
 	for i := 0; i < count; i++ {
+		if yield != nil {
+			yield()
+		}
 		var nb [4]byte
 		if err := ix.segs.ReadAt(ix.ckptChain, nb[:], off); err != nil {
 			return checked, count - i, nil // truncated chain: rest unverifiable

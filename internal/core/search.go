@@ -24,23 +24,44 @@ type SearchStats struct {
 	Scanned int64
 	// TableAccesses is the number of random table-file fetches (Fig. 8).
 	TableAccesses int64
-	// FilterWall and RefineWall split the measured wall time.
+	// FilterWall, RefineWall and MergeWall split the measured wall time
+	// between scanning the index, checking candidates in the table file, and
+	// the deterministic (dist, tid) top-k merge; they sum to the plan's wall
+	// clock.
 	FilterWall time.Duration
 	RefineWall time.Duration
+	MergeWall  time.Duration
 	// FilterIO and RefineIO split the physical page I/O.
 	FilterIO storage.Snapshot
 	RefineIO storage.Snapshot
 	// Workers is the number of filter workers the executed plan ran with
 	// (1 for the sequential plan).
 	Workers int
+	// StripesTotal is the number of stripes the plan covered (1 for the
+	// sequential plan); StripesSkipped counts stripes never claimed because
+	// the plan aborted early (cancellation or an error).
+	StripesTotal   int
+	StripesSkipped int
+	// WorkerProfiles breaks the filter work down per worker: stripes
+	// claimed, tuples scanned, candidates fetched, and busy wall time. One
+	// entry for the sequential plan.
+	WorkerProfiles []WorkerStats
 	// DegradedSegments is the number of distinct corrupt vector-list
 	// segments the query read past under DegradeReads (each forced its
 	// term's lower bound to zero, sending the affected tuples to refine).
 	DegradedSegments int
 }
 
+// WorkerStats is one filter worker's share of a query (SearchStats).
+type WorkerStats struct {
+	Stripes int64 // stripes claimed from the shared counter
+	Scanned int64
+	Fetched int64
+	Busy    time.Duration
+}
+
 // Total returns the query's full wall time.
-func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall }
+func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall + s.MergeWall }
 
 // readerSet tracks the ChainBitReaders one scan pass opens so their pinned
 // buffer-pool windows are released when the pass ends (a dropped reader
@@ -240,6 +261,7 @@ func (ix *Index) prepareTerms(q *model.Query) ([]termState, error) {
 // reaches the caller on every return path, including early errors.
 func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric.Metric, parent *obs.Span) (_ []model.Result, stats SearchStats, _ error) {
 	stats.Workers = 1
+	stats.StripesTotal = 1
 	idxIO := ix.segs.File().IOStats()
 	tblIO := ix.tbl.IOStats()
 	startIdx, startTbl := idxIO.Snapshot(), tblIO.Snapshot()
@@ -340,18 +362,22 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 		refineWall += time.Since(rStart)
 	}
 
+	mergeStart := time.Now()
+	results := pool.Results()
+	stats.MergeWall = time.Since(mergeStart)
 	total := time.Since(wallStart)
 	stats.TableAccesses = fetched
 	stats.RefineWall = refineWall
-	stats.FilterWall = total - refineWall
+	stats.FilterWall = total - refineWall - stats.MergeWall
 	// Per-file attribution: the filter phase reads only the index file, the
 	// refine phase only the table file.
 	stats.FilterIO = idxIO.Snapshot().Sub(startIdx)
 	stats.RefineIO = tblIO.Snapshot().Sub(startTbl)
+	stats.WorkerProfiles = []WorkerStats{{Stripes: 1, Scanned: stats.Scanned, Fetched: fetched, Busy: total}}
 	if parent != nil {
 		ix.traceSearch(parent, terms, stats, fetched, fetchWall, 1, 1)
 	}
-	return pool.Results(), stats, nil
+	return results, stats, nil
 }
 
 // traceSearch attaches the filter/refine/fetch span hierarchy for one
@@ -395,6 +421,10 @@ func (ix *Index) traceSearch(parent *obs.Span, terms []termState, stats SearchSt
 	fetch.SetInt("reads", stats.RefineIO.PhysReads)
 	fetch.EndAt(fetchWall)
 	rsp.EndAt(stats.RefineWall)
+
+	msp := parent.Child("merge")
+	msp.SetInt("pools", int64(workers))
+	msp.EndAt(stats.MergeWall)
 }
 
 // estimateInfo computes the lower-bound difference for one term on the tuple

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentProperties hammers one histogram from many
+// goroutines (run under -race in CI) and then checks the invariants the
+// exposition format relies on: cumulative bucket counts are monotonically
+// non-decreasing, the +Inf bucket equals Count, Count equals the number of
+// observations made, and Sum matches the known total.
+func TestHistogramConcurrentProperties(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("prop_hist", "property test", nil, []float64{0.25, 0.5, 1, 2, 4})
+
+	const workers = 8
+	const perWorker = 5000
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < perWorker; i++ {
+				v := rng.Float64() * 5
+				sums[w] += v
+				if i%16 == 0 {
+					h.ObserveTrace(v, FormatID(uint64(w*perWorker+i)))
+				} else {
+					h.Observe(v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Fatalf("count %d, want %d observations", got, want)
+	}
+	bounds, cum := h.Buckets()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not monotone at le=%g: %d < %d", bounds[i], cum[i], cum[i-1])
+		}
+	}
+	if len(cum) > 0 && cum[len(cum)-1] > h.Count() {
+		t.Fatalf("largest finite bucket (%d) exceeds +Inf cumulative count (%d)",
+			cum[len(cum)-1], h.Count())
+	}
+	var want float64
+	for _, s := range sums {
+		want += s
+	}
+	if got := h.Sum(); got < want*0.999999 || got > want*1.000001 {
+		t.Fatalf("sum %g, want %g", got, want)
+	}
+	// Each exemplar that exists must carry a well-formed trace id.
+	for i, e := range h.Exemplars() {
+		if e != nil && len(e.TraceID) != 16 {
+			t.Fatalf("bucket %d exemplar trace id %q", i, e.TraceID)
+		}
+	}
+}
+
+// TestRegistryGetOrCreateConcurrent asserts the get-or-create contract under
+// contention: every goroutine must receive the same counter handle, so the
+// final value is exactly the number of Incs.
+func TestRegistryGetOrCreateConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("prop_ctr", "property test", Labels{"shard": "0"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("prop_ctr", "property test", Labels{"shard": "0"}).Value(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d — get-or-create handed out distinct handles", got, workers*perWorker)
+	}
+}
+
+// TestDuplicateKindPanics pins the registry's misuse guard: registering an
+// existing family under a different metric kind is a programming error and
+// must panic rather than silently corrupt the exposition.
+func TestDuplicateKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_metric", "first registration", nil)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, "dup_metric") {
+			t.Fatalf("panic message %v does not name the metric", rec)
+		}
+	}()
+	r.Gauge("dup_metric", "conflicting registration", nil)
+}
+
+// TestLabelEscaping pins the exposition-format escaping rules for label
+// values: backslash, double quote, and newline must come out escaped so one
+// hostile value cannot corrupt the whole scrape.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escape test", Labels{"path": `C:\tmp`}).Inc()
+	r.Counter("esc_total", "escape test", Labels{"path": `say "hi"`}).Inc()
+	r.Counter("esc_total", "escape test", Labels{"path": "line1\nline2"}).Inc()
+	r.Gauge("esc_gauge", "help with\nnewline and \\ backslash", nil).Set(1)
+
+	text := r.Text()
+	for _, want := range []string{
+		`esc_total{path="C:\\tmp"} 1`,
+		`esc_total{path="say \"hi\""} 1`,
+		`esc_total{path="line1\nline2"} 1`,
+		`# HELP esc_gauge help with\nnewline and \\ backslash`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// No raw newline may survive inside a sample line: every line is either
+	// a comment, blank, or "name{labels} value".
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") == 0 {
+			t.Errorf("sample line %q has no value separator — escaping leaked a newline", line)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels attach dimensions to a metric series (e.g. shard="3"). A nil map is
@@ -72,12 +73,22 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket cumulative histogram. Observations are
 // lock-free; buckets are upper bounds in ascending order with an implicit
-// +Inf bucket.
+// +Inf bucket. Each bucket optionally retains one exemplar — the most recent
+// (value, trace id) pair that landed in it — so a bad p99 bucket links to a
+// concrete trace in the ring (/debug/trace?id=...).
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1, non-cumulative
-	sum    Gauge
-	count  atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1, non-cumulative
+	exemplars []atomic.Pointer[Exemplar]
+	sum       Gauge
+	count     atomic.Int64
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // DefaultLatencyBuckets spans 100µs to 10s, the range of interest between an
@@ -94,6 +105,31 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 	h.count.Add(1)
 }
+
+// ObserveTrace records one value and stamps its bucket's exemplar with the
+// producing query's trace id (a no-op on an empty id).
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplars returns each bucket's retained exemplar (nil where none landed
+// yet), indexed like the bounds with the +Inf bucket last.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -245,9 +281,20 @@ func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64
 	if !ok {
 		bounds := append([]float64(nil), buckets...)
 		sort.Float64s(bounds)
-		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		s.h = &Histogram{
+			bounds:    bounds,
+			counts:    make([]atomic.Int64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+		}
 	}
 	return s.h
+}
+
+// Families returns every registered metric family name, sorted.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
 }
 
 // labelKey renders labels canonically: sorted keys, escaped values, with an

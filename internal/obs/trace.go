@@ -8,8 +8,34 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Trace and span ids are 64-bit values unique within the process: a splitmix64
+// walk seeded from the clock at startup, so ids differ across restarts but
+// cost one atomic add to mint. Rendered as 16 hex digits everywhere (metrics
+// exemplars, the slow-query log, /debug/trace), they are the join key between
+// a latency histogram bucket and the concrete trace that landed in it.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+func newID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // 0 is reserved for "no id" (the nil span)
+	}
+	return x
+}
+
+// FormatID renders a trace or span id the way every endpoint does.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // Span is one node of a per-query trace: a named, timed piece of work with
 // typed annotations and child spans. All methods are safe on a nil receiver,
@@ -21,9 +47,11 @@ import (
 // with EndAt and an externally accumulated duration; pure annotation
 // carriers (per-term statistics) are closed with EndAt(0).
 type Span struct {
-	name  string
-	start time.Time
-	dur   time.Duration
+	name    string
+	start   time.Time
+	dur     time.Duration
+	traceID uint64 // shared by every span of one query's tree
+	spanID  uint64 // unique per span
 
 	mu       sync.Mutex
 	attrs    []spanAttr
@@ -38,17 +66,17 @@ type spanAttr struct {
 	typ uint8 // 0 string, 1 int, 2 float
 }
 
-// StartSpan begins a root span.
+// StartSpan begins a root span with a fresh trace id.
 func StartSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), traceID: newID(), spanID: newID()}
 }
 
-// Child begins a nested span.
+// Child begins a nested span under the parent's trace id.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := StartSpan(name)
+	c := &Span{name: name, start: time.Now(), traceID: s.traceID, spanID: newID()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -56,14 +84,40 @@ func (s *Span) Child(name string) *Span {
 }
 
 // Adopt attaches an independently started span as a child (used when a
-// fan-out creates the child on another goroutine).
+// fan-out creates the child on another goroutine), folding the adopted
+// subtree into the parent's trace id so the whole tree shares one.
 func (s *Span) Adopt(c *Span) {
 	if s == nil || c == nil {
 		return
 	}
+	c.retrace(s.traceID)
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+}
+
+// retrace rewrites the trace id across a subtree (adoption).
+func (s *Span) retrace(traceID uint64) {
+	s.traceID = traceID
+	for _, c := range s.Children() {
+		c.retrace(traceID)
+	}
+}
+
+// TraceID returns the span's trace id as 16 hex digits ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return FormatID(s.traceID)
+}
+
+// SpanID returns the span's own id as 16 hex digits ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return FormatID(s.spanID)
 }
 
 // End closes the span, fixing its duration to now−start.
@@ -213,14 +267,18 @@ func (s *Span) writeText(w io.Writer, depth int) error {
 }
 
 // MarshalJSON renders the span tree as
-// {"name":..., "duration_ms":..., "attrs":{...}, "children":[...]}.
+// {"name":..., "trace_id":..., "span_id":..., "duration_ms":...,
+// "attrs":{...}, "children":[...]}. The trace id appears on the root span
+// only; every span carries its own span id.
 func (s *Span) MarshalJSON() ([]byte, error) {
 	var b bytes.Buffer
 	s.appendJSON(&b)
 	return b.Bytes(), nil
 }
 
-func (s *Span) appendJSON(b *bytes.Buffer) {
+func (s *Span) appendJSON(b *bytes.Buffer) { s.appendJSONDepth(b, true) }
+
+func (s *Span) appendJSONDepth(b *bytes.Buffer, root bool) {
 	if s == nil {
 		b.WriteString("null")
 		return
@@ -228,8 +286,16 @@ func (s *Span) appendJSON(b *bytes.Buffer) {
 	s.mu.Lock()
 	attrs := append([]spanAttr(nil), s.attrs...)
 	s.mu.Unlock()
-	fmt.Fprintf(b, `{"name":%s,"duration_ms":%s`,
-		quoteJSON(s.name), strconv.FormatFloat(float64(s.dur.Nanoseconds())/1e6, 'g', -1, 64))
+	b.WriteString(`{"name":`)
+	b.WriteString(quoteJSON(s.name))
+	if root && s.traceID != 0 {
+		fmt.Fprintf(b, `,"trace_id":"%016x"`, s.traceID)
+	}
+	if s.spanID != 0 {
+		fmt.Fprintf(b, `,"span_id":"%016x"`, s.spanID)
+	}
+	fmt.Fprintf(b, `,"duration_ms":%s`,
+		strconv.FormatFloat(float64(s.dur.Nanoseconds())/1e6, 'g', -1, 64))
 	if len(attrs) > 0 {
 		// Stable key order keeps the output diffable.
 		sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].key < attrs[j].key })
@@ -257,7 +323,7 @@ func (s *Span) appendJSON(b *bytes.Buffer) {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			c.appendJSON(b)
+			c.appendJSONDepth(b, false)
 		}
 		b.WriteByte(']')
 	}

@@ -416,7 +416,12 @@ func (r *ScrubReport) Clean() bool { return r.Corrupt == 0 }
 // Scrub sweeps every record up to the committed dataEnd, verifying the
 // CRC32C trailer and decodability of each. A corrupt record ends the sweep
 // for the rest of the file (record framing cannot be trusted past it).
-func (t *Table) Scrub() ScrubReport {
+func (t *Table) Scrub() ScrubReport { return t.ScrubYield(nil) }
+
+// ScrubYield is Scrub with a pacing hook: a non-nil yield is called once per
+// swept record, letting a background scrubber time-slice and I/O-throttle
+// the sweep (see the iva package's scrub scheduler).
+func (t *Table) ScrubYield(yield func()) ScrubReport {
 	t.mu.Lock()
 	end := t.dataEnd
 	crcStart := t.crcStart
@@ -438,6 +443,9 @@ func (t *Table) Scrub() ScrubReport {
 			rep.Legacy++
 		}
 		ptr = next
+		if yield != nil {
+			yield()
+		}
 	}
 	return rep
 }

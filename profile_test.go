@@ -1,0 +1,230 @@
+package iva
+
+import (
+	"encoding/json"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func fillProfiled(t *testing.T, n int, opts Options) (*Store, *Query) {
+	t.Helper()
+	s, err := Create("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i%97)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return s, NewQuery(7).WhereNum("Price", 150).WhereText("Type", "Camera")
+}
+
+// TestSearchProfiledIdentical asserts the profiled entry point changes
+// nothing about execution: results are bit-identical to Search, and the
+// profile describes a plan whose phases fit inside the measured wall clock.
+func TestSearchProfiledIdentical(t *testing.T) {
+	s, q := fillProfiled(t, 400, Options{})
+	want, _, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := s.SearchProfiled(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, "profiled", res, want)
+	if prof == nil || prof.Stats.Phase == nil {
+		t.Fatal("profile missing phase breakdown")
+	}
+	if len(prof.TraceID) != 16 {
+		t.Fatalf("trace id %q, want 16 hex digits", prof.TraceID)
+	}
+	ph := prof.Stats.Phase
+	total := ph.FilterTime + ph.RefineTime + ph.MergeTime
+	if total <= 0 {
+		t.Fatalf("phase times sum to %v", total)
+	}
+	if total > prof.Elapsed {
+		t.Fatalf("phases (%v) exceed measured wall clock (%v)", total, prof.Elapsed)
+	}
+	if ph.StripesTotal < 1 {
+		t.Fatalf("plan covered %d stripes", ph.StripesTotal)
+	}
+	if len(ph.Workers) != prof.Stats.Workers {
+		t.Fatalf("%d worker profiles for %d workers", len(ph.Workers), prof.Stats.Workers)
+	}
+	var scanned int64
+	for _, w := range ph.Workers {
+		scanned += w.Scanned
+	}
+	if scanned != prof.Stats.Scanned {
+		t.Fatalf("worker profiles scanned %d, query scanned %d", scanned, prof.Stats.Scanned)
+	}
+}
+
+// TestProfileRender is the EXPLAIN ANALYZE smoke test: every phase line, the
+// I/O summary, and the trace id appear in the rendering.
+func TestProfileRender(t *testing.T) {
+	s, q := fillProfiled(t, 200, Options{SearchParallelism: 4})
+	_, prof, err := s.SearchProfiled(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prof.Render()
+	for _, frag := range []string{
+		"Search ", "results=7", "trace=" + prof.TraceID,
+		"Filter:", "scanned=", "stripes=",
+		"Refine:", "fetched=",
+		"Merge:",
+		"pool_hit_ratio=",
+		"Worker 0:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestShardedProfile covers the fan-out profile: byte-identical results, the
+// concatenated worker breakdown, and per-shard lines in the rendering.
+func TestShardedProfile(t *testing.T) {
+	s, err := CreateSharded("", 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(map[string]Value{"Price": Num(float64(i % 61))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(5).WhereNum("Price", 30)
+	want, _, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prof, err := s.SearchProfiled(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, "sharded profiled", res, want)
+	if prof.Stats.Phase == nil || len(prof.Stats.Phase.Workers) < 2 {
+		t.Fatalf("fan-out profile lost the per-shard workers: %+v", prof.Stats.Phase)
+	}
+	if len(prof.Stats.Shards) != 2 {
+		t.Fatalf("%d shard breakdowns, want 2", len(prof.Stats.Shards))
+	}
+	out := prof.Render()
+	if !strings.Contains(out, "Shard 0:") || !strings.Contains(out, "Shard 1:") {
+		t.Fatalf("rendering missing per-shard lines:\n%s", out)
+	}
+}
+
+// metricValue extracts one sample's value from a Prometheus text exposition.
+func metricValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` ([0-9.e+-]+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("sample %q not found in exposition", sample)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("sample %q value %q: %v", sample, m[1], err)
+	}
+	return v
+}
+
+// TestPhaseHistogramsSumToLatency asserts the acceptance property that the
+// per-phase latency histograms decompose the whole-query histogram: summed
+// over many queries, filter+refine+merge time equals end-to-end time minus
+// per-query dispatch overhead (bounded by a generous slack).
+func TestPhaseHistogramsSumToLatency(t *testing.T) {
+	s, q := fillProfiled(t, 500, Options{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := s.MetricsText()
+	durSum := metricValue(t, text, "iva_query_duration_seconds_sum")
+	phaseSum := metricValue(t, text, `iva_query_phase_duration_seconds_sum{phase="filter"}`) +
+		metricValue(t, text, `iva_query_phase_duration_seconds_sum{phase="refine"}`) +
+		metricValue(t, text, `iva_query_phase_duration_seconds_sum{phase="merge"}`)
+	if phaseSum <= 0 {
+		t.Fatalf("phase histograms observed nothing (sum=%g)", phaseSum)
+	}
+	// Phases are sub-intervals of the query span; they can never exceed it.
+	if phaseSum > durSum*1.001+1e-6 {
+		t.Fatalf("phase sum %gs exceeds query duration sum %gs", phaseSum, durSum)
+	}
+	// And they must account for it up to dispatch overhead: allow half the
+	// total plus 1ms per query of absolute slack so the assertion stays
+	// robust on slow CI machines while still catching a dead phase timer.
+	if slack := durSum/2 + n*0.001; phaseSum < durSum-slack {
+		t.Fatalf("phase sum %gs accounts for too little of %gs", phaseSum, durSum)
+	}
+	if c := metricValue(t, text, "iva_query_duration_seconds_count"); c < n {
+		t.Fatalf("duration histogram count %g, want >= %d", c, n)
+	}
+}
+
+// TestWriteTracesJSON exercises the /debug/trace payload: valid JSON, the
+// sampled ring retains the queries just run, exemplars join latency buckets
+// to retained trace ids, and FindTrace resolves an id round-tripped through
+// QueryStats.
+func TestWriteTracesJSON(t *testing.T) {
+	s, q := fillProfiled(t, 200, Options{TraceSampleEvery: 1})
+	_, qs, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.WriteTraces(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total  int64 `json:"total"`
+		Traces []struct {
+			Trace json.RawMessage `json:"trace"`
+		} `json:"traces"`
+		Exemplars []struct {
+			LE      string  `json:"le"`
+			Value   float64 `json:"value"`
+			TraceID string  `json:"trace_id"`
+		} `json:"exemplars"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace payload not JSON: %v\n%s", err, b.String())
+	}
+	if doc.Total < 1 || len(doc.Traces) < 1 {
+		t.Fatalf("ring retained %d/%d traces, want >= 1", len(doc.Traces), doc.Total)
+	}
+	if len(doc.Exemplars) == 0 {
+		t.Fatal("latency histogram produced no exemplars")
+	}
+	for _, e := range doc.Exemplars {
+		if len(e.TraceID) != 16 {
+			t.Fatalf("exemplar trace id %q, want 16 hex digits", e.TraceID)
+		}
+	}
+	if tr := s.FindTrace(qs.TraceID); tr == nil {
+		t.Fatalf("trace %s not retained at sample-every=1", qs.TraceID)
+	} else if tr.TraceID() != qs.TraceID {
+		t.Fatalf("FindTrace returned trace %s, want %s", tr.TraceID(), qs.TraceID)
+	}
+}

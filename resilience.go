@@ -73,10 +73,10 @@ type ScrubReport struct {
 
 	// Table record sweep: records swept, records carrying a CRC32C trailer,
 	// pre-v4 records without one, and records that failed verification.
-	TableRecords  int
-	TableCovered  int
-	TableLegacy   int
-	CorruptTable  int
+	TableRecords int
+	TableCovered int
+	TableLegacy  int
+	CorruptTable int
 	// CatalogOK reports that the catalog file re-decoded cleanly (always
 	// true for in-memory stores, which have no catalog file).
 	CatalogOK bool
@@ -106,10 +106,16 @@ func (r *ScrubReport) Clean() bool {
 // degrades — damage is reported, not worked around. Read-only and safe on a
 // live store; pair it with Rebuild to repair a damaged index from a clean
 // table.
-func (s *Store) Scrub() (*ScrubReport, error) {
+func (s *Store) Scrub() (*ScrubReport, error) { return s.scrubYield(nil) }
+
+// scrubYield is Scrub with a pacing hook: a non-nil yield is invoked once per
+// verified unit (index segment, checkpoint record, table record), which the
+// background Scrubber uses to time-slice and throttle the sweep. The engine
+// read lock is held for the whole pass, so yields must stay short.
+func (s *Store) scrubYield(yield func()) (*ScrubReport, error) {
 	s.engineMu.RLock()
 	defer s.engineMu.RUnlock()
-	ixRep, err := s.ix.Scrub()
+	ixRep, err := s.ix.ScrubYield(yield)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +136,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		rep.Problems = append(rep.Problems, "iva.idx: "+p)
 	}
 
-	tblRep := s.tbl.Scrub()
+	tblRep := s.tbl.ScrubYield(yield)
 	rep.TableRecords = tblRep.Records
 	rep.TableCovered = tblRep.Covered
 	rep.TableLegacy = tblRep.Legacy

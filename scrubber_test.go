@@ -1,0 +1,348 @@
+package iva
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// healthzStatus probes a scrubber's /healthz handler and returns the HTTP
+// status code plus the decoded "status" field.
+func healthzStatus(t *testing.T, sc *Scrubber) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	sc.ServeHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body.Status
+}
+
+// noThrottle keeps sweeps instantaneous and the background loop out of the
+// way so SweepNow drives every assertion deterministically.
+var noThrottle = ScrubberOptions{Interval: time.Hour, Throttle: -1}
+
+// TestScrubberSeededCorruption is the telemetry plane's end-to-end story on a
+// partitioned store: corrupt one shard's committed index on disk, watch
+// queries observe DegradedSegments, confirm the scheduler sweeps that shard
+// first (degradation-priority), walk /healthz through ok → degraded →
+// damaged → ok across discovery and repair, check the iva_scrub_* metrics
+// recorded the sweeps, and verify queries racing a sweep stay bit-identical
+// to the pre-corruption baseline.
+func TestScrubberSeededCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 240; i++ {
+		if _, err := s.Insert(map[string]Value{
+			"Type":  Strings("Digital Camera"),
+			"Price": Num(float64(100 + i%83)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(5).WhereNum("Price", 140).WhereText("Type", "Camera")
+	want, _, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: after one full rotation the verdict is ok.
+	sc := s.StartScrubber(noThrottle)
+	swept := map[int]bool{}
+	for range s.shards {
+		swept[sc.SweepNow()] = true
+	}
+	if len(swept) != len(s.shards) {
+		t.Fatalf("full rotation swept shards %v, want all 3", swept)
+	}
+	if code, status := healthzStatus(t, sc); code != 200 || status != "ok" {
+		t.Fatalf("healthy store: healthz %d %q, want 200 ok", code, status)
+	}
+	if sc.Units() == 0 {
+		t.Fatal("sweeps verified zero units")
+	}
+	sc.Stop()
+
+	// Flip one committed bit in shard 1's index while the store is closed.
+	exts := s.shards[1].ix.VectorExtents()
+	if len(exts) == 0 {
+		t.Fatal("shard 1 has no committed vector extents")
+	}
+	off := exts[0].Offset + exts[0].Len/2
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idxPath := filepath.Join(dir, "shard-1", "iva.idx")
+	blob, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[off] ^= 0x08
+	if err := os.WriteFile(idxPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = OpenSharded(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sc = s.StartScrubber(noThrottle)
+	defer sc.Stop()
+
+	// Queries still answer exactly but observe the degraded segment.
+	res, qs, err := s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DegradedSegments < 1 {
+		t.Fatalf("degraded search reported %d degraded segments", qs.DegradedSegments)
+	}
+	checkResults(t, "degraded", res, want)
+
+	// Query-reported degradation downgrades health before any sweep runs...
+	if code, status := healthzStatus(t, sc); code != 200 || status != "degraded" {
+		t.Fatalf("pre-sweep healthz %d %q, want 200 degraded", code, status)
+	}
+	// ...and prioritizes the damaged shard for the next sweep.
+	if got := sc.SweepNow(); got != 1 {
+		t.Fatalf("scheduler swept shard %d first, want the degraded shard 1", got)
+	}
+	if code, status := healthzStatus(t, sc); code != 503 || status != "damaged" {
+		t.Fatalf("post-sweep healthz %d %q, want 503 damaged", code, status)
+	}
+
+	// Queries racing a sweep stay bit-identical to the baseline.
+	var wg sync.WaitGroup
+	qerrs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 8; n++ {
+				res, _, err := s.Search(q)
+				if err != nil {
+					qerrs <- err
+					return
+				}
+				for i := range res {
+					if res[i].TID != want[i].TID || res[i].Dist != want[i].Dist {
+						qerrs <- fmt.Errorf("concurrent result %d diverged", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	sc.SweepNow()
+	wg.Wait()
+	close(qerrs)
+	for err := range qerrs {
+		t.Fatal(err)
+	}
+
+	// Repair shard 1 from its clean table; the next sweeps restore ok.
+	if err := s.shards[1].Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.shards[1].Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// A full rotation re-sweeps the repaired shard and gives the age gauge
+	// a complete picture (it reports -1 until every shard has been swept).
+	for range s.shards {
+		sc.SweepNow()
+	}
+	for i := 0; i < len(s.shards); i++ {
+		if h, _ := sc.Health(); h == HealthOK {
+			break
+		}
+		sc.SweepNow()
+	}
+	if code, status := healthzStatus(t, sc); code != 200 || status != "ok" {
+		t.Fatalf("post-repair healthz %d %q, want 200 ok", code, status)
+	}
+	res, qs, err = s.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DegradedSegments != 0 {
+		t.Fatalf("post-repair search still degraded: %d", qs.DegradedSegments)
+	}
+	checkResults(t, "post-repair", res, want)
+
+	// The sweeps left their trail in the shared registry...
+	text := s.MetricsText()
+	for _, pat := range []string{
+		`iva_scrub_sweeps_total [1-9]`,
+		`iva_scrub_units_total [1-9]`,
+		`iva_scrub_corrupt_found_total [1-9]`,
+		`iva_scrub_errors_total 0`,
+		`iva_scrub_sweeping_shard -1`,
+		`iva_scrub_last_sweep_age_seconds \d`,
+		`iva_health_state 0`,
+	} {
+		if ok, err := regexp.MatchString(pat, text); err != nil || !ok {
+			t.Errorf("metrics missing %q (err=%v)", pat, err)
+		}
+	}
+	// ...and the persisted snapshot agrees.
+	snap, err := LoadScrubReport(filepath.Join(dir, "scrub-report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Health != "ok" || len(snap.Shards) != 3 {
+		t.Fatalf("persisted snapshot health=%q shards=%d, want ok/3", snap.Health, len(snap.Shards))
+	}
+	if len(sc.History()) == 0 {
+		t.Fatal("scrubber recorded no sweep history")
+	}
+}
+
+func checkResults(t *testing.T, phase string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", phase, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].TID != want[i].TID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s result %d: got (%d, %g), want (%d, %g)",
+				phase, i, got[i].TID, got[i].Dist, want[i].TID, want[i].Dist)
+		}
+	}
+}
+
+// TestScrubberSingleStore covers the single-store surface: SweepNow always
+// picks shard 0, the throttle counter moves when a throttle is configured,
+// and Stop is idempotent.
+func TestScrubberSingleStore(t *testing.T) {
+	s, err := Create(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		if _, err := s.Insert(map[string]Value{"Price": Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sc := s.StartScrubber(ScrubberOptions{
+		Interval: time.Hour, Throttle: time.Microsecond, ThrottleEvery: 16,
+	})
+	if got := sc.SweepNow(); got != 0 {
+		t.Fatalf("single store swept shard %d, want 0", got)
+	}
+	if sc.Units() < 300 {
+		t.Fatalf("sweep verified %d units, want >= 300 (one per table record)", sc.Units())
+	}
+	if h, reason := sc.Health(); h != HealthOK {
+		t.Fatalf("clean store health %v (%s), want ok", h, reason)
+	}
+	text := s.MetricsText()
+	for _, pat := range []string{
+		`iva_scrub_throttle_sleeps_total [1-9]`,
+		`iva_scrub_throttle_seconds [0-9.e-]`,
+	} {
+		if ok, _ := regexp.MatchString(pat, text); !ok {
+			t.Errorf("metrics missing %q", pat)
+		}
+	}
+	hist := sc.History()
+	if len(hist) != 1 || hist[0].Shard != 0 || hist[0].Report == nil || !hist[0].Report.Clean() {
+		t.Fatalf("history after one clean sweep: %+v", hist)
+	}
+	sc.Stop()
+	sc.Stop() // idempotent
+}
+
+// TestScrubberSoak runs the background loop for real — tight interval,
+// concurrent writers and readers — and is meant for `go test -race` in the
+// nightly job. Gated by IVA_SCRUB_SOAK (a duration, e.g. "60s").
+func TestScrubberSoak(t *testing.T) {
+	env := os.Getenv("IVA_SCRUB_SOAK")
+	if env == "" {
+		t.Skip("set IVA_SCRUB_SOAK=<duration> to run the scrubber soak")
+	}
+	dur, err := time.ParseDuration(env)
+	if err != nil {
+		dur = 2 * time.Second
+	}
+	s, err := CreateSharded(t.TempDir(), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 120; i++ {
+		if _, err := s.Insert(map[string]Value{"Price": Num(float64(i % 53))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sc := s.StartScrubber(ScrubberOptions{Interval: 30 * time.Millisecond, ShardPause: time.Millisecond})
+	defer sc.Stop()
+
+	deadline := time.Now().Add(dur)
+	q := NewQuery(5).WhereNum("Price", 25)
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, _, err := s.Search(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if _, err := s.Insert(map[string]Value{"Price": Num(float64(i % 53))}); err != nil {
+				errs <- err
+				return
+			}
+			if i%50 == 0 {
+				if err := s.Sync(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(sc.History()) == 0 {
+		t.Fatal("soak completed with zero background sweeps")
+	}
+	if h, reason := sc.Health(); h != HealthOK {
+		t.Fatalf("soak left health %v (%s)", h, reason)
+	}
+}

@@ -29,25 +29,28 @@ type Sharded struct {
 	shards  []*Store
 	reg     *obs.Registry
 	slowLog *obs.QueryLog
+	ring    *obs.TraceRing
 	queries *obs.Counter
 	slow    *obs.Counter
 	dur     *obs.Histogram
 }
 
 // initObs builds the partition-level aggregates over the shared registry.
-func (s *Sharded) initObs(reg *obs.Registry, log *obs.QueryLog) {
-	s.reg, s.slowLog = reg, log
+func (s *Sharded) initObs(reg *obs.Registry, log *obs.QueryLog, ring *obs.TraceRing) {
+	s.reg, s.slowLog, s.ring = reg, log, ring
 	s.queries = reg.Counter("iva_fanout_queries_total", "Cross-shard fan-out queries served.", nil)
 	s.slow = reg.Counter("iva_fanout_slow_queries_total", "Fan-out queries at or above the slow-query threshold.", nil)
 	s.dur = reg.Histogram("iva_fanout_query_duration_seconds", "End-to-end fan-out search latency.", nil, nil)
 	reg.GaugeFunc("iva_shards", "Number of partitions.", nil, func() float64 { return float64(len(s.shards)) })
+	registerBuildInfo(reg)
 }
 
 // shardOpts prepares shard i's options: its own subdirectory-independent
 // settings plus the shared observability plumbing.
-func shardOpts(opts Options, reg *obs.Registry, log *obs.QueryLog, i int) Options {
+func shardOpts(opts Options, reg *obs.Registry, log *obs.QueryLog, ring *obs.TraceRing, i int) Options {
 	opts.obsReg = reg
 	opts.obsLog = log
+	opts.obsRing = ring
 	opts.obsLabels = obs.Labels{"shard": strconv.Itoa(i)}
 	return opts
 }
@@ -64,18 +67,19 @@ func CreateSharded(dir string, n int, opts Options) (*Sharded, error) {
 	s := &Sharded{}
 	reg := obs.NewRegistry()
 	log := obs.NewQueryLog(opts.withDefaults().SlowQueryThreshold, opts.withDefaults().SlowQueryLogSize)
+	ring := obs.NewTraceRing(opts.TraceRingSize, opts.TraceSampleEvery)
 	for i := 0; i < n; i++ {
 		sub := ""
 		if dir != "" {
 			sub = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 		}
-		st, err := Create(sub, shardOpts(opts, reg, log, i))
+		st, err := Create(sub, shardOpts(opts, reg, log, ring, i))
 		if err != nil {
 			return nil, err
 		}
 		s.shards = append(s.shards, st)
 	}
-	s.initObs(reg, log)
+	s.initObs(reg, log, ring)
 	return s, nil
 }
 
@@ -84,14 +88,15 @@ func OpenSharded(dir string, n int, opts Options) (*Sharded, error) {
 	s := &Sharded{}
 	reg := obs.NewRegistry()
 	log := obs.NewQueryLog(opts.withDefaults().SlowQueryThreshold, opts.withDefaults().SlowQueryLogSize)
+	ring := obs.NewTraceRing(opts.TraceRingSize, opts.TraceSampleEvery)
 	for i := 0; i < n; i++ {
-		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), shardOpts(opts, reg, log, i))
+		st, err := Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), shardOpts(opts, reg, log, ring, i))
 		if err != nil {
 			return nil, err
 		}
 		s.shards = append(s.shards, st)
 	}
-	s.initObs(reg, log)
+	s.initObs(reg, log, ring)
 	return s, nil
 }
 
@@ -197,6 +202,8 @@ func (s *Sharded) searchContext(ctx context.Context, q *Query) ([]Result, QueryS
 
 	var agg QueryStats
 	agg.Shards = make([]QueryStats, len(outs))
+	agg.TraceID = root.TraceID()
+	agg.Phase = &PhaseProfile{}
 	var all []Result
 	for i, o := range outs {
 		if o.err != nil {
@@ -222,11 +229,36 @@ func (s *Sharded) searchContext(ctx context.Context, q *Query) ([]Result, QueryS
 		if o.stats.Workers > agg.Workers {
 			agg.Workers = o.stats.Workers
 		}
+		if p := o.stats.Phase; p != nil {
+			agg.Phase.StripesTotal += p.StripesTotal
+			agg.Phase.StripesSkipped += p.StripesSkipped
+			agg.Phase.Workers = append(agg.Phase.Workers, p.Workers...)
+			if p.FilterTime > agg.Phase.FilterTime {
+				agg.Phase.FilterTime = p.FilterTime
+			}
+			if p.RefineTime > agg.Phase.RefineTime {
+				agg.Phase.RefineTime = p.RefineTime
+			}
+			if p.MergeTime > agg.Phase.MergeTime {
+				agg.Phase.MergeTime = p.MergeTime
+			}
+		}
+	}
+	if total := agg.CacheHits + agg.PhysReads; total > 0 {
+		agg.Phase.PoolHitRatio = float64(agg.CacheHits) / float64(total)
 	}
 	s.queries.Inc()
-	s.dur.Observe(root.Duration().Seconds())
-	if s.slowLog.Observe(q.describe(), root.Duration(), root) {
+	s.dur.ObserveTrace(root.Duration().Seconds(), agg.TraceID)
+	if s.slowLog.ObserveEntry(obs.LogEntry{
+		Query:    q.describe(),
+		Duration: root.Duration(),
+		Trace:    root,
+		Phases:   phaseBreakdown(agg),
+	}) {
 		s.slow.Inc()
+		s.ring.Force(root)
+	} else {
+		s.ring.Offer(root)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Dist != all[j].Dist {
@@ -251,6 +283,10 @@ func (s *Sharded) MetricsText() string { return s.reg.Text() }
 // WriteSlowQueries serializes the partition's slow-query log as JSON; a
 // slow fan-out entry's trace holds one child span per shard.
 func (s *Sharded) WriteSlowQueries(w io.Writer) error { return s.slowLog.WriteJSON(w) }
+
+// WriteSlowQueriesText renders the partition's slow-query log one line per
+// entry, newest first (see Store.WriteSlowQueriesText).
+func (s *Sharded) WriteSlowQueriesText(w io.Writer) error { return s.slowLog.WriteText(w) }
 
 // SlowQueryCount reports how many fan-out queries met the slow threshold.
 func (s *Sharded) SlowQueryCount() int64 { return s.slowLog.Total() }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -90,11 +92,18 @@ type Options struct {
 	// returns context.DeadlineExceeded. Zero disables the bound;
 	// SearchContext composes with it (the earlier deadline wins).
 	QueryTimeout time.Duration
+	// TraceRingSize caps the sampled in-process trace ring served by
+	// WriteTraces (/debug/trace): one query trace in every
+	// TraceSampleEvery is retained, plus every slow query. 0 defaults to
+	// 64 entries sampling 1 in 16; a negative size disables the ring.
+	TraceRingSize    int
+	TraceSampleEvery int
 
 	// Set by CreateSharded/OpenSharded so every shard publishes into one
-	// registry and slow-query log under a per-shard label.
+	// registry, slow-query log and trace ring under a per-shard label.
 	obsReg    *obs.Registry
 	obsLog    *obs.QueryLog
+	obsRing   *obs.TraceRing
 	obsLabels obs.Labels
 }
 
@@ -156,6 +165,7 @@ type Store struct {
 
 	reg     *obs.Registry
 	slowLog *obs.QueryLog
+	ring    *obs.TraceRing
 	disk    storage.DiskModel
 	om      storeMetrics
 }
@@ -177,7 +187,14 @@ type storeMetrics struct {
 	queryDur    *obs.Histogram
 	filterDur   *obs.Histogram
 	refineDur   *obs.Histogram
+	mergeDur    *obs.Histogram
+	filterReads *obs.Histogram
+	refineReads *obs.Histogram
 }
+
+// physReadBuckets bound per-query physical page reads per phase: powers of
+// two from the all-cached query (0) to a badly I/O-bound scan.
+var physReadBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
 
 // initObs wires the store into its metrics registry and slow-query log
 // (shared ones when the store is a shard, private ones otherwise).
@@ -190,8 +207,15 @@ func (s *Store) initObs() {
 	if s.slowLog == nil {
 		s.slowLog = obs.NewQueryLog(s.opts.SlowQueryThreshold, s.opts.SlowQueryLogSize)
 	}
+	s.ring = s.opts.obsRing
+	if s.ring == nil && s.opts.obsReg == nil {
+		s.ring = obs.NewTraceRing(s.opts.TraceRingSize, s.opts.TraceSampleEvery)
+	}
 	s.disk = storage.DefaultDiskModel()
 	labels := s.opts.obsLabels
+	if s.opts.obsReg == nil {
+		registerBuildInfo(s.reg)
+	}
 
 	s.pool.RegisterPoolMetrics(s.reg, labels, s.disk)
 
@@ -212,6 +236,12 @@ func (s *Store) initObs() {
 			obs.With(labels, "phase", "filter"), nil),
 		refineDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
 			obs.With(labels, "phase", "refine"), nil),
+		mergeDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
+			obs.With(labels, "phase", "merge"), nil),
+		filterReads: s.reg.Histogram("iva_query_phase_phys_reads", "Physical page reads per query, by phase.",
+			obs.With(labels, "phase", "filter"), physReadBuckets),
+		refineReads: s.reg.Histogram("iva_query_phase_phys_reads", "Physical page reads per query, by phase.",
+			obs.With(labels, "phase", "refine"), physReadBuckets),
 	}
 
 	// Store-shape gauges read live under the engine lock at scrape time.
@@ -251,6 +281,37 @@ func (s *Store) initObs() {
 		}
 		return 0
 	})
+	s.reg.GaugeFunc("iva_format_version", "Committed on-disk format version of the index file.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.ix.FormatVersion())
+	})
+}
+
+// registerBuildInfo publishes the binary's build metadata as a constant-1
+// gauge whose labels carry the interesting values, the Prometheus convention
+// for joining version info onto other series. Called once per registry (a
+// Sharded partition registers it on the shared registry, not per shard).
+func registerBuildInfo(reg *obs.Registry) {
+	labels := obs.Labels{"go_version": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			labels["module"] = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			labels["version"] = bi.Main.Version
+		}
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" && st.Value != "" {
+				rev := st.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				labels["revision"] = rev
+			}
+		}
+	}
+	reg.GaugeFunc("iva_build_info", "Build metadata; the value is always 1.", labels, func() float64 { return 1 })
 }
 
 const (
@@ -618,6 +679,15 @@ type QueryStats struct {
 	// other value means the results are still exact but the index needs a
 	// scrub and rebuild (on a Sharded store, the per-shard sum).
 	DegradedSegments int
+	// TraceID is the 16-hex-digit id of the query's trace — the join key
+	// into the sampled trace ring (WriteTraces, /debug/trace), the
+	// slow-query log, and the latency histogram's exemplars.
+	TraceID string
+	// Phase is the per-phase profile of the executed plan: filter/refine/
+	// merge wall time, the striped plan's work distribution per worker, and
+	// the buffer pool hit ratio. Always populated by Search (profiling is
+	// free); SearchProfiled renders it EXPLAIN ANALYZE-style.
+	Phase *PhaseProfile
 	// Shards holds the per-shard breakdown when the query ran on a
 	// Sharded store (nil on a single store). The top-level counters are
 	// sums; the times are the slowest shard's (the critical path).
@@ -698,6 +768,14 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 	sp.End()
 
 	io := st.FilterIO.Add(st.RefineIO)
+	workers := make([]WorkerProfile, len(st.WorkerProfiles))
+	for i, w := range st.WorkerProfiles {
+		workers[i] = WorkerProfile{Stripes: w.Stripes, Scanned: w.Scanned, Fetched: w.Fetched, Busy: w.Busy}
+	}
+	var hitRatio float64
+	if total := io.CacheHits + io.PhysReads; total > 0 {
+		hitRatio = float64(io.CacheHits) / float64(total)
+	}
 	qs = QueryStats{
 		Scanned:          st.Scanned,
 		TableAccesses:    st.TableAccesses,
@@ -708,6 +786,16 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 		DiskCostMS:       s.disk.CostMS(io),
 		Workers:          st.Workers,
 		DegradedSegments: st.DegradedSegments,
+		TraceID:          sp.TraceID(),
+		Phase: &PhaseProfile{
+			FilterTime:     st.FilterWall,
+			RefineTime:     st.RefineWall,
+			MergeTime:      st.MergeWall,
+			StripesTotal:   st.StripesTotal,
+			StripesSkipped: st.StripesSkipped,
+			Workers:        workers,
+			PoolHitRatio:   hitRatio,
+		},
 	}
 	if st.DegradedSegments > 0 {
 		s.om.corruptSegs.Add(int64(st.DegradedSegments))
@@ -715,11 +803,24 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 	s.om.queries.Inc()
 	s.om.scanned.Add(st.Scanned)
 	s.om.accesses.Add(st.TableAccesses)
-	s.om.queryDur.Observe(sp.Duration().Seconds())
+	s.om.queryDur.ObserveTrace(sp.Duration().Seconds(), qs.TraceID)
 	s.om.filterDur.Observe(st.FilterWall.Seconds())
 	s.om.refineDur.Observe(st.RefineWall.Seconds())
-	if parent == nil && s.slowLog.Observe(q.describe(), sp.Duration(), sp) {
-		s.om.slowQueries.Inc()
+	s.om.mergeDur.Observe(st.MergeWall.Seconds())
+	s.om.filterReads.Observe(float64(st.FilterIO.PhysReads))
+	s.om.refineReads.Observe(float64(st.RefineIO.PhysReads))
+	if parent == nil {
+		if s.slowLog.ObserveEntry(obs.LogEntry{
+			Query:    q.describe(),
+			Duration: sp.Duration(),
+			Trace:    sp,
+			Phases:   phaseBreakdown(qs),
+		}) {
+			s.om.slowQueries.Inc()
+			s.ring.Force(sp)
+		} else {
+			s.ring.Offer(sp)
+		}
 	}
 
 	out := make([]Result, len(res))
@@ -744,6 +845,11 @@ func (s *Store) MetricsText() string { return s.reg.Text() }
 // span tree of the offending query (filter with per-term children, refine,
 // fetch). The log is empty unless Options.SlowQueryThreshold is set.
 func (s *Store) WriteSlowQueries(w io.Writer) error { return s.slowLog.WriteJSON(w) }
+
+// WriteSlowQueriesText renders the slow-query log one line per entry, newest
+// first, with each entry's trace id and phase breakdown — the human-paged
+// form of WriteSlowQueries.
+func (s *Store) WriteSlowQueriesText(w io.Writer) error { return s.slowLog.WriteText(w) }
 
 // SlowQueryCount reports how many queries ever met the slow-query threshold.
 func (s *Store) SlowQueryCount() int64 { return s.slowLog.Total() }
