@@ -36,8 +36,39 @@ func main() {
 		pool     = flag.Bool("pool", false, "run the buffer-pool contention benchmark instead of the paper experiments")
 		poolOut  = flag.String("pool.out", "BENCH_pool.json", "output file for -pool")
 		poolMS   = flag.Int("pool.ms", 300, "measured milliseconds per -pool point")
+		zonemap  = flag.Bool("zonemap", false, "run the stripe zone-map selectivity sweep instead of the paper experiments")
+		zoneOut  = flag.String("zonemap.out", "BENCH_zonemap.json", "output file for -zonemap")
 	)
 	flag.Parse()
+
+	if *zonemap {
+		r, err := bench.RunZoneMapBench(*tuples, *par, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: zonemap bench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := r.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: zonemap bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*zoneOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: writing %s: %v\n", *zoneOut, err)
+			os.Exit(1)
+		}
+		for _, p := range r.Points {
+			match := "match"
+			if !p.ResultsMatch {
+				match = "MISMATCH"
+			}
+			fmt.Printf("%-8s k=%-4d stripes=%d pruned=%d/%d (%.1f%%)  scanned %d→%d  filter reads %d→%d (%.1f%% saved)  wall %.1fms→%.1fms (%.2fx)  results %s\n",
+				p.Layout, p.K, p.Stripes, p.ZonePruned, p.ZoneChecked, 100*p.PruneRatio,
+				p.ScannedOff, p.ScannedOn, p.FilterReadsOff, p.FilterReadsOn, 100*p.ReadsSaved,
+				p.WallOffMS, p.WallOnMS, p.Speedup, match)
+		}
+		fmt.Printf("→ %s\n", *zoneOut)
+		return
+	}
 
 	if *pool {
 		r, err := bench.RunPoolBench(*seed, time.Duration(*poolMS)*time.Millisecond)

@@ -93,10 +93,11 @@ func printScrub(rep *iva.ScrubReport) {
 	} else if rep.Legacy {
 		status = "legacy" // clean, but pre-v4: nothing was verifiable
 	}
-	fmt.Printf("scrub: status=%s version=%d segments=%d corrupt=%d dirty=%d ckpts=%d ckpt_corrupt=%d ckpt_dropped=%d table_records=%d table_corrupt=%d superblock_ok=%v catalog_ok=%v problems=%d\n",
+	fmt.Printf("scrub: status=%s version=%d segments=%d corrupt=%d dirty=%d ckpts=%d ckpt_corrupt=%d ckpt_dropped=%d zones=%d zone_corrupt=%d zone_dropped=%d table_records=%d table_corrupt=%d superblock_ok=%v catalog_ok=%v problems=%d\n",
 		status, rep.FormatVersion, rep.IndexSegments, rep.CorruptIndexSegments,
 		rep.DirtyIndexSegments, rep.Checkpoints, rep.CorruptCheckpoints,
-		rep.DroppedCheckpoints, rep.TableRecords, rep.CorruptTable,
+		rep.DroppedCheckpoints, rep.Zones, rep.CorruptZones, rep.DroppedZones,
+		rep.TableRecords, rep.CorruptTable,
 		rep.SuperblockOK, rep.CatalogOK, len(rep.Problems))
 	for _, p := range rep.Problems {
 		fmt.Printf("PROBLEM: %s\n", p)

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/sparsewide/iva/internal/core"
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// The stripe zone-map selectivity benchmark (`ivabench -zonemap`). Zone-map
+// pruning pays off exactly when the data's stripe layout is selective: a
+// stripe whose per-attribute value range is narrow gets a tight best-case
+// bound, and a low k keeps the admission bar tight. The sweep therefore
+// crosses two layouts — "skewed" (values correlate with insertion order, the
+// timestamp/auto-increment shape common in feeds) and "uniform" (values
+// shuffled, every stripe spans the whole domain) — with a low and a high k,
+// running every query twice, zones on and off, over the same index. Results
+// must match exactly; the artifact (BENCH_zonemap.json) records the pruning
+// rate and the filter-phase physical-read and wall-time deltas.
+
+// ZoneMapBenchPoint is one (layout, k) measurement over Queries queries.
+type ZoneMapBenchPoint struct {
+	Layout  string `json:"layout"` // "skewed" or "uniform"
+	K       int    `json:"k"`
+	Queries int    `json:"queries"`
+	Stripes int    `json:"stripes"` // sealed stripes in the index
+
+	ZoneChecked int64   `json:"zone_checked"` // stripe bounds consulted (on-pass)
+	ZonePruned  int64   `json:"zone_pruned"`  // stripes skipped whole
+	PruneRatio  float64 `json:"prune_ratio"`  // pruned/checked
+
+	ScannedOn  int64 `json:"scanned_on"` // tuples filtered with zones on
+	ScannedOff int64 `json:"scanned_off"`
+
+	FilterReadsOn  int64 `json:"filter_reads_on"` // physical page reads, filter phase
+	FilterReadsOff int64 `json:"filter_reads_off"`
+
+	WallOnMS  float64 `json:"wall_on_ms"`
+	WallOffMS float64 `json:"wall_off_ms"`
+
+	// ReadsSaved is 1 - on/off for the filter phase (0 when off is 0);
+	// Speedup is off/on wall time.
+	ReadsSaved float64 `json:"reads_saved"`
+	Speedup    float64 `json:"speedup"`
+
+	ResultsMatch bool `json:"results_match"`
+}
+
+// ZoneMapBenchResult is the full artifact written to BENCH_zonemap.json.
+type ZoneMapBenchResult struct {
+	Tuples          int   `json:"tuples"`
+	CheckpointEvery int   `json:"checkpoint_every"`
+	Parallelism     int   `json:"parallelism"`
+	CacheBytes      int64 `json:"cache_bytes"`
+	Seed            int64 `json:"seed"`
+
+	Points []ZoneMapBenchPoint `json:"points"`
+}
+
+// zoneMapEnv is one built layout: a table with a numeric "ts" attribute and a
+// sparsely-defined text "tag", indexed with small stripes so a bench-scale
+// run still has a meaningful stripe count.
+func zoneMapEnv(layout string, tuples, par int, cacheBytes int64, seed int64) (*core.Index, *metric.Metric, model.AttrID, error) {
+	pool := storage.NewPool(4096, cacheBytes)
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tsID, err := cat.AddAttr("ts", model.KindNumeric)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tagID, err := cat.AddAttr("tag", model.KindText)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, tuples)
+	for i := range vals {
+		vals[i] = float64(i) // skewed: value tracks insertion order
+	}
+	if layout == "uniform" {
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	}
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < tuples; i++ {
+		row := map[model.AttrID]model.Value{tsID: model.Num(vals[i])}
+		if i%3 == 0 { // sparse: ~1/3 defined, the rest exercise the ndf path
+			row[tagID] = model.Text(tags[i%len(tags)])
+		}
+		if _, _, err := tbl.Append(row); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	ix, err := core.Build(tbl, storage.NewFile(pool, storage.NewMemDevice()), core.Options{
+		SearchParallelism: par,
+		CheckpointEvery:   256,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	comb, err := metric.ByName("L2")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m := &metric.Metric{Combiner: comb, Weighter: metric.Equal{}, NDFPenalty: metric.DefaultNDFPenalty}
+	return ix, m, tsID, nil
+}
+
+// zoneMapPoint measures one (layout, k) cell: the same query set with zones
+// on and off, verifying byte-identical results.
+func zoneMapPoint(layout string, tuples, k, queries, par int, cacheBytes int64, seed int64) (ZoneMapBenchPoint, error) {
+	ix, m, tsID, err := zoneMapEnv(layout, tuples, par, cacheBytes, seed)
+	if err != nil {
+		return ZoneMapBenchPoint{}, err
+	}
+	_, stripes := ix.ZoneMapCoverage()
+	pt := ZoneMapBenchPoint{Layout: layout, K: k, Queries: queries, Stripes: stripes, ResultsMatch: true}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	targets := make([]float64, queries)
+	for i := range targets {
+		targets[i] = rng.Float64() * float64(tuples)
+	}
+	run := func(zones bool) (results [][]model.Result, scanned, filterReads int64, wall time.Duration, checked, pruned int64, err error) {
+		ix.SetZoneMaps(zones)
+		for _, target := range targets {
+			q := &model.Query{K: k, Terms: []model.QueryTerm{{Attr: tsID, Kind: model.KindNumeric, Num: target}}}
+			res, st, serr := ix.Search(q, m)
+			if serr != nil {
+				return nil, 0, 0, 0, 0, 0, serr
+			}
+			results = append(results, res)
+			scanned += st.Scanned
+			filterReads += st.FilterIO.PhysReads
+			wall += st.Total()
+			checked += int64(st.StripesZoneChecked)
+			pruned += int64(st.StripesZonePruned)
+		}
+		return results, scanned, filterReads, wall, checked, pruned, nil
+	}
+
+	// Off first, then on: the on-pass runs against a warmer cache, so the
+	// measured read delta understates (never overstates) the saving.
+	resOff, scannedOff, readsOff, wallOff, _, _, err := run(false)
+	if err != nil {
+		return pt, err
+	}
+	resOn, scannedOn, readsOn, wallOn, checked, pruned, err := run(true)
+	if err != nil {
+		return pt, err
+	}
+	for i := range resOn {
+		if len(resOn[i]) != len(resOff[i]) {
+			pt.ResultsMatch = false
+			break
+		}
+		for j := range resOn[i] {
+			if resOn[i][j] != resOff[i][j] {
+				pt.ResultsMatch = false
+			}
+		}
+	}
+	pt.ZoneChecked, pt.ZonePruned = checked, pruned
+	if checked > 0 {
+		pt.PruneRatio = float64(pruned) / float64(checked)
+	}
+	pt.ScannedOn, pt.ScannedOff = scannedOn, scannedOff
+	pt.FilterReadsOn, pt.FilterReadsOff = readsOn, readsOff
+	pt.WallOnMS = float64(wallOn.Nanoseconds()) / 1e6
+	pt.WallOffMS = float64(wallOff.Nanoseconds()) / 1e6
+	if readsOff > 0 {
+		pt.ReadsSaved = 1 - float64(readsOn)/float64(readsOff)
+	}
+	if wallOn > 0 {
+		pt.Speedup = float64(wallOff) / float64(wallOn)
+	}
+	return pt, nil
+}
+
+// RunZoneMapBench sweeps {skewed, uniform} × {low k, high k}. The cache is
+// kept deliberately small relative to the index so the filter phase actually
+// touches the device and the read delta is visible.
+func RunZoneMapBench(tuples, par int, seed int64) (*ZoneMapBenchResult, error) {
+	if tuples <= 0 {
+		tuples = 40000
+	}
+	if par <= 0 {
+		par = 1
+	}
+	const cacheBytes = 256 << 10
+	const queries = 40
+	res := &ZoneMapBenchResult{
+		Tuples:          tuples,
+		CheckpointEvery: 256,
+		Parallelism:     par,
+		CacheBytes:      cacheBytes,
+		Seed:            seed,
+	}
+	for _, layout := range []string{"skewed", "uniform"} {
+		for _, k := range []int{1, 100} {
+			pt, err := zoneMapPoint(layout, tuples, k, queries, par, cacheBytes, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: zonemap %s k=%d: %w", layout, k, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// JSON renders the artifact for BENCH_zonemap.json.
+func (r *ZoneMapBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -159,6 +159,7 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 	for i, a := range adds {
 		ix.entries = append(ix.entries, tupleEntry{tid: a.tid, ptr: a.ptr})
 		ix.posByTID[a.tid] = startPos + int64(i)
+		ix.zoneObserve(batch[i])
 	}
 	for a, w := range writers {
 		if w.Len() == 0 {

@@ -82,6 +82,13 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 		return nil, err
 	}
 	ix.ckptEvery = opts.CheckpointEvery
+	if ix.zoneChain, err = segs.Create(); err != nil {
+		return nil, err
+	}
+	ix.zoneOff = opts.DisableZoneMaps
+	// A fresh build observes every tuple from position 0, so every sealed
+	// stripe gets a known zone record.
+	ix.zacc.reset(true)
 
 	// Lay out one vector list per attribute.
 	infos := tbl.Catalog().Attrs()
@@ -150,6 +157,7 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 		}
 		ix.entries = append(ix.entries, tupleEntry{tid: tp.TID, ptr: ptr})
 		ix.posByTID[tp.TID] = pos
+		ix.zoneObserve(tp.Values)
 
 		// Defined attributes.
 		for _, a := range tp.Attrs() {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -88,5 +90,142 @@ func FuzzSuperblock(f *testing.F) {
 		q.NumTerm(num, 5)
 		_, _, _ = ix2.Search(q, nil)
 		_, _ = ix2.Check()
+	})
+}
+
+// FuzzZoneMap stomps the fuzzer's bytes inside the committed zone-map chain
+// of a small real store and re-opens it both ways. Zone records are pure
+// pruning hints, so the contract is absolute: under DegradeReads the open
+// must succeed and every query must return results byte-identical to the
+// clean baseline (damage may only disable pruning); under Strict the open
+// must either fail with a *storage.CorruptionError or — when the stomp was
+// byte-neutral — behave exactly like the clean file. Panics are never
+// acceptable.
+func FuzzZoneMap(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0xff})
+	f.Add([]byte{1, 9, 0, 0x00, 0xff, 0x55})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 || len(data) > 512 {
+			return
+		}
+		pool := storage.NewPool(0, 1<<20)
+		tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+		tblF := storage.NewFile(pool, tblDev)
+		idxF := storage.NewFile(pool, idxDev)
+		cat := table.NewCatalog()
+		num, err := cat.AddAttr("n", model.KindNumeric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txt, err := cat.AddAttr("s", model.KindText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := table.New(tblF, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 24; i++ {
+			vals := map[model.AttrID]model.Value{num: model.Num(float64(i))}
+			if i%2 == 0 {
+				vals[txt] = model.Text(fmt.Sprintf("v%d", i), "fuzz")
+			}
+			if _, _, err := tbl.Append(vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tbl.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(tbl, idxF, Options{CheckpointEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []*model.Query{
+			(&model.Query{K: 3}).NumTerm(num, 5),
+			(&model.Query{K: 4}).TextTerm(txt, "v8"),
+			(&model.Query{K: 2}).NumTerm(num, 20).TextTerm(txt, "fuzz"),
+		}
+		baseline := make([][]model.Result, len(queries))
+		for i, q := range queries {
+			if baseline[i], _, err = ix.Search(q, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exts := ix.ZoneExtents()
+		if len(exts) == 0 {
+			t.Fatal("built index committed no zone extents")
+		}
+		tblF.Close()
+		idxF.Close()
+
+		// The input picks the extent, the offset inside it, and the bytes to
+		// stomp (clipped to the extent so the damage stays inside the chain).
+		ext := exts[int(data[0])%len(exts)]
+		off := ext.Offset + int64(binary.LittleEndian.Uint16(data[1:3]))%ext.Len
+		payload := data[3:]
+		if max := ext.Offset + ext.Len - off; int64(len(payload)) > max {
+			payload = payload[:max]
+		}
+		if _, err := idxDev.WriteAt(payload, off); err != nil {
+			t.Fatal(err)
+		}
+
+		sameResults := func(ix2 *Index) {
+			t.Helper()
+			for i, q := range queries {
+				got, _, err := ix2.Search(q, nil)
+				if err != nil {
+					t.Fatalf("query %d after zone stomp: %v", i, err)
+				}
+				if len(got) != len(baseline[i]) {
+					t.Fatalf("query %d: %d results, baseline %d", i, len(got), len(baseline[i]))
+				}
+				for j := range got {
+					if got[j] != baseline[i][j] {
+						t.Fatalf("query %d result %d diverged: %+v vs %+v", i, j, got[j], baseline[i][j])
+					}
+				}
+			}
+		}
+
+		// DegradeReads: the open absorbs any zone damage and answers are
+		// bit-identical with pruning (at worst) disabled.
+		pool2 := storage.NewPool(0, 1<<20)
+		tblF2 := storage.NewFile(pool2, tblDev)
+		idxF2 := storage.NewFile(pool2, idxDev)
+		tbl2, err := table.Open(tblF2, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix2, err := Open(idxF2, tbl2, Options{CheckpointEvery: 4})
+		if err != nil {
+			t.Fatalf("degrade open rejected zone-chain damage: %v", err)
+		}
+		sameResults(ix2)
+		tblF2.Close()
+		idxF2.Close()
+
+		// Strict: fail fast with a typed corruption error, or (byte-neutral
+		// stomp) behave exactly like the clean file.
+		pool3 := storage.NewPool(0, 1<<20)
+		tblF3 := storage.NewFile(pool3, tblDev)
+		idxF3 := storage.NewFile(pool3, idxDev)
+		defer tblF3.Close()
+		defer idxF3.Close()
+		tbl3, err := table.Open(tblF3, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix3, err := Open(idxF3, tbl3, Options{CheckpointEvery: 4, Integrity: IntegrityStrict})
+		if err != nil {
+			var ce *storage.CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("strict open failed with a non-corruption error: %v", err)
+			}
+			return
+		}
+		sameResults(ix3)
 	})
 }

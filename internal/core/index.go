@@ -66,6 +66,12 @@ type Options struct {
 	// CheckpointEvery is the stripe width: a resumable checkpoint is
 	// recorded every CheckpointEvery tuple-list entries. Default 2048.
 	CheckpointEvery int64
+	// DisableZoneMaps turns off zone-map stripe pruning at query time (zone
+	// records are still maintained). Pruning never changes results — a
+	// stripe is skipped only when its proven lower bound exceeds the
+	// admission bar — so this exists for benchmarking and differential
+	// testing, not tuning.
+	DisableZoneMaps bool
 	// Integrity selects how checksum mismatches are handled at read time:
 	// IntegrityDegrade (default) widens corrupt vector segments to zero
 	// lower bounds, IntegrityStrict fails fast.
@@ -121,26 +127,42 @@ var ErrNotFound = errors.New("core: tuple not found")
 
 const (
 	superblockSize = 4096
-	indexMagic = 0x69564146 // "iVAF"
+	indexMagic     = 0x69564146 // "iVAF"
 	// v2 added the checkpoint chain; v3 added the shadow attribute-list slot
 	// and moved the authoritative checkpoint count into the superblock so a
 	// torn Sync can never mix new attribute tails with an old superblock; v4
 	// adds CRC32C integrity: a superblock trailer, per-record checkpoint
 	// trailers, and an out-of-line per-segment checksum map in a ping-ponged
-	// pair of checksum chains. Older versions still open (checksum-free,
+	// pair of checksum chains; v5 adds the stripe zone-map chain (see
+	// zonemap.go), which shifts the superblock CRC trailer to make room for
+	// its two fields. Older versions still open (checksum-free for pre-v4,
 	// with a warning gauge) and are upgraded in place by their next Sync.
-	indexVersion = 4
+	indexVersion = 5
 	ptrBits      = 40 // table offsets up to 1 TiB
 )
 
-// Superblock byte offsets of the v4 fields. The CRC trailer covers
-// bytes [0, sbCRCOff).
+// Superblock byte offsets of the v4/v5 fields. The CRC trailer covers
+// bytes [0, sbCRCOff) — v4 files, whose trailer predates the zone fields,
+// keep theirs at sbCRCOffV4 until their upgrade Sync rewrites the block.
 const (
 	sbCRCChainAOff = 88
 	sbCRCChainBOff = 92
 	sbCRCSlotOff   = 96
-	sbCRCOff       = 100
+	sbCRCOffV4     = 100
+	sbZoneChainOff = 100
+	sbZoneCountOff = 104
+	sbCRCOff       = 108
 )
+
+// sbCRCOffFor returns the superblock CRC trailer offset a given committed
+// format version uses. Both Open and Scrub must check the trailer where the
+// on-disk version put it, not where the current version would.
+func sbCRCOffFor(version uint32) int {
+	if version < 5 {
+		return sbCRCOffV4
+	}
+	return sbCRCOff
+}
 
 // tombstonePtr marks a deleted tuple in the tuple list.
 const tombstonePtr = uint64(1)<<ptrBits - 1
@@ -188,6 +210,18 @@ type Index struct {
 	ckptChain storage.ChainID
 	ckptEvery int64
 	ckpts     []checkpoint
+
+	// Stripe zone maps (v5; see zonemap.go). zoneChain is NoSegment for
+	// pre-v5 files until their upgrade Sync, and after zone damage was
+	// degraded around at open — both disable recording and pruning.
+	// zoneDiskRecs is the record count of the last committed writeZones,
+	// bounding the spans ZoneExtents reports; zoneOff is the runtime
+	// pruning toggle (recording continues regardless).
+	zoneChain    storage.ChainID
+	zones        []zoneRec
+	zacc         zoneAcc
+	zoneDiskRecs int
+	zoneOff      bool
 
 	// Format-v4 integrity: the committed on-disk version, the read-time
 	// mismatch policy, the ping-ponged checksum-map chains, and the
@@ -383,6 +417,8 @@ func (ix *Index) writeSuperblock(slot, crcSlot int) error {
 	binary.LittleEndian.PutUint32(b[sbCRCChainAOff:], uint32(ix.crcChainA))
 	binary.LittleEndian.PutUint32(b[sbCRCChainBOff:], uint32(ix.crcChainB))
 	b[sbCRCSlotOff] = byte(crcSlot)
+	binary.LittleEndian.PutUint32(b[sbZoneChainOff:], uint32(ix.zoneChain))
+	binary.LittleEndian.PutUint32(b[sbZoneCountOff:], uint32(len(ix.zones)))
 	binary.LittleEndian.PutUint32(b[sbCRCOff:], storage.Checksum(b[:sbCRCOff]))
 	return ix.f.WriteAt(b[:], 0)
 }
@@ -507,6 +543,25 @@ func (ix *Index) Sync() error {
 		}
 		ix.initIntegrity(true)
 	}
+	if ix.version < 5 && ix.ckptChain != storage.NoSegment && ix.zoneChain == storage.NoSegment {
+		// Upgrading a pre-v5 file: allocate the zone chain and backfill one
+		// explicit "unknown" record per already-sealed stripe, preserving the
+		// record-per-stripe alignment without having observed their values
+		// (a rebuild replaces them with real summaries). A crash before the
+		// superblock commit leaves the old superblock — which has no zone
+		// fields — untouched, and the fresh chain unreferenced. A v5 file
+		// whose committed superblock says NoSegment stays disabled: its zone
+		// records were dropped for damage, and resurrecting an empty chain
+		// here would break stripe alignment for the records already sealed
+		// in memory.
+		chain, err := ix.segs.Create()
+		if err != nil {
+			return err
+		}
+		ix.zoneChain = chain
+		ix.zones = make([]zoneRec, int64(len(ix.entries))/ix.ckptEvery)
+		ix.zacc.reset(int64(len(ix.entries))%ix.ckptEvery == 0)
+	}
 	if ix.crcChainA == storage.NoSegment {
 		chain, err := ix.segs.Create()
 		if err != nil {
@@ -525,6 +580,9 @@ func (ix *Index) Sync() error {
 		return err
 	}
 	if err := ix.writeCheckpoints(); err != nil {
+		return err
+	}
+	if err := ix.writeZones(); err != nil {
 		return err
 	}
 	crcTarget := 1 - ix.crcSlot
@@ -573,8 +631,10 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	}
 	if version >= 4 {
 		// Everything below trusts the superblock fields, so the trailer is
-		// checked before any of them are used.
-		if storage.Checksum(b[:sbCRCOff]) != binary.LittleEndian.Uint32(b[sbCRCOff:]) {
+		// checked before any of them are used. v4 trailers sit where v5 put
+		// the zone fields, so the offset is version-dependent.
+		crcAt := sbCRCOffFor(version)
+		if storage.Checksum(b[:crcAt]) != binary.LittleEndian.Uint32(b[crcAt:]) {
 			return nil, &storage.CorruptionError{File: "iva.idx", Offset: 0,
 				Segment: storage.NoCorruptSegment, Detail: "superblock checksum mismatch"}
 		}
@@ -612,6 +672,10 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 		imode:      opts.Integrity,
 		crcChainA:  storage.NoSegment,
 		crcChainB:  storage.NoSegment,
+		// The ChainID zero value is a valid id, so the zone chain must be
+		// disabled explicitly for files that predate it.
+		zoneChain: storage.NoSegment,
+		zoneOff:   opts.DisableZoneMaps,
 	}
 	if pb := int(b[21]); pb != ptrBits {
 		return nil, fmt.Errorf("core: index built with %d ptr bits, binary uses %d", pb, ptrBits)
@@ -688,6 +752,17 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	if err := ix.readCheckpoints(ckptCount); err != nil {
 		return nil, err
 	}
+	// v5 superblocks name the zone-map chain; the count is clamped and each
+	// record verified in readZones. The accumulator only starts valid when
+	// the tuple list ends exactly on a stripe boundary — otherwise the open
+	// stripe has entries this instance never observed and it seals unknown.
+	if version >= 5 {
+		ix.zoneChain = storage.ChainID(binary.LittleEndian.Uint32(b[sbZoneChainOff:]))
+		if err := ix.readZones(int(binary.LittleEndian.Uint32(b[sbZoneCountOff:]))); err != nil {
+			return nil, err
+		}
+	}
+	ix.zacc.reset(ix.zonesEnabled() && int64(len(ix.entries))%ix.ckptEvery == 0)
 	return ix, nil
 }
 

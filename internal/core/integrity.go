@@ -51,8 +51,10 @@ type integrityState struct {
 	// Sync rewrites the map).
 	mapDropped bool
 	// droppedCkpts counts checkpoint records discarded at open because their
-	// CRC trailer mismatched (DegradeReads only).
+	// CRC trailer mismatched (DegradeReads only); droppedZones likewise for
+	// zone-map records.
 	droppedCkpts int
+	droppedZones int
 }
 
 // chainCover names one chain whose committed prefix the checksum map covers.

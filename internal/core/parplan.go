@@ -56,6 +56,20 @@ func (b *distBar) lower(d float64) {
 	}
 }
 
+// barExceeded is the strict admission-bar prune rule, shared by the
+// per-tuple checks of both plans and the stripe zone gate so the three call
+// sites cannot drift: an estimate strictly above the bar belongs to a tuple
+// whose exact distance exceeds the max of some full pool — k strictly
+// smaller pairs exist, so it can never reach the answer, tid ties included.
+func barExceeded(bar *distBar, est float64) bool { return est > bar.load() }
+
+// admitsEst is the full per-tuple admission rule of Algorithm 1: the
+// candidate must beat the worker's local pool (lexicographically, via
+// AdmitsPair) and must not be strictly above the shared bar.
+func admitsEst(pool *topk.Pool, bar *distBar, tid model.TID, est float64) bool {
+	return pool.AdmitsPair(tid, est) && !barExceeded(bar, est)
+}
+
 // workerScratch holds the allocation-heavy per-worker state reused across
 // queries via a sync.Pool: readers, their seam-stitch buffers, and the
 // per-term diff slice, which dominate a worker's setup cost.
@@ -85,13 +99,15 @@ type stripeWorker struct {
 
 	scratch *workerScratch
 
-	stripes    int64 // stripes claimed from the shared counter
-	scanned    int64
-	fetched    int64
-	refineWall time.Duration
-	fetchWall  time.Duration
-	busyWall   time.Duration
-	err        error
+	stripes     int64 // stripes claimed from the shared counter
+	zoneChecked int64 // claimed stripes with a usable zone bound
+	zonePruned  int64 // of those, skipped whole without opening a cursor
+	scanned     int64
+	fetched     int64
+	refineWall  time.Duration
+	fetchWall   time.Duration
+	busyWall    time.Duration
+	err         error
 }
 
 // searchParallel executes the striped plan with par workers. Caller holds
@@ -155,8 +171,11 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 		sumRefine += sw.refineWall
 		sumFetch += sw.fetchWall
 		claimed += sw.stripes
+		stats.StripesZoneChecked += int(sw.zoneChecked)
+		stats.StripesZonePruned += int(sw.zonePruned)
 		stats.WorkerProfiles[w] = WorkerStats{
-			Stripes: sw.stripes, Scanned: sw.scanned, Fetched: sw.fetched, Busy: sw.busyWall,
+			Stripes: sw.stripes, ZonePruned: sw.zonePruned,
+			Scanned: sw.scanned, Fetched: sw.fetched, Busy: sw.busyWall,
 		}
 		for id := range sw.degSegs {
 			allDeg[id] = struct{}{}
@@ -235,6 +254,21 @@ func (sw *stripeWorker) run(nstripes int) {
 			return
 		}
 		sw.stripes++
+		// Zone gate: when the stripe's zone record proves even its best
+		// tuple cannot beat the current shared bar (or the stripe holds no
+		// live tuples), release the worker to the next claim without
+		// opening a cursor. The bar only tightens over time, so a bound
+		// computed now remains disqualifying for the rest of the query.
+		if cap(sw.scratch.diffs) < len(sw.terms) {
+			sw.scratch.diffs = make([]float64, len(sw.terms))
+		}
+		if est, empty, ok := sw.ix.zoneBound(s, sw.terms, sw.q, sw.m, sw.scratch.diffs[:len(sw.terms)]); ok {
+			sw.zoneChecked++
+			if empty || barExceeded(sw.bar, est) {
+				sw.zonePruned++
+				continue
+			}
+		}
 		if err := sw.scanStripe(s); err != nil {
 			sw.err = err
 			sw.abort.Store(true)
@@ -331,10 +365,10 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 			diffs[i] = d
 		}
 		estDist := m.Distance(q.Terms, diffs)
-		// Local bar first (the sequential admission rule on this worker's
+		// Local pool first (the sequential admission rule on this worker's
 		// subset), then the shared bar — strictly, so a distance tie can
 		// still be resolved by tid at the merge.
-		if !pool.AdmitsPair(tid, estDist) || estDist > sw.bar.load() {
+		if !admitsEst(pool, sw.bar, tid, estDist) {
 			if len(sw.terms) > 0 {
 				argmax := 0
 				for i := 1; i < len(diffs); i++ {

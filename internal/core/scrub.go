@@ -30,6 +30,13 @@ type ScrubReport struct {
 	CorruptCheckpoints int
 	DroppedCheckpoints int
 
+	// Zones / CorruptZones / DroppedZones are the same sweep over the
+	// committed zone-map records (v5). Zone damage only ever disables
+	// stripe pruning, never changes answers, but it is still damage.
+	Zones        int
+	CorruptZones int
+	DroppedZones int
+
 	// SuperblockOK reports the superblock trailer check; MapDropped that the
 	// committed checksum map was unreadable at open (or is now) and segment
 	// coverage is degraded until the next Sync.
@@ -45,8 +52,8 @@ type ScrubReport struct {
 // set so callers can surface the reduced assurance.
 func (r *ScrubReport) Clean() bool {
 	return r.CorruptSegments == 0 && r.CorruptCheckpoints == 0 &&
-		r.DroppedCheckpoints == 0 && r.SuperblockOK && !r.MapDropped &&
-		len(r.Problems) == 0
+		r.DroppedCheckpoints == 0 && r.CorruptZones == 0 && r.DroppedZones == 0 &&
+		r.SuperblockOK && !r.MapDropped && len(r.Problems) == 0
 }
 
 func (r *ScrubReport) addProblem(format string, args ...interface{}) {
@@ -79,7 +86,10 @@ func (ix *Index) ScrubYield(yield func()) (*ScrubReport, error) {
 	if err := ix.f.ReadAt(b[:], 0); err != nil {
 		return nil, err
 	}
-	if storage.Checksum(b[:sbCRCOff]) != binary.LittleEndian.Uint32(b[sbCRCOff:]) {
+	// The committed trailer sits where the committed version put it (v4
+	// trailers predate the v5 zone fields).
+	crcAt := sbCRCOffFor(ix.version)
+	if storage.Checksum(b[:crcAt]) != binary.LittleEndian.Uint32(b[crcAt:]) {
 		rep.SuperblockOK = false
 		rep.addProblem("superblock checksum mismatch")
 	}
@@ -144,6 +154,26 @@ func (ix *Index) ScrubYield(yield func()) (*ScrubReport, error) {
 			rep.CorruptCheckpoints = bad
 			if bad > 0 {
 				rep.addProblem("%d of %d checkpoint records failed verification", bad, count)
+			}
+		}
+	}
+
+	// Committed zone-map records, count from the superblock (v5).
+	it.mu.Lock()
+	rep.DroppedZones = it.droppedZones
+	it.mu.Unlock()
+	if rep.DroppedZones > 0 {
+		rep.addProblem("%d zone-map records dropped at open", rep.DroppedZones)
+	}
+	if ix.version >= 5 && ix.zonesEnabled() {
+		count := int(binary.LittleEndian.Uint32(b[sbZoneCountOff:]))
+		if n, bad, err := ix.scrubZones(count, yield); err != nil {
+			return nil, err
+		} else {
+			rep.Zones = n
+			rep.CorruptZones = bad
+			if bad > 0 {
+				rep.addProblem("%d of %d zone-map records failed verification", bad, count)
 			}
 		}
 	}

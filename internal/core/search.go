@@ -42,6 +42,15 @@ type SearchStats struct {
 	// the plan aborted early (cancellation or an error).
 	StripesTotal   int
 	StripesSkipped int
+	// StripesZoneChecked counts stripes whose zone record produced a usable
+	// lower bound at claim time; StripesZonePruned of them were skipped
+	// without opening a cursor because that proven minimum was strictly
+	// above the admission bar (or the stripe had no live tuples). Pruning
+	// never changes results. Both plans report these; the sequential plan
+	// keeps StripesTotal = 1 (its historical meaning) and counts its
+	// internal stripe boundaries here instead.
+	StripesZoneChecked int
+	StripesZonePruned  int
 	// WorkerProfiles breaks the filter work down per worker: stripes
 	// claimed, tuples scanned, candidates fetched, and busy wall time. One
 	// entry for the sequential plan.
@@ -54,10 +63,11 @@ type SearchStats struct {
 
 // WorkerStats is one filter worker's share of a query (SearchStats).
 type WorkerStats struct {
-	Stripes int64 // stripes claimed from the shared counter
-	Scanned int64
-	Fetched int64
-	Busy    time.Duration
+	Stripes    int64 // stripes claimed from the shared counter
+	ZonePruned int64 // claimed stripes skipped whole by their zone bound
+	Scanned    int64
+	Fetched    int64
+	Busy       time.Duration
 }
 
 // Total returns the query's full wall time.
@@ -275,12 +285,16 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 	defer func() { stats.DegradedSegments = len(degSegs) }()
 	var rds readerSet
 	defer rds.close()
+	// Term readers are kept by index so a zone-pruned stripe can reseat the
+	// cursors from the next checkpoint instead of reopening readers.
+	termRds := make([]*storage.ChainBitReader, len(terms))
 	for i := range terms {
 		if terms[i].st == nil {
 			continue
 		}
 		st := terms[i].st
-		cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
+		termRds[i] = rds.open(ix, st.chain, st.bitLen)
+		cur, err := vector.NewCursor(st.layout, termRds[i])
 		if err != nil {
 			if ix.degradeTerm(&terms[i], err, degSegs) {
 				continue
@@ -292,12 +306,46 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 	}
 
 	pool := topk.New(q.K)
+	// The local bar mirrors the parallel plan's shared bar on this single
+	// worker: +Inf until the pool fills, then the pool's k-th (max) exact
+	// distance. Between inserts it equals pool.MaxDist(), so gating on it is
+	// the same admission rule AdmitsPair already applies — the bar exists so
+	// the stripe zone gate and the per-tuple check share one prune rule.
+	var bar distBar
+	bar.init()
 	diffs := make([]float64, len(terms))
 	var refineWall, fetchWall time.Duration
 	var fetched int64
 
 	tr := rds.open(ix, ix.tupleChain, ix.tupleBits)
-	for pos := int64(0); pos < int64(len(ix.entries)); pos++ {
+	n := int64(len(ix.entries))
+	for pos := int64(0); pos < n; {
+		if pos%ix.ckptEvery == 0 {
+			// Stripe boundary: if the stripe's zone record proves no tuple
+			// in it can beat the bar, skip it whole. The skip needs a resume
+			// point — the next stripe's checkpoint — unless the stripe is
+			// the last, where the scan just ends. A sealed stripe is always
+			// full, so the zone record existing implies pos+ckptEvery ≤ n.
+			s := pos / ix.ckptEvery
+			if est, empty, ok := ix.zoneBound(s, terms, q, m, diffs); ok {
+				stats.StripesZoneChecked++
+				if empty || barExceeded(&bar, est) {
+					next := pos + ix.ckptEvery
+					if next >= n {
+						stats.StripesZonePruned++
+						break
+					}
+					if ix.checkpointsEnabled() && s+1 < int64(len(ix.ckpts)) {
+						if err := ix.seqReseat(terms, termRds, tr, next, ix.ckpts[s+1], degSegs); err != nil {
+							return nil, stats, err
+						}
+						stats.StripesZonePruned++
+						pos = next
+						continue
+					}
+				}
+			}
+		}
 		if pos&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, stats, err
@@ -312,13 +360,15 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 			return nil, stats, err
 		}
 		if ptrBitsVal == tombstonePtr {
+			pos++
 			continue // deleted tuple: no filtering, cursors skip in passing
 		}
 		tid := model.TID(tidBits)
+		pos++
 		stats.Scanned++
 
 		for i := range terms {
-			d, ndf, err := terms[i].boundWithPolicy(ix, m, tid, pos, degSegs)
+			d, ndf, err := terms[i].boundWithPolicy(ix, m, tid, pos-1, degSegs)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -330,7 +380,7 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 			diffs[i] = d
 		}
 		estDist := m.Distance(q.Terms, diffs)
-		if !pool.AdmitsPair(tid, estDist) {
+		if !admitsEst(pool, &bar, tid, estDist) {
 			// Credit the prune to the term with the largest lower bound:
 			// the combiners are monotone, so that term alone pushed the
 			// estimate hardest toward the pool bar.
@@ -359,6 +409,9 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 		fetched++
 		actual := m.TupleDistance(q, tp)
 		pool.Insert(tid, actual)
+		if pool.Full() {
+			bar.lower(pool.MaxDist())
+		}
 		refineWall += time.Since(rStart)
 	}
 
@@ -373,11 +426,41 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 	// refine phase only the table file.
 	stats.FilterIO = idxIO.Snapshot().Sub(startIdx)
 	stats.RefineIO = tblIO.Snapshot().Sub(startTbl)
-	stats.WorkerProfiles = []WorkerStats{{Stripes: 1, Scanned: stats.Scanned, Fetched: fetched, Busy: total}}
+	stats.WorkerProfiles = []WorkerStats{{
+		Stripes: 1, ZonePruned: int64(stats.StripesZonePruned),
+		Scanned: stats.Scanned, Fetched: fetched, Busy: total,
+	}}
 	if parent != nil {
 		ix.traceSearch(parent, terms, stats, fetched, fetchWall, 1, 1)
 	}
 	return results, stats, nil
+}
+
+// seqReseat advances the sequential scan past a zone-pruned stripe: the
+// tuple reader seeks to position next, and every usable term cursor reopens
+// on its existing reader at ck — the checkpoint of the stripe starting at
+// next. Terms already degraded stay degraded (sequential semantics: a
+// degraded term contributes a zero bound for the rest of the scan).
+func (ix *Index) seqReseat(terms []termState, termRds []*storage.ChainBitReader, tr *storage.ChainBitReader, next int64, ck checkpoint, degSegs map[uint32]struct{}) error {
+	if err := tr.SeekBit(next * int64(ix.elemBits())); err != nil {
+		return err
+	}
+	for i := range terms {
+		ts := &terms[i]
+		if ts.st == nil || ts.cursor == nil || ts.degraded {
+			continue
+		}
+		cur, err := vector.NewCursorAt(ts.st.layout, termRds[i], ck.attrOffset(int(ts.term.Attr)), next)
+		if err != nil {
+			if ix.degradeTerm(ts, err, degSegs) {
+				continue
+			}
+			return err
+		}
+		cur.EnableScratch()
+		ts.cursor = cur
+	}
+	return nil
 }
 
 // traceSearch attaches the filter/refine/fetch span hierarchy for one

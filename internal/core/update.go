@@ -123,6 +123,7 @@ func (ix *Index) Insert(values map[model.AttrID]model.Value) (model.TID, error) 
 	}
 	ix.entries = append(ix.entries, tupleEntry{tid: tid, ptr: ptr})
 	ix.posByTID[tid] = pos
+	ix.zoneObserve(values)
 	for _, pw := range writes {
 		st := &ix.attrs[pw.attr]
 		if st.bitLen, err = storage.AppendBits(ix.segs, st.chain, st.bitLen, pw.w.Bytes(), pw.w.Len()); err != nil {
@@ -195,6 +196,7 @@ func (ix *Index) Delete(tid model.TID) error {
 		return err
 	}
 	ix.entries[pos].deleted = true
+	ix.zoneNoteDelete(pos)
 	delete(ix.posByTID, tid)
 	ix.deleted++
 	return nil

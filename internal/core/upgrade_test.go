@@ -157,3 +157,179 @@ func TestOpenV2Upgrade(t *testing.T) {
 	}
 	checkSearch("v3 reopen", ix3)
 }
+
+// TestOpenV4Upgrade walks the in-place v4→v5 upgrade. A v4 superblock is
+// synthesized by downgrading a freshly built v5 file: the version word drops
+// to 4, the zone fields (zoneChain, zoneCount) vanish, and the CRC trailer
+// moves back to its v4 offset — exactly the image a v4 writer would have
+// committed (the now-unreferenced zone chain just leaks, like any upgrade
+// leftovers, until a rebuild). The file must open with zone maps disabled,
+// answer identically, then upgrade to v5 on its first Sync — backfilling
+// explicit "unknown" records for the already-sealed stripes so record s
+// keeps describing stripe s — and start pruning again as new stripes seal.
+func TestOpenV4Upgrade(t *testing.T) {
+	pool := storage.NewPool(0, 1<<20)
+	tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+	tblF := storage.NewFile(pool, tblDev)
+	idxF := storage.NewFile(pool, idxDev)
+	cat := table.NewCatalog()
+	num, err := cat.AddAttr("price", model.KindNumeric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := cat.AddAttr("title", model.KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.New(tblF, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		vals := map[model.AttrID]model.Value{num: model.Num(float64(i * 3))}
+		if i%2 == 0 {
+			vals[txt] = model.Text(fmt.Sprintf("row-%d", i), "upgrade")
+		}
+		if _, _, err := tbl.Append(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &model.Query{K: 4}
+	q.NumTerm(num, 30)
+	want, _, err := ix.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblF.Close()
+	idxF.Close()
+
+	// Downgrade the superblock: version 4, no zone fields, CRC at the v4
+	// offset covering [0, sbCRCOffV4).
+	sb := make([]byte, superblockSize)
+	if _, err := idxDev.ReadAt(sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(sb[4:], 4)
+	for i := sbCRCOffV4; i < sbCRCOff+4; i++ {
+		sb[i] = 0
+	}
+	binary.LittleEndian.PutUint32(sb[sbCRCOffV4:], storage.Checksum(sb[:sbCRCOffV4]))
+	if _, err := idxDev.WriteAt(sb, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func(stage string) (*table.Table, *Index, func()) {
+		p := storage.NewPool(0, 1<<20)
+		tf := storage.NewFile(p, tblDev)
+		xf := storage.NewFile(p, idxDev)
+		tb, err := table.Open(tf, cat)
+		if err != nil {
+			t.Fatalf("%s: table open: %v", stage, err)
+		}
+		x, err := Open(xf, tb, Options{})
+		if err != nil {
+			t.Fatalf("%s: index open: %v", stage, err)
+		}
+		return tb, x, func() { tf.Close(); xf.Close() }
+	}
+	checkSearch := func(stage string, x *Index, want []model.Result) {
+		t.Helper()
+		got, _, err := x.Search(q, nil)
+		if err != nil {
+			t.Fatalf("%s: search: %v", stage, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d = %+v, want %+v", stage, i, got[i], want[i])
+			}
+		}
+		rep, err := x.Check()
+		if err != nil {
+			t.Fatalf("%s: check: %v", stage, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s: check problems: %v", stage, rep.Problems)
+		}
+	}
+
+	tb2, ix2, close2 := reopen("v4 open")
+	if ix2.version != 4 {
+		t.Fatalf("v4 open: version %d, want 4", ix2.version)
+	}
+	if ix2.zonesEnabled() || ix2.ZoneMapsOn() {
+		t.Fatal("v4 open: zone maps unexpectedly enabled")
+	}
+	checkSearch("v4 open", ix2, want)
+
+	// First write + Sync performs the upgrade: the zone chain is allocated
+	// and the 6 already-sealed stripes backfill as unknown records.
+	if _, err := ix2.Insert(map[model.AttrID]model.Value{
+		num: model.Num(1000), txt: model.Text("post-upgrade", "upgrade"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !ix2.zonesEnabled() {
+		t.Fatal("upgrade sync did not allocate the zone chain")
+	}
+	if known, sealed := ix2.ZoneMapCoverage(); known != 0 || sealed != 6 {
+		t.Fatalf("post-upgrade coverage %d/%d, want 0/6 (backfilled unknowns)", known, sealed)
+	}
+	checkSearch("post-upgrade", ix2, want)
+	close2()
+
+	_, ix3, close3 := reopen("v5 reopen")
+	if ix3.version != indexVersion {
+		t.Fatalf("v5 reopen: version %d, want %d", ix3.version, indexVersion)
+	}
+	if known, sealed := ix3.ZoneMapCoverage(); known != 0 || sealed != 6 {
+		t.Fatalf("v5 reopen coverage %d/%d, want 0/6", known, sealed)
+	}
+	checkSearch("v5 reopen", ix3, want)
+
+	// New stripes sealed after the upgrade carry real summaries: coverage
+	// grows, and pruning engages on the fresh data.
+	for i := 0; i < 8; i++ {
+		if _, err := ix3.Insert(map[model.AttrID]model.Value{num: model.Num(float64(2000 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix3.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	known, sealed := ix3.ZoneMapCoverage()
+	if known == 0 || sealed <= 6 {
+		t.Fatalf("post-upgrade seals not covered: %d/%d", known, sealed)
+	}
+	wantWide, _, err := ix3.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix3.SetZoneMaps(false)
+	offWide, _, err := ix3.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix3.SetZoneMaps(true)
+	for i := range wantWide {
+		if offWide[i] != wantWide[i] {
+			t.Fatalf("zones on/off diverged post-upgrade: %+v vs %+v", wantWide[i], offWide[i])
+		}
+	}
+	close3()
+}

@@ -33,8 +33,11 @@ func TestDifferential(t *testing.T) {
 	if res.Searches == 0 || res.Deletes == 0 || res.Reopens == 0 || res.Rebuilds == 0 {
 		t.Fatalf("schedule did not exercise all op kinds: %+v", res)
 	}
-	if res.CorruptionChecks == 0 {
-		t.Fatalf("run skipped the seeded corruption sweep: %+v", res)
+	if res.CorruptionChecks == 0 || res.ZoneCorruptionChecks == 0 {
+		t.Fatalf("run skipped a seeded corruption sweep: %+v", res)
+	}
+	if res.ZonePrunes == 0 {
+		t.Fatalf("zone-map pruning never engaged during the soak: %+v", res)
 	}
 }
 

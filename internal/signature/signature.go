@@ -277,3 +277,25 @@ func (q *QueryString) Hits(sig Sig) int {
 func (q *QueryString) Est(sig Sig) float64 {
 	return gram.EstFromCommon(len(q.str), sig.Len, q.Hits(sig), q.codec.n)
 }
+
+// MinEstLenRange returns the smallest value Est can produce against any
+// signature whose data-string length lies in [minLen, maxLen]. Hits is at
+// most the query's total gram count regardless of the signature bits, and
+// EstFromCommon grows with max(|sq|, |sd|), so the best case assumes every
+// query gram hits a string of the length closest to |sq| the range allows.
+// Stripe zone maps use this as a per-stripe lower bound: it never exceeds
+// Est for any signature actually stored in the stripe.
+func (q *QueryString) MinEstLenRange(minLen, maxLen int) float64 {
+	total := 0
+	for _, gc := range q.grams {
+		total += gc.count
+	}
+	ld := len(q.str)
+	if ld < minLen {
+		ld = minLen
+	}
+	if ld > maxLen {
+		ld = maxLen
+	}
+	return gram.EstFromCommon(len(q.str), ld, total, q.codec.n)
+}

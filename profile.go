@@ -18,9 +18,12 @@ import (
 // a single worker covering everything.
 type WorkerProfile struct {
 	Stripes int64
-	Scanned int64
-	Fetched int64
-	Busy    time.Duration
+	// ZonePruned is how many of the claimed stripes the worker skipped on
+	// their zone-map lower bound without opening a cursor.
+	ZonePruned int64
+	Scanned    int64
+	Fetched    int64
+	Busy       time.Duration
 }
 
 // PhaseProfile decomposes one query's wall time into the paper's phases —
@@ -35,9 +38,15 @@ type PhaseProfile struct {
 	MergeTime  time.Duration
 	// StripesTotal is the number of stripes the plan covered (1 for the
 	// sequential plan); StripesSkipped counts stripes never claimed because
-	// the plan aborted early.
-	StripesTotal   int
-	StripesSkipped int
+	// the plan aborted early. StripesZoneChecked counts claimed stripes
+	// whose zone-map record was consulted, and StripesZonePruned the subset
+	// skipped outright because their best-possible estimated distance could
+	// not beat the top-k bar — zone pruning, distinct from the bar-raced
+	// StripesSkipped.
+	StripesTotal       int
+	StripesSkipped     int
+	StripesZoneChecked int
+	StripesZonePruned  int
 	// Workers holds each filter worker's share. On a Sharded store the
 	// slices of all shards are concatenated in shard order.
 	Workers []WorkerProfile
@@ -131,6 +140,9 @@ func (p *QueryProfile) Render() string {
 		if ph.StripesSkipped > 0 {
 			fmt.Fprintf(&b, " (skipped %d)", ph.StripesSkipped)
 		}
+		if ph.StripesZoneChecked > 0 {
+			fmt.Fprintf(&b, " zone_checked=%d zone_pruned=%d", ph.StripesZoneChecked, ph.StripesZonePruned)
+		}
 		b.WriteByte('\n')
 		fmt.Fprintf(&b, "  Refine: %s  fetched=%d\n", fmtMS(ph.RefineTime), p.Stats.TableAccesses)
 		fmt.Fprintf(&b, "  Merge:  %s\n", fmtMS(ph.MergeTime))
@@ -148,8 +160,11 @@ func (p *QueryProfile) Render() string {
 	b.WriteByte('\n')
 	if ph != nil {
 		for i, w := range ph.Workers {
-			fmt.Fprintf(&b, "  Worker %d: stripes=%d scanned=%d fetched=%d busy=%s\n",
-				i, w.Stripes, w.Scanned, w.Fetched, fmtMS(w.Busy))
+			fmt.Fprintf(&b, "  Worker %d: stripes=%d", i, w.Stripes)
+			if w.ZonePruned > 0 {
+				fmt.Fprintf(&b, " zone_pruned=%d", w.ZonePruned)
+			}
+			fmt.Fprintf(&b, " scanned=%d fetched=%d busy=%s\n", w.Scanned, w.Fetched, fmtMS(w.Busy))
 		}
 	}
 	for i, sh := range p.Stats.Shards {

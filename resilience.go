@@ -65,6 +65,14 @@ type ScrubReport struct {
 	CorruptCheckpoints int
 	DroppedCheckpoints int
 
+	// Zone-map record sweep (format v5): committed records verified, records
+	// failing their trailer, and records already dropped when the index was
+	// opened. Zone damage only disables stripe pruning — answers never
+	// change — but it is still damage worth repairing with a rebuild.
+	Zones        int
+	CorruptZones int
+	DroppedZones int
+
 	// SuperblockOK reports the index superblock trailer check; MapDropped
 	// that the committed checksum map itself was unreadable and segment
 	// coverage is degraded until the next Sync.
@@ -95,7 +103,8 @@ type ScrubReport struct {
 // iva_format_legacy gauge) surface the reduced assurance.
 func (r *ScrubReport) Clean() bool {
 	return r.CorruptIndexSegments == 0 && r.CorruptCheckpoints == 0 &&
-		r.DroppedCheckpoints == 0 && r.SuperblockOK && !r.MapDropped &&
+		r.DroppedCheckpoints == 0 && r.CorruptZones == 0 && r.DroppedZones == 0 &&
+		r.SuperblockOK && !r.MapDropped &&
 		r.CorruptTable == 0 && r.CatalogOK
 }
 
@@ -128,6 +137,9 @@ func (s *Store) scrubYield(yield func()) (*ScrubReport, error) {
 		Checkpoints:          ixRep.Checkpoints,
 		CorruptCheckpoints:   ixRep.CorruptCheckpoints,
 		DroppedCheckpoints:   ixRep.DroppedCheckpoints,
+		Zones:                ixRep.Zones,
+		CorruptZones:         ixRep.CorruptZones,
+		DroppedZones:         ixRep.DroppedZones,
 		SuperblockOK:         ixRep.SuperblockOK,
 		MapDropped:           ixRep.MapDropped,
 		CatalogOK:            true,
@@ -185,6 +197,9 @@ func (s *Sharded) Scrub() (*ScrubReport, error) {
 		agg.Checkpoints += r.Checkpoints
 		agg.CorruptCheckpoints += r.CorruptCheckpoints
 		agg.DroppedCheckpoints += r.DroppedCheckpoints
+		agg.Zones += r.Zones
+		agg.CorruptZones += r.CorruptZones
+		agg.DroppedZones += r.DroppedZones
 		agg.SuperblockOK = agg.SuperblockOK && r.SuperblockOK
 		agg.MapDropped = agg.MapDropped || r.MapDropped
 		agg.TableRecords += r.TableRecords

@@ -232,6 +232,8 @@ func (s *Sharded) searchContext(ctx context.Context, q *Query) ([]Result, QueryS
 		if p := o.stats.Phase; p != nil {
 			agg.Phase.StripesTotal += p.StripesTotal
 			agg.Phase.StripesSkipped += p.StripesSkipped
+			agg.Phase.StripesZoneChecked += p.StripesZoneChecked
+			agg.Phase.StripesZonePruned += p.StripesZonePruned
 			agg.Phase.Workers = append(agg.Phase.Workers, p.Workers...)
 			if p.FilterTime > agg.Phase.FilterTime {
 				agg.Phase.FilterTime = p.FilterTime
@@ -294,7 +296,7 @@ func (s *Sharded) SlowQueryCount() int64 { return s.slowLog.Total() }
 // Stats sums per-shard statistics.
 func (s *Sharded) Stats() StoreStats {
 	var agg StoreStats
-	for _, st := range s.shards {
+	for i, st := range s.shards {
 		ss := st.Stats()
 		agg.Tuples += ss.Tuples
 		agg.Deleted += ss.Deleted
@@ -305,8 +307,27 @@ func (s *Sharded) Stats() StoreStats {
 		if ss.Attributes > agg.Attributes {
 			agg.Attributes = ss.Attributes
 		}
+		agg.ZoneKnown += ss.ZoneKnown
+		agg.ZoneSealed += ss.ZoneSealed
+		agg.ZoneDropped += ss.ZoneDropped
+		agg.ZoneChecked += ss.ZoneChecked
+		agg.ZonePruned += ss.ZonePruned
+		// Pruning is per-shard; report "on" only when every shard has it.
+		if i == 0 {
+			agg.ZoneMapsOn = ss.ZoneMapsOn
+		} else {
+			agg.ZoneMapsOn = agg.ZoneMapsOn && ss.ZoneMapsOn
+		}
 	}
 	return agg
+}
+
+// SetZoneMaps toggles stripe zone-map pruning on every shard (see
+// Store.SetZoneMaps). Results are identical either way.
+func (s *Sharded) SetZoneMaps(enabled bool) {
+	for _, st := range s.shards {
+		st.SetZoneMaps(enabled)
+	}
 }
 
 // Sync checkpoints every shard.

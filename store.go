@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sparsewide/iva/internal/core"
@@ -92,6 +93,12 @@ type Options struct {
 	// returns context.DeadlineExceeded. Zero disables the bound;
 	// SearchContext composes with it (the earlier deadline wins).
 	QueryTimeout time.Duration
+	// DisableZoneMaps turns off stripe zone-map pruning (format v5): the
+	// per-stripe summaries are still maintained and persisted, but searches
+	// no longer skip stripes whose best-possible distance cannot beat the
+	// top-k bar. Results are identical either way — the switch exists for
+	// A/B measurement and as an escape hatch. See also Store.SetZoneMaps.
+	DisableZoneMaps bool
 	// TraceRingSize caps the sampled in-process trace ring served by
 	// WriteTraces (/debug/trace): one query trace in every
 	// TraceSampleEvery is retained, plus every slow query. 0 defaults to
@@ -168,6 +175,12 @@ type Store struct {
 	ring    *obs.TraceRing
 	disk    storage.DiskModel
 	om      storeMetrics
+
+	// Lifetime zone-map pruning tallies. They live on the Store, not the
+	// Index, because rebuilds swap the Index out from under them; atomics
+	// because searches run concurrently under the shared engine lock.
+	zoneChecked atomic.Int64 // stripes whose zone record was consulted
+	zonePruned  atomic.Int64 // stripes skipped outright on the zone bound
 }
 
 // storeMetrics caches the store's registry handles so the hot path never
@@ -184,6 +197,8 @@ type storeMetrics struct {
 	accesses    *obs.Counter
 	corruptSegs *obs.Counter
 	devRetries  *obs.Counter
+	zoneChecked *obs.Counter
+	zonePruned  *obs.Counter
 	queryDur    *obs.Histogram
 	filterDur   *obs.Histogram
 	refineDur   *obs.Histogram
@@ -231,6 +246,8 @@ func (s *Store) initObs() {
 		accesses:    s.reg.Counter("iva_query_table_accesses_total", "Random table-file accesses across all queries.", labels),
 		corruptSegs: s.reg.Counter("iva_corrupt_segments_total", "Corrupt vector-list segments queries degraded past.", labels),
 		devRetries:  s.reg.Counter("iva_device_retries_total", "Device operations retried after transient kernel errors.", labels),
+		zoneChecked: s.reg.Counter("iva_zonemap_stripes_checked_total", "Stripes whose zone-map record was consulted at claim time.", labels),
+		zonePruned:  s.reg.Counter("iva_zonemap_stripes_pruned_total", "Stripes skipped outright because their zone lower bound could not beat the top-k bar.", labels),
 		queryDur:    s.reg.Histogram("iva_query_duration_seconds", "End-to-end search latency.", labels, nil),
 		filterDur: s.reg.Histogram("iva_query_phase_duration_seconds", "Per-phase search latency.",
 			obs.With(labels, "phase", "filter"), nil),
@@ -286,6 +303,20 @@ func (s *Store) initObs() {
 		defer s.engineMu.RUnlock()
 		return float64(s.ix.FormatVersion())
 	})
+	s.reg.GaugeFunc("iva_zonemap_coverage_ratio", "Fraction of sealed stripes with a known zone-map record (0 when zone maps are absent or disabled on disk).", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		known, sealed := s.ix.ZoneMapCoverage()
+		if sealed == 0 {
+			return 0
+		}
+		return float64(known) / float64(sealed)
+	})
+	s.reg.GaugeFunc("iva_zonemap_dropped_records", "Zone-map records dropped at open after failing verification (DegradeReads).", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
+		return float64(s.ix.DroppedZones())
+	})
 }
 
 // registerBuildInfo publishes the binary's build metadata as a constant-1
@@ -327,6 +358,7 @@ func (s *Store) coreOptions() core.Options {
 		Alpha: s.opts.Alpha, N: s.opts.N, TIDHeadroom: s.tidHeadroom,
 		SearchParallelism: s.opts.SearchParallelism,
 		Integrity:         core.IntegrityMode(s.opts.Integrity),
+		DisableZoneMaps:   s.opts.DisableZoneMaps,
 	}
 	if len(s.opts.AlphaPerAttr) > 0 {
 		opts.AlphaOverride = make(map[model.AttrID]float64, len(s.opts.AlphaPerAttr))
@@ -770,7 +802,7 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 	io := st.FilterIO.Add(st.RefineIO)
 	workers := make([]WorkerProfile, len(st.WorkerProfiles))
 	for i, w := range st.WorkerProfiles {
-		workers[i] = WorkerProfile{Stripes: w.Stripes, Scanned: w.Scanned, Fetched: w.Fetched, Busy: w.Busy}
+		workers[i] = WorkerProfile{Stripes: w.Stripes, ZonePruned: w.ZonePruned, Scanned: w.Scanned, Fetched: w.Fetched, Busy: w.Busy}
 	}
 	var hitRatio float64
 	if total := io.CacheHits + io.PhysReads; total > 0 {
@@ -788,17 +820,27 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 		DegradedSegments: st.DegradedSegments,
 		TraceID:          sp.TraceID(),
 		Phase: &PhaseProfile{
-			FilterTime:     st.FilterWall,
-			RefineTime:     st.RefineWall,
-			MergeTime:      st.MergeWall,
-			StripesTotal:   st.StripesTotal,
-			StripesSkipped: st.StripesSkipped,
-			Workers:        workers,
-			PoolHitRatio:   hitRatio,
+			FilterTime:         st.FilterWall,
+			RefineTime:         st.RefineWall,
+			MergeTime:          st.MergeWall,
+			StripesTotal:       st.StripesTotal,
+			StripesSkipped:     st.StripesSkipped,
+			StripesZoneChecked: st.StripesZoneChecked,
+			StripesZonePruned:  st.StripesZonePruned,
+			Workers:            workers,
+			PoolHitRatio:       hitRatio,
 		},
 	}
 	if st.DegradedSegments > 0 {
 		s.om.corruptSegs.Add(int64(st.DegradedSegments))
+	}
+	if st.StripesZoneChecked > 0 {
+		s.zoneChecked.Add(int64(st.StripesZoneChecked))
+		s.om.zoneChecked.Add(int64(st.StripesZoneChecked))
+	}
+	if st.StripesZonePruned > 0 {
+		s.zonePruned.Add(int64(st.StripesZonePruned))
+		s.om.zonePruned.Add(int64(st.StripesZonePruned))
 	}
 	s.om.queries.Inc()
 	s.om.scanned.Add(st.Scanned)
@@ -951,6 +993,18 @@ type StoreStats struct {
 	IndexBytes int64
 	Rebuilds   int64
 	IO         IOStats // buffer pool counters over the store's lifetime
+
+	// Zone-map shape and lifetime pruning effectiveness. ZoneSealed is the
+	// number of full stripes the index holds; ZoneKnown of them carry a
+	// usable zone record (coverage = known/sealed). ZoneChecked/ZonePruned
+	// are lifetime stripe-claim tallies across every query — their ratio is
+	// the store's observed prune rate.
+	ZoneKnown   int
+	ZoneSealed  int
+	ZoneDropped int
+	ZoneChecked int64
+	ZonePruned  int64
+	ZoneMapsOn  bool
 }
 
 // Stats returns current store statistics.
@@ -958,13 +1012,20 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := s.pool.Stats().Snapshot()
+	known, sealed := s.ix.ZoneMapCoverage()
 	return StoreStats{
-		Tuples:     s.tbl.Live(),
-		Deleted:    s.ix.Deleted(),
-		Attributes: s.cat.NumAttrs(),
-		TableBytes: s.tbl.Bytes(),
-		IndexBytes: s.ix.SizeBytes(),
-		Rebuilds:   s.rebuilds,
+		Tuples:      s.tbl.Live(),
+		Deleted:     s.ix.Deleted(),
+		Attributes:  s.cat.NumAttrs(),
+		TableBytes:  s.tbl.Bytes(),
+		IndexBytes:  s.ix.SizeBytes(),
+		Rebuilds:    s.rebuilds,
+		ZoneKnown:   known,
+		ZoneSealed:  sealed,
+		ZoneDropped: s.ix.DroppedZones(),
+		ZoneChecked: s.zoneChecked.Load(),
+		ZonePruned:  s.zonePruned.Load(),
+		ZoneMapsOn:  s.ix.ZoneMapsOn(),
 		IO: IOStats{
 			PhysReads:  snap.PhysReads,
 			PhysWrites: snap.PhysWrites,
@@ -1143,6 +1204,27 @@ func (s *Store) Attrs() []AttrInfo {
 		})
 	}
 	return out
+}
+
+// SetZoneMaps toggles stripe zone-map pruning at runtime (the live
+// counterpart of Options.DisableZoneMaps). The per-stripe summaries keep
+// being maintained either way; only their use at stripe-claim time changes,
+// so flipping the switch never affects results. The setting sticks across
+// rebuilds.
+func (s *Store) SetZoneMaps(enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.DisableZoneMaps = !enabled
+	s.engineMu.RLock()
+	s.ix.SetZoneMaps(enabled)
+	s.engineMu.RUnlock()
+}
+
+// ZoneMapsOn reports whether stripe zone-map pruning is currently in effect.
+func (s *Store) ZoneMapsOn() bool {
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
+	return s.ix.ZoneMapsOn()
 }
 
 // Sync checkpoints all files (catalog, table header, index metadata).
