@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ivabench [-exp name|all] [-tuples N] [-seed S] [-parallelism P] [-markdown] [-list] [-metrics FILE]
+//	ivabench -serve [-serve.out BENCH_serve.json] [-serve.ms 1000]   # HTTP service load test
 //
 // Examples:
 //
@@ -38,8 +39,40 @@ func main() {
 		poolMS   = flag.Int("pool.ms", 300, "measured milliseconds per -pool point")
 		zonemap  = flag.Bool("zonemap", false, "run the stripe zone-map selectivity sweep instead of the paper experiments")
 		zoneOut  = flag.String("zonemap.out", "BENCH_zonemap.json", "output file for -zonemap")
+		serveB   = flag.Bool("serve", false, "run the HTTP query-service traffic benchmark instead of the paper experiments")
+		serveOut = flag.String("serve.out", "BENCH_serve.json", "output file for -serve")
+		serveMS  = flag.Int("serve.ms", 1000, "measured milliseconds per -serve point")
 	)
 	flag.Parse()
+
+	if *serveB {
+		r, err := bench.RunServeBench(*tuples, *seed, time.Duration(*serveMS)*time.Millisecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: serve bench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := r.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: serve bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ivabench: writing %s: %v\n", *serveOut, err)
+			os.Exit(1)
+		}
+		for _, p := range r.Points {
+			switch p.Mode {
+			case "closed":
+				fmt.Printf("closed clients=%-3d %8.0f qps  p50 %6.2fms  p99 %6.2fms  (%d requests)\n",
+					p.Clients, p.ThroughputQPS, p.P50MS, p.P99MS, p.Requests)
+			default:
+				fmt.Printf("open   offered=%.0f qps, quota=%.0f qps: shed %.1f%%  admitted p50 %.2fms p99 %.2fms  (%d requests)\n",
+					p.OfferedQPS, p.QuotaQPS, 100*p.ShedRate, p.P50MS, p.P99MS, p.Requests)
+			}
+		}
+		fmt.Printf("→ %s\n", *serveOut)
+		return
+	}
 
 	if *zonemap {
 		r, err := bench.RunZoneMapBench(*tuples, *par, *seed)

@@ -13,9 +13,12 @@
 //	ivatool -dir DIR check -checksums -deep -seed 7      # integrity check (+ checksum sweep, differential oracle)
 //	ivatool -dir DIR scrub -repair                       # verify every checksum; -repair rebuilds from a clean table
 //	ivatool -dir DIR demo                                # load a small product catalog
-//	ivatool -dir DIR -addr :9090 serve                   # /metrics, /healthz, /debug/querylog, /debug/trace
+//	ivatool -dir DIR -addr :9090 serve                   # query API (/v1/search, /v1/get, /v1/stats) plus
+//	                                                     # /metrics, /healthz, /debug/querylog, /debug/trace
 //	                                                     # (-pprof adds /debug/pprof; -scrub-interval paces the
-//	                                                     #  background scrubber, 0 disables it)
+//	                                                     #  background scrubber, 0 disables it; -qps/-burst/
+//	                                                     #  -max-concurrent/-max-queue set per-tenant admission
+//	                                                     #  limits; SIGTERM drains gracefully within -drain-timeout)
 //
 // Attribute values that parse as numbers are numeric; everything else is
 // text. Multiple strings for one text attribute repeat the attribute:
@@ -45,6 +48,12 @@ func main() {
 		slow       = flag.Duration("slow", 250*time.Millisecond, "slow-query log threshold for serve")
 		pprofFlag  = flag.Bool("pprof", false, "expose /debug/pprof on serve (off by default; see README security note)")
 		scrubEvery = flag.Duration("scrub-interval", 10*time.Minute, "background scrub cycle target for serve (0 disables)")
+		qps        = flag.Float64("qps", 0, "per-tenant sustained query quota for serve (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-tenant quota burst for serve (0 = auto from -qps)")
+		maxConc    = flag.Int("max-concurrent", 0, "per-tenant concurrent search cap for serve (0 = 2x GOMAXPROCS)")
+		maxQueue   = flag.Int("max-queue", 0, "per-tenant admission queue bound for serve (0 = 4x cap)")
+		reqTimeout = flag.Duration("request-timeout", 2*time.Second, "default per-request deadline for serve")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM for serve")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -53,7 +62,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := iva.Options{Metric: *metricF, Weights: *weights, SlowQueryThreshold: *slow}
-	sv := serveOpts{addr: *addr, pprof: *pprofFlag, scrubEvery: *scrubEvery}
+	sv := serveOpts{
+		addr: *addr, pprof: *pprofFlag, scrubEvery: *scrubEvery,
+		qps: *qps, burst: *burst, maxConcurrent: *maxConc, maxQueue: *maxQueue,
+		reqTimeout: *reqTimeout, drainTimeout: *drainT,
+	}
+	if err := validateFlags(*k, *slow, sv); err != nil {
+		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
+		os.Exit(2)
+	}
 	cmd, rest := args[0], args[1:]
 	if err := run(cmd, rest, *dir, *k, sv, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
@@ -63,9 +80,43 @@ func main() {
 
 // serveOpts carries the serve-only flags through run.
 type serveOpts struct {
-	addr       string
-	pprof      bool
-	scrubEvery time.Duration
+	addr          string
+	pprof         bool
+	scrubEvery    time.Duration
+	qps           float64
+	burst         int
+	maxConcurrent int
+	maxQueue      int
+	reqTimeout    time.Duration
+	drainTimeout  time.Duration
+}
+
+// validateFlags rejects flag values that would previously pass silently into
+// the store or server: a k <= 0 query only errors deep inside the engine, a
+// negative -slow captures every query in the slow log, and a negative
+// -scrub-interval or admission limit has no sane meaning.
+func validateFlags(k int, slow time.Duration, sv serveOpts) error {
+	switch {
+	case k <= 0:
+		return fmt.Errorf("-k must be positive, got %d", k)
+	case slow < 0:
+		return fmt.Errorf("-slow must be non-negative, got %v", slow)
+	case sv.scrubEvery < 0:
+		return fmt.Errorf("-scrub-interval must be non-negative, got %v", sv.scrubEvery)
+	case sv.qps < 0:
+		return fmt.Errorf("-qps must be non-negative, got %v", sv.qps)
+	case sv.burst < 0:
+		return fmt.Errorf("-burst must be non-negative, got %d", sv.burst)
+	case sv.maxConcurrent < 0:
+		return fmt.Errorf("-max-concurrent must be non-negative, got %d", sv.maxConcurrent)
+	case sv.maxQueue < 0:
+		return fmt.Errorf("-max-queue must be non-negative, got %d", sv.maxQueue)
+	case sv.reqTimeout < 0:
+		return fmt.Errorf("-request-timeout must be non-negative, got %v", sv.reqTimeout)
+	case sv.drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be positive, got %v", sv.drainTimeout)
+	}
+	return nil
 }
 
 func run(cmd string, args []string, dir string, k int, sv serveOpts, opts iva.Options) error {
@@ -196,7 +247,7 @@ func run(cmd string, args []string, dir string, k int, sv serveOpts, opts iva.Op
 	case "stats":
 		return stats(st, dir, args)
 	case "serve":
-		return serve(st, sv.addr, sv.pprof, sv.scrubEvery)
+		return serve(st, sv)
 	case "rebuild":
 		if err := st.Rebuild(); err != nil {
 			return err

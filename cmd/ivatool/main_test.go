@@ -3,6 +3,7 @@ package main
 import (
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/sparsewide/iva"
 )
@@ -94,6 +95,38 @@ func TestRunLifecycle(t *testing.T) {
 	}
 	if err := run("get", []string{"notanumber"}, dir, 10, serveOpts{}, opts); err == nil {
 		t.Fatal("bad tid accepted")
+	}
+}
+
+// TestValidateFlags: values that used to pass silently into the store (a
+// k <= 0 query, negative durations) are now usage errors, and every serve
+// admission limit is checked.
+func TestValidateFlags(t *testing.T) {
+	good := serveOpts{scrubEvery: 10 * time.Minute, reqTimeout: 2 * time.Second, drainTimeout: 30 * time.Second}
+	if err := validateFlags(10, 250*time.Millisecond, good); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		k    int
+		slow time.Duration
+		sv   serveOpts
+	}{
+		{"k zero", 0, 0, good},
+		{"k negative", -3, 0, good},
+		{"negative slow", 10, -time.Second, good},
+		{"negative scrub-interval", 10, 0, serveOpts{scrubEvery: -time.Minute, drainTimeout: time.Second}},
+		{"negative qps", 10, 0, serveOpts{qps: -1, drainTimeout: time.Second}},
+		{"negative burst", 10, 0, serveOpts{burst: -1, drainTimeout: time.Second}},
+		{"negative max-concurrent", 10, 0, serveOpts{maxConcurrent: -1, drainTimeout: time.Second}},
+		{"negative max-queue", 10, 0, serveOpts{maxQueue: -2, drainTimeout: time.Second}},
+		{"negative request-timeout", 10, 0, serveOpts{reqTimeout: -time.Second, drainTimeout: time.Second}},
+		{"zero drain-timeout", 10, 0, serveOpts{}},
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.k, c.slow, c.sv); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/server"
 )
 
 var (
@@ -182,8 +183,16 @@ func TestMetricsLint(t *testing.T) {
 	defer sc.Stop()
 	sc.SweepNow()
 
-	srv := httptest.NewServer(serveMux(st, sc, false))
+	// Mount the query API too: /metrics then serves the store families
+	// followed by the iva_server_* families, and the lint must hold on the
+	// concatenated page (duplicate family names would be a violation).
+	api := server.New(st, nil, server.Config{})
+	srv := httptest.NewServer(serveMux(st, sc, api, false))
 	defer srv.Close()
+	if resp, err := http.Post(srv.URL+"/v1/search", "application/json",
+		strings.NewReader(`{"k":2,"terms":[{"attr":"price","num":120}]}`)); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming /v1/search failed: %v / %v", err, resp)
+	}
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -197,7 +206,8 @@ func TestMetricsLint(t *testing.T) {
 		t.Error(p)
 	}
 	// The telemetry families this PR adds must actually be in the scrape.
-	for _, want := range []string{"iva_scrub_sweeps_total", "iva_health_state", "iva_build_info", "iva_format_version"} {
+	for _, want := range []string{"iva_scrub_sweeps_total", "iva_health_state", "iva_build_info", "iva_format_version",
+		"iva_server_requests_total", "iva_server_shed_total"} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %s", want)
 		}
@@ -229,7 +239,7 @@ func TestServeTelemetryEndpoints(t *testing.T) {
 	defer sc.Stop()
 	sc.SweepNow()
 
-	srv := httptest.NewServer(serveMux(st, sc, false))
+	srv := httptest.NewServer(serveMux(st, sc, nil, false))
 	defer srv.Close()
 	get := func(path string) (int, string, string) {
 		t.Helper()
@@ -281,7 +291,7 @@ func TestServeTelemetryEndpoints(t *testing.T) {
 	if code, _, _ := get("/debug/pprof/"); code != 404 {
 		t.Fatalf("pprof reachable without -pprof: %d", code)
 	}
-	srvP := httptest.NewServer(serveMux(st, sc, true))
+	srvP := httptest.NewServer(serveMux(st, sc, nil, true))
 	defer srvP.Close()
 	resp, err := http.Get(srvP.URL + "/debug/pprof/")
 	if err != nil {

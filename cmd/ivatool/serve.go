@@ -1,17 +1,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/server"
 )
 
-// serveMux mounts the store's observability endpoints:
+// serveMux mounts the query API and the store's observability endpoints:
 //
-//	/metrics         Prometheus text exposition (text/plain; version=0.0.4)
+//	/v1/search       POST, JSON top-k search (see internal/server); admission-
+//	/v1/get          controlled per tenant (X-Iva-Tenant header)
+//	/v1/stats        store + server shape as JSON
+//	/metrics         Prometheus text exposition (text/plain; version=0.0.4);
+//	                 store families followed by iva_server_* families
 //	/healthz         the scrub scheduler's verdict (ok/degraded/damaged) when
 //	                 a scrubber runs; otherwise runs Store.Check, 200 "ok" or
 //	                 503 with the problems
@@ -19,12 +29,23 @@ import (
 //	/debug/trace     the sampled trace ring + histogram exemplars as JSON;
 //	                 ?id=<trace_id> fetches one retained trace
 //	/debug/pprof     the runtime profiler, only when enablePprof is set
-func serveMux(st *iva.Store, sc *iva.Scrubber, enablePprof bool) *http.ServeMux {
+func serveMux(st *iva.Store, sc *iva.Scrubber, api *server.Server, enablePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	if api != nil {
+		api.Register(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := st.WriteMetrics(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// The server keeps its own registry; its families are disjoint from
+		// the store's, so the expositions concatenate into one valid page.
+		if api != nil {
+			if err := api.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,18 +117,63 @@ func serveMux(st *iva.Store, sc *iva.Scrubber, enablePprof bool) *http.ServeMux 
 	return mux
 }
 
-// serve blocks on an HTTP listener exposing the store. A positive scrub
-// interval starts the background scrub scheduler for the server's lifetime.
-func serve(st *iva.Store, addr string, enablePprof bool, scrubEvery time.Duration) error {
+// gracefulServe serves hs on ln until a signal arrives, then drains the query
+// service — in-flight searches finish, new arrivals shed with 503 — and shuts
+// the listener down. Split from serve so tests can drive the drain with their
+// own listener and signal channel.
+func gracefulServe(hs *http.Server, ln net.Listener, api *server.Server, drainTimeout time.Duration, sig <-chan os.Signal) error {
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		if _, ok := <-sig; !ok {
+			return // channel closed without a signal: plain shutdown elsewhere
+		}
+		fmt.Fprintf(os.Stderr, "ivatool: signal received, draining (timeout %v)\n", drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := api.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+	}()
+	err := hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		<-idle
+		return nil
+	}
+	return err
+}
+
+// serve runs the query service plus observability endpoints until SIGTERM or
+// SIGINT, then drains gracefully. A positive scrub interval starts the
+// background scrub scheduler for the server's lifetime.
+func serve(st *iva.Store, sv serveOpts) error {
 	var sc *iva.Scrubber
-	if scrubEvery > 0 {
-		sc = st.StartScrubber(iva.ScrubberOptions{Interval: scrubEvery})
+	if sv.scrubEvery > 0 {
+		sc = st.StartScrubber(iva.ScrubberOptions{Interval: sv.scrubEvery})
 		defer sc.Stop()
 	}
-	endpoints := "/metrics, /healthz, /debug/querylog, /debug/trace"
-	if enablePprof {
+	api := server.New(st, nil, server.Config{
+		QPS:            sv.qps,
+		Burst:          sv.burst,
+		MaxConcurrent:  sv.maxConcurrent,
+		MaxQueue:       sv.maxQueue,
+		DefaultTimeout: sv.reqTimeout,
+	})
+	ln, err := net.Listen("tcp", sv.addr)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+	endpoints := "/v1/search, /v1/get, /v1/stats, /metrics, /healthz, /debug/querylog, /debug/trace"
+	if sv.pprof {
 		endpoints += ", /debug/pprof"
 	}
-	fmt.Printf("serving %s on %s\n", endpoints, addr)
-	return http.ListenAndServe(addr, serveMux(st, sc, enablePprof))
+	fmt.Printf("serving %s on %s\n", endpoints, ln.Addr())
+	hs := &http.Server{Handler: serveMux(st, sc, api, sv.pprof)}
+	return gracefulServe(hs, ln, api, sv.drainTimeout, sig)
 }

@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/server"
 )
 
 // TestServeEndpoints drives a store under load through the HTTP surface:
@@ -37,7 +40,7 @@ func TestServeEndpoints(t *testing.T) {
 		}
 	}
 
-	srv := httptest.NewServer(serveMux(st, nil, false))
+	srv := httptest.NewServer(serveMux(st, nil, nil, false))
 	defer srv.Close()
 
 	get := func(path string) (string, *http.Response) {
@@ -103,5 +106,105 @@ func TestServeEndpoints(t *testing.T) {
 		if !strings.Contains(string(entries[0].Trace), want) {
 			t.Errorf("querylog trace missing %s", want)
 		}
+	}
+}
+
+// TestServeAPIMux covers the serve wiring with the query API mounted: the
+// /v1 endpoints answer through the store, and /metrics exposes the store
+// families followed by the iva_server_* families on one page.
+func TestServeAPIMux(t *testing.T) {
+	st, err := iva.Create(t.TempDir(), iva.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := st.Insert(iva.Row{"price": iva.Num(float64(100 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	api := server.New(st, nil, server.Config{})
+	srv := httptest.NewServer(serveMux(st, nil, api, false))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/search", "application/json",
+		strings.NewReader(`{"k":3,"terms":[{"attr":"price","num":120}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/search status %d", resp.StatusCode)
+	}
+	var sr server.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 3 {
+		t.Fatalf("/v1/search returned %d results, want 3", len(sr.Results))
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"iva_queries_total", "iva_server_requests_total", "iva_server_admitted_total"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("/metrics missing %q with API mounted", want)
+		}
+	}
+}
+
+// TestGracefulServeDrain drives the real signal path: a signal on the
+// channel drains the server (completing a search already past admission) and
+// gracefulServe returns cleanly.
+func TestGracefulServeDrain(t *testing.T) {
+	st, err := iva.Create(t.TempDir(), iva.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := st.Insert(iva.Row{"price": iva.Num(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	api := server.New(st, nil, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: serveMux(st, nil, api, false)}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- gracefulServe(hs, ln, api, 5*time.Second, sig) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Post(url+"/v1/search", "application/json",
+		strings.NewReader(`{"k":2,"terms":[{"attr":"price","num":25}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain search status %d", resp.StatusCode)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gracefulServe: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gracefulServe never returned after signal")
+	}
+	if !api.Draining() {
+		t.Fatal("server not draining after signal")
 	}
 }

@@ -1,0 +1,9 @@
+package iva
+
+import "github.com/sparsewide/iva/internal/core"
+
+// VectorExtentsForTest exposes the committed index extents to external test
+// packages (package iva_test): fault-injection tests that import
+// internal/server must sit outside package iva (server imports iva), and
+// from there s.ix is unreachable.
+func (s *Store) VectorExtentsForTest() []core.VectorExtent { return s.ix.VectorExtents() }

@@ -1,0 +1,374 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/server"
+	"github.com/sparsewide/iva/internal/workload"
+)
+
+// The network query-service benchmark (`ivabench -serve`). Unlike the paper
+// experiments, which measure the index in-process, this harness drives the
+// real HTTP path — JSON decode, admission control, SearchContext, JSON encode
+// — through a TCP listener, the same stack `ivatool serve` mounts.
+//
+// Two traffic shapes:
+//
+//   - closed loop: N clients, each issuing its next query the moment the
+//     previous answer returns. Sweeping N (1, GOMAXPROCS, 4×GOMAXPROCS)
+//     measures service capacity and queueing latency with no quota.
+//   - open loop: arrivals at a fixed offered rate regardless of completions,
+//     against a server whose per-tenant token-bucket quota is set to half the
+//     offered rate. Overload is shed with 429 before it reaches the index;
+//     the artifact records the shed rate and the latency of admitted work.
+//
+// The query mix is Zipf-skewed over a fixed template set (s=1.2), so a few
+// hot attribute combinations dominate — the cache-friendly skew real services
+// see. Results go to BENCH_serve.json.
+
+// ServeBenchPoint is one measured traffic point.
+type ServeBenchPoint struct {
+	Mode    string `json:"mode"`    // "closed" or "open"
+	Clients int    `json:"clients"` // closed loop: concurrent clients
+
+	OfferedQPS float64 `json:"offered_qps,omitempty"` // open loop: arrival rate
+	QuotaQPS   float64 `json:"quota_qps,omitempty"`   // open loop: token-bucket rate
+
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`   // 429 responses
+	Errors   int64 `json:"errors"` // anything else
+
+	ShedRate      float64 `json:"shed_rate"`
+	ThroughputQPS float64 `json:"throughput_qps"` // completed 200s per second
+
+	P50MS float64 `json:"p50_ms"` // latency of 200 responses
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ServeBenchResult is the artifact written to BENCH_serve.json.
+type ServeBenchResult struct {
+	Tuples     int   `json:"tuples"`
+	Seed       int64 `json:"seed"`
+	Templates  int   `json:"templates"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	PointMS    int   `json:"point_ms"`
+
+	Points []ServeBenchPoint `json:"points"`
+}
+
+// JSON renders the artifact for BENCH_serve.json.
+func (r *ServeBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// serveBenchTenants spread closed-loop traffic over several tenants so the
+// per-tenant admission structures (buckets, slot semaphores, metric series)
+// are on the hot path, as they would be in production.
+var serveBenchTenants = []string{"alpha", "beta", "gamma"}
+
+// serveTemplates pre-renders nt query bodies from the workload generator.
+// Rendering once up front keeps request marshalling off the measured path.
+func serveTemplates(seed uint64, nt int) [][]byte {
+	g := workload.New(seed)
+	out := make([][]byte, 0, nt)
+	for len(out) < nt {
+		spec := g.Query()
+		req := server.SearchRequest{K: spec.K}
+		seen := make(map[string]bool, len(spec.Terms))
+		for _, t := range spec.Terms {
+			if seen[t.Name] {
+				continue // ghost terms can collide; the decoder rejects dups
+			}
+			seen[t.Name] = true
+			st := server.SearchTerm{Attr: t.Name, Weight: t.Weight}
+			if t.Kind == model.KindNumeric {
+				n := t.Num
+				st.Num = &n
+			} else {
+				s := t.Str
+				st.Text = &s
+			}
+			req.Terms = append(req.Terms, st)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			continue // cannot happen; skip rather than fail the bench
+		}
+		out = append(out, body)
+	}
+	return out
+}
+
+// serveBenchEnv builds a seeded store and serves it over a real TCP listener
+// with the given admission config. The returned stop func shuts everything
+// down; base is the http://host:port prefix.
+func serveBenchEnv(dir string, tuples int, seed int64, cfg server.Config) (base string, stop func(), err error) {
+	st, err := iva.Create(dir, iva.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	g := workload.New(uint64(seed))
+	for i := 0; i < tuples; i++ {
+		row := make(iva.Row)
+		for _, c := range g.Row() {
+			if c.Val.Kind == model.KindNumeric {
+				row[c.Name] = iva.Num(c.Val.Num)
+			} else {
+				row[c.Name] = iva.Strings(c.Val.Strs...)
+			}
+		}
+		if _, err := st.Insert(row); err != nil {
+			st.Close()
+			return "", nil, err
+		}
+	}
+	if err := st.Sync(); err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	api := server.New(st, nil, cfg)
+	mux := http.NewServeMux()
+	api.Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	stop = func() {
+		hs.Close()
+		st.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// serveClient issues one pre-rendered request and classifies the response.
+func serveClient(client *http.Client, base, tenant string, body []byte) (code int, lat time.Duration, err error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TenantHeader, tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat = time.Since(start)
+	if err != nil {
+		return 0, lat, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, lat, nil
+}
+
+// tally accumulates per-point outcomes from many client goroutines.
+type tally struct {
+	mu   sync.Mutex
+	ok   int64
+	shed int64
+	errs int64
+	lats []time.Duration // 200s only
+}
+
+func (tl *tally) record(code int, lat time.Duration, err error) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	switch {
+	case err != nil:
+		tl.errs++
+	case code == http.StatusOK:
+		tl.ok++
+		tl.lats = append(tl.lats, lat)
+	case code == http.StatusTooManyRequests:
+		tl.shed++
+	default:
+		tl.errs++
+	}
+}
+
+func (tl *tally) point(elapsed time.Duration) ServeBenchPoint {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	pt := ServeBenchPoint{
+		Requests: tl.ok + tl.shed + tl.errs,
+		OK:       tl.ok,
+		Shed:     tl.shed,
+		Errors:   tl.errs,
+	}
+	if pt.Requests > 0 {
+		pt.ShedRate = float64(pt.Shed) / float64(pt.Requests)
+	}
+	if elapsed > 0 {
+		pt.ThroughputQPS = float64(pt.OK) / elapsed.Seconds()
+	}
+	sort.Slice(tl.lats, func(i, j int) bool { return tl.lats[i] < tl.lats[j] })
+	pt.P50MS = percentileMS(tl.lats, 0.50)
+	pt.P99MS = percentileMS(tl.lats, 0.99)
+	return pt
+}
+
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// benchHTTPClient returns a client sized for the fan-out: without a large
+// idle pool, closed connections churn ephemeral ports and the measurement
+// becomes a TIME_WAIT benchmark.
+func benchHTTPClient() *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// closedLoopPoint runs nclients synchronous clients for dur against base.
+// Each client draws templates through its own Zipf sampler so the hot-key
+// skew is identical run to run.
+func closedLoopPoint(base string, templates [][]byte, nclients int, seed int64, dur time.Duration) ServeBenchPoint {
+	client := benchHTTPClient()
+	var tl tally
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < nclients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(templates)-1))
+			tenant := serveBenchTenants[id%len(serveBenchTenants)]
+			for time.Now().Before(deadline) {
+				body := templates[zipf.Uint64()]
+				tl.record(serveClient(client, base, tenant, body))
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	pt := tl.point(time.Since(start))
+	pt.Mode, pt.Clients = "closed", nclients
+	return pt
+}
+
+// openLoopPoint fires arrivals at offered QPS for dur, regardless of how fast
+// the server answers — the overload shape a closed loop can never produce.
+func openLoopPoint(base string, templates [][]byte, offered float64, seed int64, dur time.Duration) ServeBenchPoint {
+	client := benchHTTPClient()
+	var tl tally
+	rng := rand.New(rand.NewSource(seed ^ 0x0bea))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(templates)-1))
+	interval := time.Duration(float64(time.Second) / offered)
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	start := time.Now()
+	for time.Since(start) < dur {
+		body := templates[zipf.Uint64()]
+		tenant := serveBenchTenants[int(fired.Add(1))%len(serveBenchTenants)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl.record(serveClient(client, base, tenant, body))
+		}()
+		// Sleep to the next arrival slot; a busy scheduler makes the real
+		// offered rate slightly lower, never higher.
+		next := start.Add(time.Duration(fired.Load()) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	wg.Wait()
+	pt := tl.point(time.Since(start))
+	pt.Mode, pt.OfferedQPS = "open", offered
+	return pt
+}
+
+// RunServeBench measures the HTTP query service end to end: a closed-loop
+// client sweep with admission wide open, then an open-loop overload point
+// with the token-bucket quota set to half the offered rate so roughly half
+// the arrivals shed with 429. pointDur is the measured wall time per point.
+func RunServeBench(tuples int, seed int64, pointDur time.Duration) (*ServeBenchResult, error) {
+	if tuples <= 0 {
+		tuples = 20000
+	}
+	if pointDur <= 0 {
+		pointDur = 300 * time.Millisecond
+	}
+	const nTemplates = 64
+	procs := runtime.GOMAXPROCS(0)
+	res := &ServeBenchResult{
+		Tuples:     tuples,
+		Seed:       seed,
+		Templates:  nTemplates,
+		GOMAXPROCS: procs,
+		PointMS:    int(pointDur.Milliseconds()),
+	}
+	templates := serveTemplates(uint64(seed)^0x7e71, nTemplates)
+
+	dir, err := os.MkdirTemp("", "iva-serve-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Closed loop: no quota, default concurrency limits.
+	base, stop, err := serveBenchEnv(dir+"/closed", tuples, seed, server.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve closed-loop env: %w", err)
+	}
+	clientCounts := []int{1, procs, 4 * procs}
+	var capacity float64
+	for _, n := range clientCounts {
+		pt := closedLoopPoint(base, templates, n, seed, pointDur)
+		if pt.ThroughputQPS > capacity {
+			capacity = pt.ThroughputQPS
+		}
+		res.Points = append(res.Points, pt)
+	}
+	stop()
+
+	// Open loop: offer near measured capacity (bounded so the arrival
+	// generator itself stays honest) with the quota at half that, so the
+	// bucket — not the queue — does the shedding and the 429s are cheap.
+	offered := capacity
+	if offered > 2000 {
+		offered = 2000
+	}
+	if offered < 50 {
+		offered = 50
+	}
+	quota := offered / 2
+	base, stop, err = serveBenchEnv(dir+"/open", tuples, seed, server.Config{
+		QPS:   quota / float64(len(serveBenchTenants)),
+		Burst: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve open-loop env: %w", err)
+	}
+	pt := openLoopPoint(base, templates, offered, seed, pointDur)
+	pt.QuotaQPS = quota
+	res.Points = append(res.Points, pt)
+	stop()
+
+	return res, nil
+}

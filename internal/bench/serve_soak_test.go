@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestServeBenchSmoke runs the HTTP traffic harness at toy scale so the
+// tier-1 suite exercises the full path (seeded store, TCP listener, zipf
+// clients, open-loop shedding) on every run.
+func TestServeBenchSmoke(t *testing.T) {
+	r, err := RunServeBench(1500, 7, 120*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("%d points, want 4 (3 closed + 1 open)", len(r.Points))
+	}
+	for i, pt := range r.Points[:3] {
+		if pt.Mode != "closed" {
+			t.Errorf("point %d mode %q, want closed", i, pt.Mode)
+		}
+		if pt.OK == 0 || pt.Errors > 0 {
+			t.Errorf("closed point %d: ok=%d shed=%d errors=%d", i, pt.OK, pt.Shed, pt.Errors)
+		}
+		if pt.P99MS <= 0 || pt.P50MS > pt.P99MS {
+			t.Errorf("closed point %d: p50=%.3fms p99=%.3fms", i, pt.P50MS, pt.P99MS)
+		}
+	}
+	open := r.Points[3]
+	if open.Mode != "open" || open.QuotaQPS <= 0 {
+		t.Fatalf("open point = %+v", open)
+	}
+	if open.Errors > 0 {
+		t.Errorf("open loop errors: %+v", open)
+	}
+	// The quota is half the offered rate, so the bucket must have shed.
+	if open.Shed == 0 {
+		t.Errorf("open loop at 2x quota shed nothing: %+v", open)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSoak is the nightly closed-loop soak: the harness hammers the
+// real HTTP stack under -race for the configured duration. Gated by
+// IVA_SERVE_SOAK (a duration, e.g. "60s").
+func TestServeSoak(t *testing.T) {
+	env := os.Getenv("IVA_SERVE_SOAK")
+	if env == "" {
+		t.Skip("set IVA_SERVE_SOAK=<duration> to run the serve soak")
+	}
+	dur, err := time.ParseDuration(env)
+	if err != nil {
+		t.Fatalf("IVA_SERVE_SOAK=%q: %v", env, err)
+	}
+	// Four points share the budget; the open-loop point gets the same slice.
+	r, err := RunServeBench(20000, 42, dur/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range r.Points {
+		if pt.Errors > 0 {
+			t.Errorf("%s/%d clients: %d errors (%d requests)", pt.Mode, pt.Clients, pt.Errors, pt.Requests)
+		}
+		t.Logf("%s clients=%d offered=%.0f: %d req, %.0f qps, shed %.1f%%, p50 %.2fms p99 %.2fms",
+			pt.Mode, pt.Clients, pt.OfferedQPS, pt.Requests, pt.ThroughputQPS, 100*pt.ShedRate, pt.P50MS, pt.P99MS)
+	}
+}

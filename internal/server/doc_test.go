@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestServerMetricsDocumented holds OBSERVABILITY.md to the iva_server_*
+// surface the same way the root package's TestMetricsDocumented holds it to
+// the store's: every family the server exposes after real traffic must
+// appear (backticked) in the doc. The server registers into its own
+// registry, so this runs here rather than widening the root test.
+func TestServerMetricsDocumented(t *testing.T) {
+	be := &stubBackend{}
+	srv, ts := newTestServer(t, be, Config{QPS: 1000})
+
+	// Materialize the lazily registered families: a success, a client error,
+	// and the other endpoints.
+	doSearch(t, ts, "", validBody)
+	doSearch(t, ts, "", []byte(`{`))
+	ts.Client().Get(ts.URL + "/v1/get?tid=1")
+	ts.Client().Get(ts.URL + "/v1/stats")
+
+	text := srv.MetricsText()
+	re := regexp.MustCompile(`(?m)^# TYPE (\S+)`)
+	families := re.FindAllStringSubmatch(text, -1)
+	if len(families) < 8 {
+		t.Fatalf("server exposes only %d families — registration is broken", len(families))
+	}
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range families {
+		fam := m[1]
+		if !strings.Contains(string(doc), "`"+fam+"`") {
+			t.Errorf("metric family %s is not documented in OBSERVABILITY.md", fam)
+		}
+	}
+}
+
+// TestServerEndpointsDocumented keeps README's serve section honest: every
+// mounted /v1 endpoint must be named there.
+func TestServerEndpointsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	New(&stubBackend{}, nil, Config{}).Register(mux)
+	for _, ep := range []string{"/v1/search", "/v1/get", "/v1/stats"} {
+		if r, _ := http.NewRequest(http.MethodGet, ep, nil); func() bool {
+			_, pattern := mux.Handler(r)
+			return pattern == ""
+		}() {
+			t.Errorf("endpoint %s is not mounted", ep)
+		}
+		if !strings.Contains(string(readme), ep) {
+			t.Errorf("endpoint %s is not documented in README.md", ep)
+		}
+	}
+	if !strings.Contains(string(readme), TenantHeader) {
+		t.Errorf("tenant header %s is not documented in README.md", TenantHeader)
+	}
+}
