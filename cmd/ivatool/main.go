@@ -262,8 +262,8 @@ func run(cmd string, args []string, dir string, k int, sv serveOpts, opts iva.Op
 			if a.DF == 0 {
 				continue
 			}
-			fmt.Printf("%-24s %-8s type %-3s alpha %.0f%%  df %-6d strs %-6d %d bits\n",
-				a.Name, a.Kind, a.ListType, a.Alpha*100, a.DF, a.Strings, a.Bits)
+			fmt.Printf("%-24s %-8s type %-3s alpha %.0f%%  df %-6d strs %-6d %d bits  codec %s\n",
+				a.Name, a.Kind, a.ListType, a.Alpha*100, a.DF, a.Strings, a.Bits, a.Codec)
 		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -310,6 +310,19 @@ func stats(st *iva.Store, dir string, args []string) error {
 		pruneRatio = 100 * float64(s.ZonePruned) / float64(s.ZoneChecked)
 	}
 	fmt.Printf("zone prune  %d/%d stripes this session (%.1f%%)\n", s.ZonePruned, s.ZoneChecked, pruneRatio)
+	packed, blocks := 0, 0
+	attrs := st.Attrs()
+	for _, a := range attrs {
+		if a.Codec != "raw" {
+			packed++
+			blocks += a.Blocks
+		}
+	}
+	if packed > 0 {
+		fmt.Printf("codec       packed (%d/%d lists, %d sealed blocks)\n", packed, len(attrs), blocks)
+	} else {
+		fmt.Printf("codec       raw\n")
+	}
 
 	snap, err := iva.LoadScrubReport(filepath.Join(dir, "scrub-report.json"))
 	if os.IsNotExist(err) {

@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/sparsewide/iva/internal/core"
+	"github.com/sparsewide/iva/internal/metric"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/storage"
+	"github.com/sparsewide/iva/internal/table"
+)
+
+// The block-codec benchmark (`ivabench -codec`). The packed codec's delta
+// transform rewrites tid-bearing vector lists as per-stripe blocks whose
+// tuple ids are gap-coded, so sparse Type I/II lists shrink well below their
+// raw bit-packed size; the filter phase then touches fewer pages for the
+// same logical scan. The sweep builds the same table twice — codec 0 (raw,
+// v5-compatible) and codec 1 (packed) — over skewed and uniform value
+// layouts, runs an identical query set on both, and demands byte-identical
+// answers in every cell. The artifact (BENCH_codec.json) records on-disk
+// index size, filter-phase physical reads, and full-walk decode throughput
+// for both codecs.
+
+// CodecBenchPoint is one (layout, k) measurement over Queries queries.
+type CodecBenchPoint struct {
+	Layout  string `json:"layout"` // "skewed" or "uniform"
+	K       int    `json:"k"`
+	Queries int    `json:"queries"`
+
+	// PackedLists is the number of vector lists the codec-1 build stored as
+	// blocks (the rest stayed raw by layout type).
+	PackedLists  int `json:"packed_lists"`
+	PackedBlocks int `json:"packed_blocks"`
+
+	DiskBytesRaw    int64   `json:"disk_bytes_raw"` // committed index file size
+	DiskBytesPacked int64   `json:"disk_bytes_packed"`
+	DiskSaved       float64 `json:"disk_saved"` // 1 - packed/raw
+
+	FilterReadBytesRaw    int64   `json:"filter_read_bytes_raw"` // filter-phase physical reads
+	FilterReadBytesPacked int64   `json:"filter_read_bytes_packed"`
+	FilterReadSaved       float64 `json:"filter_read_saved"` // 1 - packed/raw
+
+	// Decode throughput: logical vector-list megabytes decoded per second by
+	// a full end-to-end walk of every list (the integrity check's cursor
+	// pass). Both codecs decode the same logical stream, so the ratio
+	// isolates the codec's read-path cost.
+	DecodeRawMBps    float64 `json:"decode_raw_mbps"`
+	DecodePackedMBps float64 `json:"decode_packed_mbps"`
+	DecodeSpeedup    float64 `json:"decode_speedup"` // packed/raw
+
+	WallRawMS    float64 `json:"wall_raw_ms"` // query wall time, whole set
+	WallPackedMS float64 `json:"wall_packed_ms"`
+
+	ResultsMatch bool `json:"results_match"`
+}
+
+// CodecBenchResult is the full artifact written to BENCH_codec.json.
+type CodecBenchResult struct {
+	Tuples          int   `json:"tuples"`
+	CheckpointEvery int   `json:"checkpoint_every"`
+	Parallelism     int   `json:"parallelism"`
+	CacheBytes      int64 `json:"cache_bytes"`
+	Seed            int64 `json:"seed"`
+
+	Points []CodecBenchPoint `json:"points"`
+}
+
+// codecBenchAttrs is the width of the sparse slice a query touches. The
+// workload is the paper's: a wide table whose rows each define a few of many
+// attributes, and a similarity query spanning all of them. Each attribute
+// lands on 2/5 of the rows — dense enough that the §III-D cost model still
+// picks the tid-bearing Type I organization, sparse enough that the tid
+// stream is a large share of every list — so the filter phase's bytes are
+// dominated by exactly the lists the packed codec rewrites.
+const codecBenchAttrs = 8
+
+// codecBenchStripe is the build's CheckpointEvery. Packed blocks seal one
+// per stripe, so wide stripes amortize the 4-word block header to a few
+// percent of the payload.
+const codecBenchStripe = 1024
+
+// codecEnv builds one (layout, codec) index: codecBenchAttrs sparse numeric
+// attributes with staggered coverage (attribute j is defined on rows where
+// (i+j)%5 < 2, so every row holds at least two values) plus a sparse text
+// "tag" on every 8th row. The index file lives on its own MemDevice so the
+// committed size can be read back.
+func codecEnv(layout string, codec, tuples, par int, cacheBytes int64, seed int64) (*core.Index, *storage.MemDevice, *metric.Metric, []model.AttrID, error) {
+	pool := storage.NewPool(4096, cacheBytes)
+	cat := table.NewCatalog()
+	tbl, err := table.New(storage.NewFile(pool, storage.NewMemDevice()), cat)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	attrs := make([]model.AttrID, codecBenchAttrs)
+	for j := range attrs {
+		id, err := cat.AddAttr(fmt.Sprintf("f%d", j), model.KindNumeric)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		attrs[j] = id
+	}
+	tagID, err := cat.AddAttr("tag", model.KindText)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, tuples)
+	for i := range vals {
+		// Skewed: value tracks insertion order. The jitter keeps values off
+		// exact quantizer slice edges (a boundary value's float error would
+		// trip the integrity check's slice containment) without breaking
+		// monotonicity.
+		vals[i] = float64(i) + rng.Float64()
+	}
+	if layout == "uniform" {
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	}
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < tuples; i++ {
+		row := map[model.AttrID]model.Value{}
+		for j, id := range attrs {
+			if (i+j)%5 < 2 {
+				row[id] = model.Num(vals[i])
+			}
+		}
+		if i%8 == 0 {
+			row[tagID] = model.Text(tags[i%len(tags)])
+		}
+		if _, _, err := tbl.Append(row); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	idxDev := storage.NewMemDevice()
+	ix, err := core.Build(tbl, storage.NewFile(pool, idxDev), core.Options{
+		SearchParallelism: par,
+		CheckpointEvery:   codecBenchStripe,
+		Codec:             codec,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	comb, err := metric.ByName("L2")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	m := &metric.Metric{Combiner: comb, Weighter: metric.Equal{}, NDFPenalty: metric.DefaultNDFPenalty}
+	return ix, idxDev, m, attrs, nil
+}
+
+// codecRun drives one codec's half of a cell: the query set, then a timed
+// full-list walk for decode throughput.
+type codecRun struct {
+	results     [][]model.Result
+	filterReads int64
+	wall        time.Duration
+	diskBytes   int64
+	packedLists int
+	packedBlks  int
+	logicalBits int64
+	walk        time.Duration
+}
+
+func runCodec(layout string, codec, tuples, k, queries, par int, cacheBytes int64, seed int64) (*codecRun, error) {
+	ix, idxDev, m, attrs, err := codecEnv(layout, codec, tuples, par, cacheBytes, seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &codecRun{diskBytes: idxDev.Size()}
+	for _, a := range ix.Attrs() {
+		r.logicalBits += a.BitLen
+		if a.CodedBlocks > 0 {
+			r.packedLists++
+			r.packedBlks += a.CodedBlocks
+		}
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	targets := make([]float64, queries)
+	for i := range targets {
+		targets[i] = rng.Float64() * float64(tuples)
+	}
+	for _, target := range targets {
+		// The wide query: one numeric term per sparse attribute, all at
+		// the same target, so the filter phase scans every packed list.
+		q := &model.Query{K: k}
+		for _, id := range attrs {
+			q.Terms = append(q.Terms, model.QueryTerm{Attr: id, Kind: model.KindNumeric, Num: target})
+		}
+		res, st, err := ix.Search(q, m)
+		if err != nil {
+			return nil, err
+		}
+		r.results = append(r.results, res)
+		r.filterReads += st.FilterIO.PhysReads
+		r.wall += st.Total()
+	}
+	// Decode throughput: the integrity check's second pass walks every
+	// vector list end to end through the codec read path.
+	start := time.Now()
+	rep, err := ix.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		return nil, fmt.Errorf("bench: codec %d %s check: %v", codec, layout, rep.Problems)
+	}
+	r.walk = time.Since(start)
+	return r, nil
+}
+
+// codecPoint measures one (layout, k) cell: the same data and query set
+// under codec 0 and codec 1, byte-identical answers required.
+func codecPoint(layout string, tuples, k, queries, par int, cacheBytes int64, seed int64) (CodecBenchPoint, error) {
+	const pageBytes = 4096
+	raw, err := runCodec(layout, 0, tuples, k, queries, par, cacheBytes, seed)
+	if err != nil {
+		return CodecBenchPoint{}, err
+	}
+	packed, err := runCodec(layout, 1, tuples, k, queries, par, cacheBytes, seed)
+	if err != nil {
+		return CodecBenchPoint{}, err
+	}
+	pt := CodecBenchPoint{
+		Layout: layout, K: k, Queries: queries,
+		PackedLists: packed.packedLists, PackedBlocks: packed.packedBlks,
+		DiskBytesRaw: raw.diskBytes, DiskBytesPacked: packed.diskBytes,
+		FilterReadBytesRaw:    raw.filterReads * pageBytes,
+		FilterReadBytesPacked: packed.filterReads * pageBytes,
+		WallRawMS:             float64(raw.wall.Nanoseconds()) / 1e6,
+		WallPackedMS:          float64(packed.wall.Nanoseconds()) / 1e6,
+		ResultsMatch:          true,
+	}
+	for i := range raw.results {
+		if len(raw.results[i]) != len(packed.results[i]) {
+			pt.ResultsMatch = false
+			break
+		}
+		for j := range raw.results[i] {
+			if raw.results[i][j] != packed.results[i][j] {
+				pt.ResultsMatch = false
+			}
+		}
+	}
+	if raw.diskBytes > 0 {
+		pt.DiskSaved = 1 - float64(packed.diskBytes)/float64(raw.diskBytes)
+	}
+	if raw.filterReads > 0 {
+		pt.FilterReadSaved = 1 - float64(packed.filterReads)/float64(raw.filterReads)
+	}
+	mbps := func(bits int64, d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return (float64(bits) / 8 / 1e6) / d.Seconds()
+	}
+	pt.DecodeRawMBps = mbps(raw.logicalBits, raw.walk)
+	pt.DecodePackedMBps = mbps(packed.logicalBits, packed.walk)
+	if pt.DecodeRawMBps > 0 {
+		pt.DecodeSpeedup = pt.DecodePackedMBps / pt.DecodeRawMBps
+	}
+	return pt, nil
+}
+
+// RunCodecBench sweeps {skewed, uniform} × {low k, high k}. The cache is
+// kept small relative to the index so the filter phase actually touches the
+// device and the physical-read delta is visible.
+func RunCodecBench(tuples, par int, seed int64) (*CodecBenchResult, error) {
+	if tuples <= 0 {
+		tuples = 40000
+	}
+	if par <= 0 {
+		par = 1
+	}
+	const cacheBytes = 256 << 10
+	const queries = 40
+	res := &CodecBenchResult{
+		Tuples:          tuples,
+		CheckpointEvery: codecBenchStripe,
+		Parallelism:     par,
+		CacheBytes:      cacheBytes,
+		Seed:            seed,
+	}
+	for _, layout := range []string{"skewed", "uniform"} {
+		for _, k := range []int{1, 100} {
+			pt, err := codecPoint(layout, tuples, k, queries, par, cacheBytes, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: codec %s k=%d: %w", layout, k, err)
+			}
+			if !pt.ResultsMatch {
+				return nil, fmt.Errorf("bench: codec %s k=%d: answers diverged between codecs", layout, k)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// JSON renders the artifact for BENCH_codec.json.
+func (r *CodecBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

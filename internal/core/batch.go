@@ -39,6 +39,11 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 		if w, ok := writers[a]; ok {
 			return w, encoders[a], nil
 		}
+		if ix.attrs[a].dirBroken {
+			// No known tail position on a packed list whose block directory
+			// was dropped; the rebuild path recreates it (see Insert).
+			return nil, nil, ErrNeedsRebuild
+		}
 		enc, err := vector.NewEncoder(ix.attrs[a].layout)
 		if err != nil {
 			return nil, nil, err
@@ -165,8 +170,7 @@ func (ix *Index) InsertBatch(batch []map[model.AttrID]model.Value) ([]model.TID,
 		if w.Len() == 0 {
 			continue
 		}
-		st := &ix.attrs[a]
-		if st.bitLen, err = storage.AppendBits(ix.segs, st.chain, st.bitLen, w.Bytes(), w.Len()); err != nil {
+		if err := ix.appendList(&ix.attrs[a], w.Bytes(), w.Len()); err != nil {
 			return nil, err
 		}
 	}

@@ -113,6 +113,13 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 			return nil, err
 		}
 		st := attrState{layout: layout, chain: chain, alpha: alpha, quant: quant, exists: true}
+		// Only tid-bearing organizations benefit from the packed codec's
+		// delta transform; positional lists stay raw (codec 0) so their
+		// absolute-seek reads keep costing nothing.
+		if opts.Codec == int(vector.CodecPacked) &&
+			(layout.Type == vector.TypeI || layout.Type == vector.TypeII) {
+			st.codecID = vector.CodecPacked
+		}
 		ix.attrs = append(ix.attrs, st)
 		b, err := newListBuilder(ix, model.AttrID(id))
 		if err != nil {
@@ -142,8 +149,16 @@ func Build(tbl *table.Table, f *storage.File, opts Options) (*Index, error) {
 		}
 		pos := int64(len(ix.entries))
 		if pos%ix.ckptEvery == 0 {
-			// Stripe boundary: each attribute's next element header sits at
-			// its flushed length plus whatever the builder still buffers.
+			// Stripe boundary: packed lists seal the finished stripe into a
+			// block container first (after which their buffers are empty and
+			// bitLen covers the stripe), then each attribute's next element
+			// header sits at its flushed length plus whatever the builder
+			// still buffers.
+			for _, b := range builders {
+				if err := b.sealStripe(); err != nil {
+					return err
+				}
+			}
 			ix.recordCheckpoint(pos, ix.currentAttrOffsets(func(a int) int64 {
 				return int64(builders[a].w.Len())
 			}))
@@ -259,6 +274,11 @@ func (b *listBuilder) addNDF(tid model.TID) error {
 }
 
 func (b *listBuilder) maybeFlush() error {
+	// Packed lists must buffer whole stripes: sealStripe flushes them at
+	// each checkpoint boundary instead of at a byte budget.
+	if b.ix.attrs[b.attr].codecID != vector.CodecRaw {
+		return nil
+	}
 	if b.w.Len() < flushThreshold {
 		return nil
 	}
@@ -266,15 +286,55 @@ func (b *listBuilder) maybeFlush() error {
 }
 
 func (b *listBuilder) flush() error {
+	st := &b.ix.attrs[b.attr]
+	if st.codecID != vector.CodecRaw {
+		// The final partial stripe seals like a full one, so a fresh build
+		// leaves no raw tail at all.
+		return b.sealStripe()
+	}
 	if b.w.Len() == 0 {
 		return nil
 	}
-	st := &b.ix.attrs[b.attr]
 	n, err := storage.AppendBits(b.ix.segs, st.chain, st.bitLen, b.w.Bytes(), b.w.Len())
 	if err != nil {
 		return err
 	}
 	st.bitLen = n
+	b.w.Reset()
+	return nil
+}
+
+// sealStripe transcodes the buffered stripe of a packed attribute into one
+// self-describing block container and appends it word-aligned behind the
+// coded region. No-op for codec-0 attributes and empty buffers. During
+// Build the tail is always empty, so physBits() is exactly codedWords*64
+// and blocks stay word-aligned in the physical stream.
+func (b *listBuilder) sealStripe() error {
+	st := &b.ix.attrs[b.attr]
+	if st.codecID == vector.CodecRaw || b.w.Len() == 0 {
+		return nil
+	}
+	cdc, ok := vector.CodecByID(st.codecID)
+	if !ok {
+		return fmt.Errorf("core: attr %d: unknown codec %d", b.attr, st.codecID)
+	}
+	words, err := cdc.Seal(st.layout, b.w.Bytes(), int64(b.w.Len()))
+	if err != nil {
+		return err
+	}
+	var pw bitio.Writer
+	for _, x := range words {
+		pw.WriteBits(x, 64)
+	}
+	if _, err := storage.AppendBits(b.ix.segs, st.chain, st.physBits(), pw.Bytes(), pw.Len()); err != nil {
+		return err
+	}
+	st.dir = append(st.dir, vector.BlockMeta{
+		PhysWord: st.codedWords, LogicalStart: st.codedLogical, LogicalBits: int64(b.w.Len()),
+	})
+	st.codedWords += int64(len(words))
+	st.codedLogical += int64(b.w.Len())
+	st.bitLen += int64(b.w.Len())
 	b.w.Reset()
 	return nil
 }

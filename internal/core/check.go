@@ -102,7 +102,12 @@ func (ix *Index) Check() (CheckReport, error) {
 		}
 		rep.Attributes++
 		aid := model.AttrID(id)
-		cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
+		src, err := ix.termSource(st, rds.open(ix, st.chain, st.physBits()))
+		if err != nil {
+			rep.addf("attr %d: codec source: %v", id, err)
+			continue
+		}
+		cur, err := vector.NewCursor(st.layout, src)
 		if err != nil {
 			rep.addf("attr %d: cursor: %v", id, err)
 			continue
@@ -172,6 +177,10 @@ type AttrReport struct {
 	BitLen   int64
 	DF       int64
 	Str      int64
+	// Codec names the block codec the list is stored under (format v6);
+	// CodedBlocks is the number of sealed block containers it holds.
+	Codec       string
+	CodedBlocks int
 }
 
 // Attrs returns a layout report per indexed attribute.
@@ -186,11 +195,13 @@ func (ix *Index) Attrs() []AttrReport {
 			continue
 		}
 		r := AttrReport{
-			ID:       model.AttrID(id),
-			Kind:     st.layout.Kind,
-			ListType: st.layout.Type,
-			Alpha:    st.alpha,
-			BitLen:   st.bitLen,
+			ID:          model.AttrID(id),
+			Kind:        st.layout.Kind,
+			ListType:    st.layout.Type,
+			Alpha:       st.alpha,
+			BitLen:      st.bitLen,
+			Codec:       vector.CodecName(st.codecID),
+			CodedBlocks: len(st.dir),
 		}
 		if id < len(infos) {
 			r.Name = infos[id].Name

@@ -7,6 +7,7 @@ import (
 	"github.com/sparsewide/iva/internal/model"
 	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/table"
+	"github.com/sparsewide/iva/internal/vector"
 )
 
 // corruptionFixture is a small store on raw MemDevices so the sweep can flip
@@ -21,9 +22,22 @@ type corruptionFixture struct {
 	// detected: the superblock prefix and every fully-committed byte of a
 	// checksum-covered segment.
 	committed map[int64]bool
+	// packedAttrs counts vector lists stored under a block codec, so sweeps
+	// that exist to torture v6 blocks can assert they are not vacuous.
+	packedAttrs int
 }
 
 func buildCorruptionFixture(t *testing.T) *corruptionFixture {
+	t.Helper()
+	return buildCorruptionFixtureWith(t, Options{CheckpointEvery: 16}, false)
+}
+
+// buildCorruptionFixtureWith builds the fixture under explicit options, so
+// the sweep can rerun against packed vector lists (format v6 codec 1).
+// sparse switches to a low-density population: the cost-based layout chooser
+// only assigns the tid-bearing Types I/II — the ones the packed codec
+// applies to — when attributes are sparse enough to beat positional storage.
+func buildCorruptionFixtureWith(t *testing.T, opts Options, sparse bool) *corruptionFixture {
 	t.Helper()
 	cf := &corruptionFixture{
 		tblDev:    storage.NewMemDevice(),
@@ -46,9 +60,16 @@ func buildCorruptionFixture(t *testing.T) *corruptionFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
+	txtEvery := 2
+	if sparse {
+		// Sparse enough that the text list goes tid-bearing (and packed under
+		// codec 1); the dense numeric stays positional/raw, so the sweep
+		// tortures packed blocks and a raw list side by side.
+		txtEvery = 11
+	}
 	for i := 0; i < 160; i++ {
 		vals := map[model.AttrID]model.Value{num: model.Num(float64(i%37) * 3)}
-		if i%2 == 0 {
+		if i%txtEvery == 0 {
 			vals[txt] = model.Text(fmt.Sprintf("camera model %d", i%23))
 		}
 		if _, _, err := tbl.Append(vals); err != nil {
@@ -58,12 +79,17 @@ func buildCorruptionFixture(t *testing.T) *corruptionFixture {
 	if err := tbl.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 16})
+	ix, err := Build(tbl, idxF, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ix.parallelEligible() {
 		t.Fatal("fixture not parallel-eligible")
+	}
+	for i := range ix.attrs {
+		if ix.attrs[i].codecID != vector.CodecRaw {
+			cf.packedAttrs++
+		}
 	}
 
 	qn := &model.Query{K: 5}

@@ -77,7 +77,11 @@ func (ix *Index) ExplainSearch(q *model.Query, m *metric.Metric) (*Explain, erro
 		te := TermExplain{Attr: term.Attr, Kind: term.Kind, MinEst: math.Inf(1)}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
+			src, err := ix.termSource(st, rds.open(ix, st.chain, st.physBits()))
+			if err != nil {
+				return nil, err
+			}
+			cur, err := vector.NewCursor(st.layout, src)
 			if err != nil {
 				return nil, err
 			}

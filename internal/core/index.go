@@ -76,6 +76,13 @@ type Options struct {
 	// IntegrityDegrade (default) widens corrupt vector segments to zero
 	// lower bounds, IntegrityStrict fails fast.
 	Integrity IntegrityMode
+	// Codec selects the block codec for vector lists built by Build/Rebuild
+	// (format v6): 0 stores the raw bit-packed streams byte-compatible with
+	// v5; 1 packs sealed stripes into word-aligned blocks with skip headers
+	// and delta-coded tuple-id gaps. Results are byte-identical either way
+	// — the codec changes only the physical layout. Type III/IV lists and
+	// post-build tail appends always store raw bits regardless.
+	Codec int
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +121,9 @@ func (o Options) Validate() error {
 	if o.NumericBytes < 1 || o.NumericBytes > 8 {
 		return fmt.Errorf("core: numeric bytes = %d, want in [1,8]", o.NumericBytes)
 	}
+	if _, ok := vector.CodecByID(uint8(o.Codec)); !ok || o.Codec < 0 || o.Codec > 255 {
+		return fmt.Errorf("core: codec = %d, want a registered codec id", o.Codec)
+	}
 	return nil
 }
 
@@ -135,9 +145,14 @@ const (
 	// trailers, and an out-of-line per-segment checksum map in a ping-ponged
 	// pair of checksum chains; v5 adds the stripe zone-map chain (see
 	// zonemap.go), which shifts the superblock CRC trailer to make room for
-	// its two fields. Older versions still open (checksum-free for pre-v4,
-	// with a warning gauge) and are upgraded in place by their next Sync.
-	indexVersion = 5
+	// its two fields; v6 adds pluggable block codecs for vector lists (see
+	// vector/codec.go) — the codec id and coded-region length live in the
+	// attribute element (bytes 5 and 56..59), so the superblock layout and
+	// its CRC trailer offset are unchanged from v5 and a v5 file upgrades in
+	// place on its first Sync just by committing the new version word.
+	// Older versions still open (checksum-free for pre-v4, with a warning
+	// gauge) and are upgraded in place by their next Sync.
+	indexVersion = 6
 	ptrBits      = 40 // table offsets up to 1 TiB
 )
 
@@ -168,6 +183,14 @@ func sbCRCOffFor(version uint32) int {
 const tombstonePtr = uint64(1)<<ptrBits - 1
 
 // attrState is the in-memory attribute-list element.
+//
+// bitLen is always the LOGICAL length of the vector list — the bit stream
+// the Encoder produced and every reader, checkpoint and zone map addresses.
+// Under codec 0 the physical stream is identical. Under codec 1 sealed
+// stripes are transcoded into block containers occupying codedWords whole
+// 64-bit words, followed by a raw tail of (bitLen - codedLogical) logical
+// bits appended by inserts since the last seal; physBits() is the physical
+// stream length checksums and appends operate on.
 type attrState struct {
 	layout vector.Layout
 	chain  storage.ChainID
@@ -175,6 +198,26 @@ type attrState struct {
 	alpha  float64        // the attribute's relative vector length
 	quant  *vaq.Quantizer // numeric attributes
 	exists bool           // attribute has a vector list
+
+	// Format-v6 block codec state. codecID and codedWords persist in the
+	// attribute element; codedLogical and dir are rebuilt at open time by
+	// walking the self-describing block headers (vector.WalkBlocks), so
+	// they survive dropped checkpoint chains. dirBroken marks a packed
+	// list whose directory failed that walk under DegradeReads: reads
+	// degrade per the usual corrupt-segment policy and writes demand a
+	// rebuild (the tail position is unknowable).
+	codecID      uint8
+	codedWords   int64
+	codedLogical int64
+	dir          []vector.BlockMeta
+	dirBroken    bool
+}
+
+// physBits returns the physical bit length of the attribute's vector list:
+// the sealed block containers plus the raw logical tail. Equal to bitLen
+// under codec 0 (codedWords and codedLogical are both zero).
+func (a *attrState) physBits() int64 {
+	return a.codedWords*64 + (a.bitLen - a.codedLogical)
 }
 
 // tupleEntry mirrors one on-disk tuple-list element.
@@ -439,6 +482,7 @@ func (ix *Index) writeAttrList(chain storage.ChainID) error {
 		e[2] = byte(a.layout.LTid)
 		e[3] = byte(a.layout.LNum)
 		e[4] = byte(a.layout.VecBits)
+		e[5] = a.codecID
 		binary.LittleEndian.PutUint32(e[8:], uint32(a.chain))
 		binary.LittleEndian.PutUint64(e[12:], uint64(a.bitLen))
 		binary.LittleEndian.PutUint64(e[20:], a.layout.NDFCode)
@@ -448,6 +492,9 @@ func (ix *Index) writeAttrList(chain storage.ChainID) error {
 			binary.LittleEndian.PutUint64(e[36:], math.Float64bits(max))
 		}
 		binary.LittleEndian.PutUint64(e[44:], math.Float64bits(a.alpha))
+		// The coded-region word count as u32 caps one attribute's sealed
+		// blocks at 32 GiB — far beyond the packed tid widths anyway.
+		binary.LittleEndian.PutUint32(e[56:], uint32(a.codedWords))
 	}
 	return ix.segs.WriteAt(chain, buf, 0)
 }
@@ -473,6 +520,19 @@ func (ix *Index) readAttrList(n int, chain storage.ChainID) error {
 		a.bitLen = int64(binary.LittleEndian.Uint64(e[12:]))
 		a.layout.NDFCode = binary.LittleEndian.Uint64(e[20:])
 		a.alpha = math.Float64frombits(binary.LittleEndian.Uint64(e[44:]))
+		// Codec fields are meaningful from v6 on; genuine v5 elements hold
+		// zeros there, but gate on the committed version anyway so stray
+		// bytes in an older file cannot fabricate a coded region.
+		if ix.version >= 6 {
+			a.codecID = e[5]
+			a.codedWords = int64(binary.LittleEndian.Uint32(e[56:]))
+			if _, ok := vector.CodecByID(a.codecID); !ok {
+				return fmt.Errorf("core: attr %d: unknown codec %d", i, a.codecID)
+			}
+			if a.codecID == vector.CodecRaw && a.codedWords != 0 {
+				return fmt.Errorf("core: attr %d: raw codec with %d coded words", i, a.codedWords)
+			}
+		}
 		if a.alpha == 0 {
 			a.alpha = ix.opts.Alpha
 		}
@@ -746,6 +806,9 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	if err := ix.readAttrList(nattrs, ix.slotChain(ix.attrSlot)); err != nil {
 		return nil, err
 	}
+	if err := ix.loadCodecDirs(); err != nil {
+		return nil, err
+	}
 	if err := ix.loadTupleList(entryCount); err != nil {
 		return nil, err
 	}
@@ -764,6 +827,64 @@ func Open(f *storage.File, tbl *table.Table, opts Options) (*Index, error) {
 	}
 	ix.zacc.reset(ix.zonesEnabled() && int64(len(ix.entries))%ix.ckptEvery == 0)
 	return ix, nil
+}
+
+// loadCodecDirs rebuilds every packed attribute's block directory by walking
+// the self-describing block headers (the directory is deliberately not
+// persisted: checkpoint chains may be dropped wholesale under DegradeReads,
+// so block metadata cannot depend on them). The walk reads through a
+// verifying chain reader, so segment checksums cover the block headers.
+// Damage fails the open under Strict; under DegradeReads the attribute is
+// marked dirBroken — reads degrade to zero bounds, writes demand a rebuild.
+func (ix *Index) loadCodecDirs() error {
+	for i := range ix.attrs {
+		st := &ix.attrs[i]
+		if !st.exists || st.codecID == vector.CodecRaw {
+			continue
+		}
+		dir, logical, err := ix.walkCodecDir(st)
+		if err == nil && logical > st.bitLen {
+			err = &storage.CorruptionError{File: "iva.idx", Offset: -1,
+				Segment: storage.NoCorruptSegment,
+				Detail:  fmt.Sprintf("attr %d blocks decode to %d bits, list holds %d", i, logical, st.bitLen)}
+		}
+		if err != nil {
+			var ce *storage.CorruptionError
+			if !errors.As(err, &ce) || ix.imode == IntegrityStrict {
+				return err
+			}
+			st.dir, st.codedLogical = nil, 0
+			st.dirBroken = true
+			ix.integ.droppedCodecDirs++
+			continue
+		}
+		st.dir, st.codedLogical = dir, logical
+	}
+	return nil
+}
+
+func (ix *Index) walkCodecDir(st *attrState) ([]vector.BlockMeta, int64, error) {
+	r := storage.NewChainBitReader(ix.segs, st.chain, st.codedWords*64)
+	defer r.Close()
+	ix.attachVerify(r, st.chain)
+	return vector.WalkBlocks(r, st.codedWords)
+}
+
+// termSource wraps an attribute's physical chain reader (opened over
+// physBits()) into the logical BitSource cursors consume. Codec-0 lists
+// return the reader itself; packed lists return a BlockSource over the
+// block directory. A dirBroken packed list returns the typed corruption
+// error the caller's degrade-or-fail policy already handles.
+func (ix *Index) termSource(st *attrState, rd *storage.ChainBitReader) (vector.BitSource, error) {
+	if st.codecID == vector.CodecRaw {
+		return rd, nil
+	}
+	if st.dirBroken {
+		return nil, &storage.CorruptionError{File: "iva.idx", Offset: -1,
+			Segment: storage.NoCorruptSegment,
+			Detail:  "packed vector list with dropped block directory"}
+	}
+	return vector.NewBlockSource(st.layout, rd, st.dir, st.codedWords, st.bitLen), nil
 }
 
 // loadTupleList reads the on-disk tuple list into the in-memory mirror.

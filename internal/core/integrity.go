@@ -52,9 +52,12 @@ type integrityState struct {
 	mapDropped bool
 	// droppedCkpts counts checkpoint records discarded at open because their
 	// CRC trailer mismatched (DegradeReads only); droppedZones likewise for
-	// zone-map records.
-	droppedCkpts int
-	droppedZones int
+	// zone-map records, droppedCodecDirs for packed-list block directories
+	// whose open-time header walk failed (the list then reads degraded and
+	// rejects writes until a rebuild).
+	droppedCkpts     int
+	droppedZones     int
+	droppedCodecDirs int
 }
 
 // chainCover names one chain whose committed prefix the checksum map covers.
@@ -111,7 +114,9 @@ func (ix *Index) coveredChains(attrList storage.ChainID) []chainCover {
 	}
 	for i := range ix.attrs {
 		if ix.attrs[i].exists {
-			covers = append(covers, chainCover{ix.attrs[i].chain, ix.attrs[i].bitLen})
+			// Checksums cover the PHYSICAL stream: under codec 1 that is the
+			// sealed block containers (headers included) plus the raw tail.
+			covers = append(covers, chainCover{ix.attrs[i].chain, ix.attrs[i].physBits()})
 		}
 	}
 	return covers
@@ -524,4 +529,14 @@ func (ix *Index) DroppedCheckpoints() int {
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	return it.droppedCkpts
+}
+
+// DroppedCodecDirs returns the number of packed vector lists whose block
+// directory failed its open-time header walk and now reads degraded
+// (DegradeReads only; Strict fails the open instead).
+func (ix *Index) DroppedCodecDirs() int {
+	it := &ix.integ
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.droppedCodecDirs
 }

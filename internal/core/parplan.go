@@ -315,21 +315,28 @@ func (sw *stripeWorker) scanStripe(s int64) error {
 			sc.termRds = append(sc.termRds, nil)
 		}
 		if sc.termRds[i] == nil {
-			sc.termRds[i] = storage.NewChainBitReader(ix.segs, ts.st.chain, ts.st.bitLen)
+			sc.termRds[i] = storage.NewChainBitReader(ix.segs, ts.st.chain, ts.st.physBits())
 		} else {
-			sc.termRds[i].Reset(ix.segs, ts.st.chain, ts.st.bitLen)
+			sc.termRds[i].Reset(ix.segs, ts.st.chain, ts.st.physBits())
 		}
 		ix.attachVerify(sc.termRds[i], ts.st.chain)
-		cur, err := vector.NewCursorAt(ts.st.layout, sc.termRds[i],
-			ck.attrOffset(int(ts.term.Attr)), startPos)
-		if err != nil {
-			if ix.degradeTerm(ts, err, sw.degSegs) {
+		// A fresh logical source per stripe per term: for packed lists the
+		// BlockSource decodes blocks on demand, and checkpoint offsets — which
+		// are logical — seek straight through it.
+		src, err := ix.termSource(ts.st, sc.termRds[i])
+		if err == nil {
+			var cur *vector.Cursor
+			if cur, err = vector.NewCursorAt(ts.st.layout, src,
+				ck.attrOffset(int(ts.term.Attr)), startPos); err == nil {
+				cur.EnableScratch()
+				ts.cursor = cur
 				continue
 			}
-			return err
 		}
-		cur.EnableScratch()
-		ts.cursor = cur
+		if ix.degradeTerm(ts, err, sw.degSegs) {
+			continue
+		}
+		return err
 	}
 	if cap(sc.diffs) < len(sw.terms) {
 		sc.diffs = make([]float64, len(sw.terms))

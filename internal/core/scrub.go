@@ -37,6 +37,12 @@ type ScrubReport struct {
 	CorruptZones int
 	DroppedZones int
 
+	// DroppedCodecDirs counts packed vector lists (v6) whose block
+	// directory failed its header walk at open: under DegradeReads their
+	// terms degrade to zero bounds (answers stay exact, filtering does
+	// not), and writes demand a rebuild.
+	DroppedCodecDirs int
+
 	// SuperblockOK reports the superblock trailer check; MapDropped that the
 	// committed checksum map was unreadable at open (or is now) and segment
 	// coverage is degraded until the next Sync.
@@ -53,6 +59,7 @@ type ScrubReport struct {
 func (r *ScrubReport) Clean() bool {
 	return r.CorruptSegments == 0 && r.CorruptCheckpoints == 0 &&
 		r.DroppedCheckpoints == 0 && r.CorruptZones == 0 && r.DroppedZones == 0 &&
+		r.DroppedCodecDirs == 0 &&
 		r.SuperblockOK && !r.MapDropped && len(r.Problems) == 0
 }
 
@@ -164,6 +171,12 @@ func (ix *Index) ScrubYield(yield func()) (*ScrubReport, error) {
 	it.mu.Unlock()
 	if rep.DroppedZones > 0 {
 		rep.addProblem("%d zone-map records dropped at open", rep.DroppedZones)
+	}
+	it.mu.Lock()
+	rep.DroppedCodecDirs = it.droppedCodecDirs
+	it.mu.Unlock()
+	if rep.DroppedCodecDirs > 0 {
+		rep.addProblem("%d packed vector-list block directories dropped at open", rep.DroppedCodecDirs)
 	}
 	if ix.version >= 5 && ix.zonesEnabled() {
 		count := int(binary.LittleEndian.Uint32(b[sbZoneCountOff:]))

@@ -285,24 +285,30 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 	defer func() { stats.DegradedSegments = len(degSegs) }()
 	var rds readerSet
 	defer rds.close()
-	// Term readers are kept by index so a zone-pruned stripe can reseat the
-	// cursors from the next checkpoint instead of reopening readers.
-	termRds := make([]*storage.ChainBitReader, len(terms))
+	// Term sources are kept by index so a zone-pruned stripe can reseat the
+	// cursors from the next checkpoint instead of reopening readers. Each
+	// reader spans the attribute's PHYSICAL stream; termSource wraps it so
+	// cursors see logical element bits regardless of codec.
+	termSrcs := make([]vector.BitSource, len(terms))
 	for i := range terms {
 		if terms[i].st == nil {
 			continue
 		}
 		st := terms[i].st
-		termRds[i] = rds.open(ix, st.chain, st.bitLen)
-		cur, err := vector.NewCursor(st.layout, termRds[i])
-		if err != nil {
-			if ix.degradeTerm(&terms[i], err, degSegs) {
+		src, err := ix.termSource(st, rds.open(ix, st.chain, st.physBits()))
+		if err == nil {
+			var cur *vector.Cursor
+			if cur, err = vector.NewCursor(st.layout, src); err == nil {
+				cur.EnableScratch()
+				termSrcs[i] = src
+				terms[i].cursor = cur
 				continue
 			}
-			return nil, stats, err
 		}
-		cur.EnableScratch()
-		terms[i].cursor = cur
+		if ix.degradeTerm(&terms[i], err, degSegs) {
+			continue
+		}
+		return nil, stats, err
 	}
 
 	pool := topk.New(q.K)
@@ -336,7 +342,7 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 						break
 					}
 					if ix.checkpointsEnabled() && s+1 < int64(len(ix.ckpts)) {
-						if err := ix.seqReseat(terms, termRds, tr, next, ix.ckpts[s+1], degSegs); err != nil {
+						if err := ix.seqReseat(terms, termSrcs, tr, next, ix.ckpts[s+1], degSegs); err != nil {
 							return nil, stats, err
 						}
 						stats.StripesZonePruned++
@@ -438,10 +444,12 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 
 // seqReseat advances the sequential scan past a zone-pruned stripe: the
 // tuple reader seeks to position next, and every usable term cursor reopens
-// on its existing reader at ck — the checkpoint of the stripe starting at
-// next. Terms already degraded stay degraded (sequential semantics: a
-// degraded term contributes a zero bound for the rest of the scan).
-func (ix *Index) seqReseat(terms []termState, termRds []*storage.ChainBitReader, tr *storage.ChainBitReader, next int64, ck checkpoint, degSegs map[uint32]struct{}) error {
+// on its existing source at ck — the checkpoint of the stripe starting at
+// next. Checkpoint offsets are logical, which is exactly the coordinate a
+// term source's SeekBit speaks. Terms already degraded stay degraded
+// (sequential semantics: a degraded term contributes a zero bound for the
+// rest of the scan).
+func (ix *Index) seqReseat(terms []termState, termSrcs []vector.BitSource, tr *storage.ChainBitReader, next int64, ck checkpoint, degSegs map[uint32]struct{}) error {
 	if err := tr.SeekBit(next * int64(ix.elemBits())); err != nil {
 		return err
 	}
@@ -450,7 +458,7 @@ func (ix *Index) seqReseat(terms []termState, termRds []*storage.ChainBitReader,
 		if ts.st == nil || ts.cursor == nil || ts.degraded {
 			continue
 		}
-		cur, err := vector.NewCursorAt(ts.st.layout, termRds[i], ck.attrOffset(int(ts.term.Attr)), next)
+		cur, err := vector.NewCursorAt(ts.st.layout, termSrcs[i], ck.attrOffset(int(ts.term.Attr)), next)
 		if err != nil {
 			if ix.degradeTerm(ts, err, degSegs) {
 				continue

@@ -55,7 +55,11 @@ func (ix *Index) SequentialPlanStats(q *model.Query, m *metric.Metric) (PlanStat
 		ts := termState{term: term}
 		if int(term.Attr) < len(ix.attrs) && ix.attrs[term.Attr].exists {
 			st := &ix.attrs[term.Attr]
-			cur, err := vector.NewCursor(st.layout, rds.open(ix, st.chain, st.bitLen))
+			src, err := ix.termSource(st, rds.open(ix, st.chain, st.physBits()))
+			if err != nil {
+				return ps, err
+			}
+			cur, err := vector.NewCursor(st.layout, src)
 			if err != nil {
 				return ps, err
 			}

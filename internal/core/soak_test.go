@@ -7,28 +7,27 @@ import (
 	"time"
 )
 
-// TestCorruptionSoak is the randomized companion to the deterministic
-// torture sweep: for a bounded wall-clock budget it keeps flipping random
-// bits (sometimes several at once) anywhere in the committed index image,
-// reopening in a random integrity mode at a random parallelism, and holding
-// the same contract — fail or answer exactly, and always detect damage to
-// checksummed bytes. The budget defaults to ~2s so the tier-1 run stays
-// fast; nightly CI sets IVA_CORRUPTION_SOAK (a Go duration) to run it for
-// minutes under -race.
-func TestCorruptionSoak(t *testing.T) {
+func soakBudget(t *testing.T, env string) time.Duration {
 	budget := 2 * time.Second
-	if env := os.Getenv("IVA_CORRUPTION_SOAK"); env != "" {
-		d, err := time.ParseDuration(env)
+	if v := os.Getenv(env); v != "" {
+		d, err := time.ParseDuration(v)
 		if err != nil {
-			t.Fatalf("IVA_CORRUPTION_SOAK=%q: %v", env, err)
+			t.Fatalf("%s=%q: %v", env, v, err)
 		}
 		budget = d
 	} else if testing.Short() {
 		budget = 300 * time.Millisecond
 	}
+	return budget
+}
 
-	cf := buildCorruptionFixture(t)
-	rng := rand.New(rand.NewSource(0x50a4_c0de))
+// corruptionSoak keeps flipping random bits (sometimes several at once)
+// anywhere in the fixture's committed index image for a bounded wall-clock
+// budget, reopening in a random integrity mode at a random parallelism, and
+// holds the usual contract — fail or answer exactly, and always detect
+// damage to checksummed bytes.
+func corruptionSoak(t *testing.T, cf *corruptionFixture, budget time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
 	deadline := time.Now().Add(budget)
 	iters, degradedTotal := 0, 0
 	for time.Now().Before(deadline) {
@@ -59,4 +58,24 @@ func TestCorruptionSoak(t *testing.T) {
 	if iters < 3 {
 		t.Fatalf("soak budget %v only allowed %d iterations", budget, iters)
 	}
+}
+
+// TestCorruptionSoak is the randomized companion to the deterministic
+// torture sweep over a codec-0 image. The budget defaults to ~2s so the
+// tier-1 run stays fast; nightly CI sets IVA_CORRUPTION_SOAK (a Go
+// duration) to run it for minutes under -race.
+func TestCorruptionSoak(t *testing.T) {
+	corruptionSoak(t, buildCorruptionFixture(t), soakBudget(t, "IVA_CORRUPTION_SOAK"), 0x50a4_c0de)
+}
+
+// TestCodecCorruptionSoak repeats the randomized soak over a format-v6
+// image whose text list is stored as packed blocks, so random flips land in
+// block headers, delta payloads and the raw tail as well as the structures
+// the codec-0 soak covers. Nightly CI sets IVA_CODEC_SOAK.
+func TestCodecCorruptionSoak(t *testing.T) {
+	cf := buildCorruptionFixtureWith(t, Options{CheckpointEvery: 16, Codec: 1}, true)
+	if cf.packedAttrs == 0 {
+		t.Fatal("codec soak fixture packed no attribute")
+	}
+	corruptionSoak(t, cf, soakBudget(t, "IVA_CODEC_SOAK"), 0x50a4_c0d6)
 }

@@ -41,6 +41,12 @@ func (ix *Index) Insert(values map[model.AttrID]model.Value) (model.TID, error) 
 	touched := make(map[model.AttrID]bool, len(values))
 	encodeFor := func(a model.AttrID, v model.Value, ndf bool) error {
 		st := &ix.attrs[a]
+		if st.dirBroken {
+			// A packed list whose block directory was dropped at open has no
+			// known tail position; appending would corrupt it further. The
+			// rebuild path recreates the list from the table.
+			return ErrNeedsRebuild
+		}
 		enc, err := vector.NewEncoder(st.layout)
 		if err != nil {
 			return err
@@ -125,12 +131,22 @@ func (ix *Index) Insert(values map[model.AttrID]model.Value) (model.TID, error) 
 	ix.posByTID[tid] = pos
 	ix.zoneObserve(values)
 	for _, pw := range writes {
-		st := &ix.attrs[pw.attr]
-		if st.bitLen, err = storage.AppendBits(ix.segs, st.chain, st.bitLen, pw.w.Bytes(), pw.w.Len()); err != nil {
+		if err := ix.appendList(&ix.attrs[pw.attr], pw.w.Bytes(), pw.w.Len()); err != nil {
 			return 0, err
 		}
 	}
 	return tid, nil
+}
+
+// appendList appends nbits of encoded elements at an attribute's physical
+// tail and advances its logical length. Under codec 0 the two coincide;
+// under codec 1 the raw tail starts word-aligned behind the sealed blocks.
+func (ix *Index) appendList(st *attrState, src []byte, nbits int) error {
+	if _, err := storage.AppendBits(ix.segs, st.chain, st.physBits(), src, nbits); err != nil {
+		return err
+	}
+	st.bitLen += int64(nbits)
+	return nil
 }
 
 // growAttrs creates lazy Type I lists for newly registered attributes.

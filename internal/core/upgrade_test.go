@@ -2,12 +2,14 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 
 	"github.com/sparsewide/iva/internal/model"
 	"github.com/sparsewide/iva/internal/storage"
 	"github.com/sparsewide/iva/internal/table"
+	"github.com/sparsewide/iva/internal/vector"
 )
 
 // TestOpenV2Upgrade walks the in-place v2→v3 upgrade. A v2 superblock is
@@ -332,4 +334,364 @@ func TestOpenV4Upgrade(t *testing.T) {
 		}
 	}
 	close3()
+}
+
+// TestOpenV5Upgrade walks the in-place v5→v6 upgrade. v6 added no superblock
+// fields — only the per-attribute codec bytes, which a codec-0 build leaves
+// zero exactly as a v5 writer's element padding did — so downgrading a fresh
+// codec-0 build's version word yields a faithful v5 image. The file must
+// open (every list raw, no block directories), answer identically, then
+// commit version 6 on its first Sync and keep answering across a reopen.
+func TestOpenV5Upgrade(t *testing.T) {
+	pool := storage.NewPool(0, 1<<20)
+	tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+	tblF := storage.NewFile(pool, tblDev)
+	idxF := storage.NewFile(pool, idxDev)
+	cat := table.NewCatalog()
+	num, err := cat.AddAttr("price", model.KindNumeric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := cat.AddAttr("title", model.KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.New(tblF, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		vals := map[model.AttrID]model.Value{num: model.Num(float64(i * 3))}
+		if i%2 == 0 {
+			vals[txt] = model.Text(fmt.Sprintf("row-%d", i), "upgrade")
+		}
+		if _, _, err := tbl.Append(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &model.Query{K: 4}
+	q.NumTerm(num, 30)
+	want, _, err := ix.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblF.Close()
+	idxF.Close()
+
+	downgradeToV5(t, idxDev)
+
+	reopen := func(stage string) (*table.Table, *Index, func()) {
+		p := storage.NewPool(0, 1<<20)
+		tf := storage.NewFile(p, tblDev)
+		xf := storage.NewFile(p, idxDev)
+		tb, err := table.Open(tf, cat)
+		if err != nil {
+			t.Fatalf("%s: table open: %v", stage, err)
+		}
+		x, err := Open(xf, tb, Options{})
+		if err != nil {
+			t.Fatalf("%s: index open: %v", stage, err)
+		}
+		return tb, x, func() { tf.Close(); xf.Close() }
+	}
+	checkSearch := func(stage string, x *Index) {
+		t.Helper()
+		got, _, err := x.Search(q, nil)
+		if err != nil {
+			t.Fatalf("%s: search: %v", stage, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results, want %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d = %+v, want %+v", stage, i, got[i], want[i])
+			}
+		}
+		rep, err := x.Check()
+		if err != nil {
+			t.Fatalf("%s: check: %v", stage, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("%s: check problems: %v", stage, rep.Problems)
+		}
+	}
+
+	tb2, ix2, close2 := reopen("v5 open")
+	if ix2.version != 5 {
+		t.Fatalf("v5 open: version %d, want 5", ix2.version)
+	}
+	for i := range ix2.attrs {
+		st := &ix2.attrs[i]
+		if st.codecID != vector.CodecRaw || st.codedWords != 0 || len(st.dir) != 0 {
+			t.Fatalf("v5 open: attr %d carries codec state", i)
+		}
+	}
+	if !ix2.zonesEnabled() {
+		t.Fatal("v5 open: zone maps lost in the downgrade")
+	}
+	checkSearch("v5 open", ix2)
+
+	// First write + Sync commits version 6 in place; every list stays codec 0.
+	if _, err := ix2.Insert(map[model.AttrID]model.Value{
+		num: model.Num(1000), txt: model.Text("post-upgrade", "upgrade"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.version != indexVersion {
+		t.Fatalf("upgrade sync left version %d, want %d", ix2.version, indexVersion)
+	}
+	checkSearch("post-upgrade", ix2)
+	close2()
+
+	_, ix3, close3 := reopen("v6 reopen")
+	defer close3()
+	if ix3.version != indexVersion {
+		t.Fatalf("v6 reopen: version %d, want %d", ix3.version, indexVersion)
+	}
+	if ix3.Entries() != 25 {
+		t.Fatalf("v6 reopen: %d entries, want 25", ix3.Entries())
+	}
+	for i := range ix3.attrs {
+		if ix3.attrs[i].codecID != vector.CodecRaw {
+			t.Fatalf("v6 reopen: attr %d not codec 0 after upgrade", i)
+		}
+	}
+	checkSearch("v6 reopen", ix3)
+}
+
+// downgradeToV5 rewrites a committed v6 superblock as version 5: no field
+// moves (v6 added none), so only the version word and the CRC over the
+// prefix change.
+func downgradeToV5(t *testing.T, idxDev *storage.MemDevice) {
+	t.Helper()
+	sb := make([]byte, superblockSize)
+	if _, err := idxDev.ReadAt(sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(sb[4:], 5)
+	binary.LittleEndian.PutUint32(sb[sbCRCOff:], storage.Checksum(sb[:sbCRCOff]))
+	if _, err := idxDev.WriteAt(sb, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeCrashSweep replays the v5→v6 upgrade — open a v5 image, insert
+// one row, sync — with the index device armed to fail after every possible
+// number of device operations, exactly like the build/insert torture sweep.
+// Every crash point must leave a state a fresh process recovers: the store
+// opens from one of the two sync-time candidates (24 entries at version 5,
+// or 25 at version 6), passes a full integrity check, answers the baseline
+// query byte-identically, and completes the upgrade on the next sync.
+func TestUpgradeCrashSweep(t *testing.T) {
+	step := int64(1)
+	if testing.Short() {
+		step = 7
+	}
+	crashes := 0
+	for budget := int64(0); ; budget += step {
+		done := runUpgradeCrashOnce(t, budget)
+		if done {
+			t.Logf("sweep done: %d crash points recovered, upgrade uses <%d device ops", crashes, budget)
+			return
+		}
+		crashes++
+	}
+}
+
+// runUpgradeCrashOnce prepares a fresh v5 image, arms the index device with
+// the given fault budget, and drives the upgrade. It reports true when the
+// upgrade ran to completion without tripping the fault.
+func runUpgradeCrashOnce(t *testing.T, budget int64) bool {
+	t.Helper()
+	// Unfaulted setup: build a deterministic codec-0 store and downgrade it.
+	tblDev, idxDev := storage.NewMemDevice(), storage.NewMemDevice()
+	pool := storage.NewPool(0, 1<<20)
+	tblF := storage.NewFile(pool, tblDev)
+	idxF := storage.NewFile(pool, idxDev)
+	cat := table.NewCatalog()
+	num, err := cat.AddAttr("price", model.KindNumeric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := cat.AddAttr("title", model.KindText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.New(tblF, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		vals := map[model.AttrID]model.Value{num: model.Num(float64(i * 3))}
+		if i%2 == 0 {
+			vals[txt] = model.Text(fmt.Sprintf("row-%d", i), "upgrade")
+		}
+		if _, _, err := tbl.Append(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(tbl, idxF, Options{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &model.Query{K: 4}
+	q.NumTerm(num, 30)
+	want, _, err := ix.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catBase := cat.Encode()
+	tblF.Close()
+	idxF.Close()
+	downgradeToV5(t, idxDev)
+
+	// Faulted phase: the v5 open, the insert, and the upgrading sync all run
+	// against the armed index device. The inserted value is far from the
+	// query point, so the baseline top-4 stays valid at 24 and 25 entries.
+	fd := storage.NewFaultDevice(idxDev, budget)
+	fPool := storage.NewPool(0, 1<<20)
+	fTblF := storage.NewFile(fPool, tblDev)
+	fIdxF := storage.NewFile(fPool, fd)
+	defer fTblF.Close()
+	defer fIdxF.Close()
+	fTbl, err := table.Open(fTblF, cat)
+	if err != nil {
+		t.Fatalf("budget %d: table open: %v", budget, err)
+	}
+	var catPost []byte
+	script := func() error {
+		fIx, err := Open(fIdxF, fTbl, Options{})
+		if err != nil {
+			return err
+		}
+		if fIx.version != 5 {
+			t.Fatalf("budget %d: opened version %d, want 5", budget, fIx.version)
+		}
+		if _, err := fIx.Insert(map[model.AttrID]model.Value{
+			num: model.Num(1000), txt: model.Text("post-upgrade", "upgrade"),
+		}); err != nil {
+			return err
+		}
+		catPost = cat.Encode()
+		if err := fTbl.Sync(); err != nil {
+			return err
+		}
+		if err := fIx.Sync(); err != nil {
+			return err
+		}
+		if fIx.version != indexVersion {
+			t.Fatalf("budget %d: upgrade sync left version %d", budget, fIx.version)
+		}
+		return nil
+	}
+	err = script()
+	if err == nil {
+		if fd.Tripped() {
+			t.Fatalf("budget %d: upgrade succeeded past an injected fault", budget)
+		}
+		return true
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("budget %d: crash surfaced a non-injected error: %v", budget, err)
+	}
+
+	// Recovery: disarm, drop every cache, reopen from a sync candidate.
+	fd.Reset(-1)
+	type candidate struct {
+		entries int64
+		cat     []byte
+		version uint32
+	}
+	cands := []candidate{{24, catBase, 5}}
+	if catPost != nil {
+		cands = append(cands, candidate{25, catPost, indexVersion})
+	}
+	rPool := storage.NewPool(0, 1<<20)
+	rTblF := storage.NewFile(rPool, tblDev)
+	rIdxF := storage.NewFile(rPool, idxDev)
+	defer rTblF.Close()
+	defer rIdxF.Close()
+	var (
+		rIx  *Index
+		rTbl *table.Table
+	)
+	for i := len(cands) - 1; i >= 0; i-- {
+		cand := cands[i]
+		cat2, err := table.DecodeCatalog(cand.cat)
+		if err != nil {
+			t.Fatalf("budget %d: candidate %d decode: %v", budget, i, err)
+		}
+		tb, err := table.Open(rTblF, cat2)
+		if err != nil {
+			continue
+		}
+		x, err := Open(rIdxF, tb, Options{})
+		if err != nil {
+			continue
+		}
+		if x.Entries() != cand.entries {
+			continue
+		}
+		if x.version != cand.version {
+			t.Fatalf("budget %d: recovered %d entries at version %d, want %d",
+				budget, x.Entries(), x.version, cand.version)
+		}
+		rIx, rTbl = x, tb
+		break
+	}
+	if rIx == nil {
+		t.Fatalf("budget %d: no sync candidate recovered", budget)
+	}
+	rep, err := rIx.Check()
+	if err != nil {
+		t.Fatalf("budget %d: recovered check: %v", budget, err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("budget %d: recovered state inconsistent: %v", budget, rep.Problems)
+	}
+	got, _, err := rIx.Search(q, nil)
+	if err != nil {
+		t.Fatalf("budget %d: recovered search: %v", budget, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("budget %d: recovered result %d = %+v, want %+v", budget, i, got[i], want[i])
+		}
+	}
+	// Resume: the next insert + sync must finish the upgrade from either
+	// recovered version.
+	if _, err := rIx.Insert(map[model.AttrID]model.Value{num: model.Num(2000)}); err != nil {
+		t.Fatalf("budget %d: resumed insert: %v", budget, err)
+	}
+	if err := rTbl.Sync(); err != nil {
+		t.Fatalf("budget %d: resumed table sync: %v", budget, err)
+	}
+	if err := rIx.Sync(); err != nil {
+		t.Fatalf("budget %d: resumed index sync: %v", budget, err)
+	}
+	if rIx.version != indexVersion {
+		t.Fatalf("budget %d: resumed sync left version %d", budget, rIx.version)
+	}
+	rep, err = rIx.Check()
+	if err != nil || !rep.Ok() {
+		t.Fatalf("budget %d: post-resume check: %v %v", budget, err, rep.Problems)
+	}
+	return false
 }

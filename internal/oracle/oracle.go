@@ -52,6 +52,12 @@ type Options struct {
 	CacheBytes int64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// CodecMirror, when true, runs a fourth engine: a second iVA-file built
+	// with the packed block codec (format v6 codec 1). It sees every
+	// mutation, sync, reopen, and rebuild the raw iVA engine sees, and its
+	// answers must stay byte-identical across the whole parallelism grid —
+	// the codec differential of the v6 format.
+	CodecMirror bool
 }
 
 // Result counts what a run exercised.
@@ -79,6 +85,13 @@ type Result struct {
 	// bit-flip sweeps (0 or 1 per run).
 	ZonePrunes           int
 	ZoneCorruptionChecks int
+	// CodecComparisons counts result lists from the packed-codec mirror
+	// engine diffed against the reference; PackedLists is the largest number
+	// of vector lists observed stored under the packed codec on the mirror
+	// (fresh attributes stay raw until a rebuild re-runs layout selection,
+	// so this only rises once the workload has forced a rebuild).
+	CodecComparisons int
+	PackedLists      int
 }
 
 // combo is one point of the metric grid.
@@ -181,6 +194,9 @@ type harness struct {
 	iva  ivaEngine
 	sii  siiEngine
 	dst  dstEngine
+	// iva2 is the packed-codec mirror engine (Options.CodecMirror); nil when
+	// the mirror is off.
+	iva2 *ivaEngine
 
 	// In-memory reference: the ground truth every engine is diffed against.
 	ref      map[model.TID]*model.Tuple
@@ -208,6 +224,13 @@ func coreOpts() core.Options {
 }
 
 func siiOpts() invidx.Options { return invidx.Options{TIDHeadroom: 256} }
+
+// mirrorOpts is coreOpts with the packed block codec switched on.
+func mirrorOpts() core.Options {
+	o := coreOpts()
+	o.Codec = 1
+	return o
+}
 
 // Run replays opt.Ops workload steps and returns the first divergence as an
 // error carrying its repro seed.
@@ -291,11 +314,30 @@ func newHarness(opt Options) (*harness, error) {
 	if h.dst.sc, err = scan.New(h.dst.tbl); err != nil {
 		return nil, err
 	}
+	if opt.CodecMirror {
+		h.iva2 = &ivaEngine{cat: table.NewCatalog()}
+		if h.iva2.tblH, err = newH("iva2.tbl"); err != nil {
+			return nil, err
+		}
+		if h.iva2.ixH, err = newH("iva2.idx"); err != nil {
+			return nil, err
+		}
+		if h.iva2.tbl, err = table.New(h.iva2.tblH.f, h.iva2.cat); err != nil {
+			return nil, err
+		}
+		if h.iva2.ix, err = core.Build(h.iva2.tbl, h.iva2.ixH.f, mirrorOpts()); err != nil {
+			return nil, err
+		}
+	}
 	return h, nil
 }
 
 func (h *harness) close() {
-	for _, hd := range []*handle{h.iva.tblH, h.iva.ixH, h.sii.tblH, h.sii.ixH, h.dst.tblH} {
+	handles := []*handle{h.iva.tblH, h.iva.ixH, h.sii.tblH, h.sii.ixH, h.dst.tblH}
+	if h.iva2 != nil {
+		handles = append(handles, h.iva2.tblH, h.iva2.ixH)
+	}
+	for _, hd := range handles {
 		if hd != nil && hd.f != nil {
 			hd.f.Close()
 		}
@@ -319,6 +361,15 @@ func (h *harness) attrID(name string, kind model.Kind) (model.AttrID, error) {
 	}
 	if a != b || a != c {
 		return 0, h.failf("catalog id divergence for %q: iva=%d sii=%d dst=%d", name, a, b, c)
+	}
+	if h.iva2 != nil {
+		d, err := h.iva2.cat.AddAttr(name, kind)
+		if err != nil {
+			return 0, h.failf("iva2 catalog: %v", err)
+		}
+		if d != a {
+			return 0, h.failf("catalog id divergence for %q: iva=%d iva2=%d", name, a, d)
+		}
 	}
 	return a, nil
 }
@@ -389,6 +440,42 @@ func (h *harness) metricsFor(c combo) (iva, sii, dst, ref *metric.Metric) {
 	return iva, sii, dst, ref
 }
 
+// mirrorMetric builds the packed mirror's metric for one grid point; its ITF
+// closures read the mirror's own table and catalog so the statistics match
+// across reopens and rebuilds.
+func (h *harness) mirrorMetric(c combo) *metric.Metric {
+	if !c.itf {
+		return metric.New(c.comb, metric.Equal{})
+	}
+	return metric.New(c.comb, metric.NewITF(
+		func() int64 { return h.iva2.tbl.Live() },
+		func(a model.AttrID) int64 {
+			info, err := h.iva2.cat.Info(a)
+			if err != nil {
+				return 0
+			}
+			return info.DF
+		}))
+}
+
+// mirrorDiff runs one query against the packed mirror across the whole
+// parallelism grid and demands byte-identical answers.
+func (h *harness) mirrorDiff(label string, q *model.Query, c combo, want []model.Result) error {
+	m := h.mirrorMetric(c)
+	for _, par := range parGrid {
+		h.iva2.ix.SetSearchParallelism(par)
+		got, _, err := h.iva2.ix.Search(q, m)
+		if err != nil {
+			return h.failf("%s packed search par=%d: %v", label, par, err)
+		}
+		h.res.CodecComparisons++
+		if err := h.diff(fmt.Sprintf("%s packed %s par=%d", label, c.name, par), want, got); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // nextCombo cycles the metric grid deterministically.
 func (h *harness) nextCombo() combo {
 	c := combos[h.metricIdx%len(combos)]
@@ -455,7 +542,14 @@ func (h *harness) step(op workload.OpKind) error {
 		if err := h.rebuildSII(); err != nil {
 			return err
 		}
-		return h.rebuildDST()
+		if err := h.rebuildDST(); err != nil {
+			return err
+		}
+		if h.iva2 != nil {
+			h.res.Rebuilds++
+			return h.rebuildIVA2()
+		}
+		return nil
 	case workload.OpRoundTrip:
 		return h.roundTripOp()
 	default:
@@ -499,6 +593,22 @@ func (h *harness) insertTuple(vals map[model.AttrID]model.Value) (model.TID, err
 	if tidIVA != tidSII || tidIVA != tidDST {
 		return 0, h.failf("tid divergence: iva=%d sii=%d dst=%d", tidIVA, tidSII, tidDST)
 	}
+	if h.iva2 != nil {
+		tid2, err := h.iva2.ix.Insert(vals)
+		if errors.Is(err, core.ErrNeedsRebuild) {
+			h.res.Rebuilds++
+			if err = h.rebuildIVA2(); err != nil {
+				return 0, err
+			}
+			tid2, err = h.iva2.ix.Insert(vals)
+		}
+		if err != nil {
+			return 0, h.failf("iva2 insert: %v", err)
+		}
+		if tid2 != tidIVA {
+			return 0, h.failf("codec mirror tid divergence: iva=%d iva2=%d", tidIVA, tid2)
+		}
+	}
 	h.ref[tidIVA] = &model.Tuple{TID: tidIVA, Values: vals}
 	h.liveTIDs = append(h.liveTIDs, tidIVA)
 	for a := range vals {
@@ -530,6 +640,11 @@ func (h *harness) deleteTuple(tid model.TID) error {
 	}
 	if err := h.dst.sc.Delete(tid); err != nil {
 		return h.failf("dst delete %d: %v", tid, err)
+	}
+	if h.iva2 != nil {
+		if err := h.iva2.ix.Delete(tid); err != nil {
+			return h.failf("iva2 delete %d: %v", tid, err)
+		}
 	}
 	return nil
 }
@@ -593,6 +708,22 @@ func (h *harness) updateOp() error {
 	}
 	if tidIVA != tidSII || tidIVA != tidDST {
 		return h.failf("update tid divergence: iva=%d sii=%d dst=%d", tidIVA, tidSII, tidDST)
+	}
+	if h.iva2 != nil {
+		tid2, err := h.iva2.ix.Update(old, vals)
+		if errors.Is(err, core.ErrNeedsRebuild) {
+			h.res.Rebuilds++
+			if err = h.rebuildIVA2(); err != nil {
+				return err
+			}
+			tid2, err = h.iva2.ix.Insert(vals)
+		}
+		if err != nil {
+			return h.failf("iva2 update %d: %v", old, err)
+		}
+		if tid2 != tidIVA {
+			return h.failf("codec mirror update tid divergence: iva=%d iva2=%d", tidIVA, tid2)
+		}
 	}
 	h.ref[tidIVA] = &model.Tuple{TID: tidIVA, Values: vals}
 	h.liveTIDs = append(h.liveTIDs, tidIVA)
@@ -658,6 +789,48 @@ func (h *harness) rebuildSII() error {
 	return nil
 }
 
+// rebuildIVA2 regenerates the packed mirror. Rebuilds are where the mirror
+// earns its keep: core.Build re-runs layout selection over real data, so
+// this is the moment lists actually adopt the packed codec.
+func (h *harness) rebuildIVA2() error {
+	newTblH, err := h.iva2.tblH.fresh()
+	if err != nil {
+		return h.failf("iva2 rebuild: %v", err)
+	}
+	newTbl, _, err := h.iva2.tbl.Rebuild(newTblH.f, h.refKeep)
+	if err != nil {
+		return h.failf("iva2 rebuild: %v", err)
+	}
+	newIxH, err := h.iva2.ixH.fresh()
+	if err != nil {
+		return h.failf("iva2 rebuild: %v", err)
+	}
+	newIx, err := core.Build(newTbl, newIxH.f, mirrorOpts())
+	if err != nil {
+		return h.failf("iva2 rebuild: %v", err)
+	}
+	h.iva2.tblH.f.Close()
+	h.iva2.ixH.f.Close()
+	h.iva2.tblH, h.iva2.ixH = newTblH, newIxH
+	h.iva2.tbl, h.iva2.ix = newTbl, newIx
+	h.notePackedLists()
+	return nil
+}
+
+// notePackedLists tracks the high-water count of packed lists on the mirror,
+// so the test entry can assert the differential was not vacuous.
+func (h *harness) notePackedLists() {
+	packed := 0
+	for _, r := range h.iva2.ix.Attrs() {
+		if r.CodedBlocks > 0 {
+			packed++
+		}
+	}
+	if packed > h.res.PackedLists {
+		h.res.PackedLists = packed
+	}
+}
+
 func (h *harness) rebuildDST() error {
 	newTblH, err := h.dst.tblH.fresh()
 	if err != nil {
@@ -689,6 +862,14 @@ func (h *harness) syncAll() error {
 	} {
 		if err := s.fn(); err != nil {
 			return h.failf("%s sync: %v", s.name, err)
+		}
+	}
+	if h.iva2 != nil {
+		if err := h.iva2.tbl.Sync(); err != nil {
+			return h.failf("iva2 table sync: %v", err)
+		}
+		if err := h.iva2.ix.Sync(); err != nil {
+			return h.failf("iva2 index sync: %v", err)
 		}
 	}
 	return nil
@@ -815,6 +996,42 @@ func (h *harness) reopenOp() error {
 	if !rep.Ok() {
 		return h.failf("iva check after reopen: %v", rep.Problems)
 	}
+
+	// Packed mirror: same reopen, same invariant. The v6 open path — codec
+	// bytes in the attribute elements, the block-directory walk — must
+	// reproduce byte-identical answers and a clean fsck.
+	if h.iva2 != nil {
+		cat, err := table.DecodeCatalog(h.iva2.cat.Encode())
+		if err != nil {
+			return h.failf("iva2 catalog decode: %v", err)
+		}
+		if err := h.iva2.tblH.reopen(); err != nil {
+			return h.failf("iva2 table reopen: %v", err)
+		}
+		if err := h.iva2.ixH.reopen(); err != nil {
+			return h.failf("iva2 index reopen: %v", err)
+		}
+		tbl, err := table.Open(h.iva2.tblH.f, cat)
+		if err != nil {
+			return h.failf("iva2 table open: %v", err)
+		}
+		ix, err := core.Open(h.iva2.ixH.f, tbl, mirrorOpts())
+		if err != nil {
+			return h.failf("iva2 index open: %v", err)
+		}
+		h.iva2.cat, h.iva2.tbl, h.iva2.ix = cat, tbl, ix
+		if err := h.mirrorDiff("post-reopen", q, c, want); err != nil {
+			return err
+		}
+		rep, err := h.iva2.ix.Check()
+		if err != nil {
+			return h.failf("iva2 check: %v", err)
+		}
+		if !rep.Ok() {
+			return h.failf("iva2 check after reopen: %v", rep.Problems)
+		}
+		h.notePackedLists()
+	}
 	h.res.Reopens++
 	return nil
 }
@@ -871,6 +1088,15 @@ func (h *harness) searchOp() error {
 		}
 	}
 	h.iva.ix.SetZoneMaps(true)
+
+	// Codec differential: the packed mirror must answer byte-identically at
+	// every parallelism, mid-workload — straddling deletes, reopens, and
+	// rebuilds.
+	if h.iva2 != nil {
+		if err := h.mirrorDiff("search", q, c, want); err != nil {
+			return err
+		}
+	}
 	got, _, err := h.sii.ix.Search(q, siiM)
 	if err != nil {
 		return h.failf("sii search: %v", err)
@@ -977,6 +1203,19 @@ func (h *harness) roundTripOp() error {
 	if err := h.diff("iva roundtrip "+c.name, preIVA, postIVA); err != nil {
 		return err
 	}
+	if h.iva2 != nil {
+		// The mirror saw the same insert→delete pair (via insertTuple /
+		// deleteTuple); its post state must match the raw engine's.
+		h.iva2.ix.SetSearchParallelism(0)
+		got, _, err := h.iva2.ix.Search(q, h.mirrorMetric(c))
+		if err != nil {
+			return h.failf("iva2 post-roundtrip search: %v", err)
+		}
+		h.res.CodecComparisons++
+		if err := h.diff("iva2 roundtrip "+c.name, postIVA, got); err != nil {
+			return err
+		}
+	}
 	if err := h.diff("sii roundtrip "+c.name, preSII, postSII); err != nil {
 		return err
 	}
@@ -1009,6 +1248,11 @@ func (h *harness) finalSweep() error {
 				return err
 			}
 		}
+		if h.iva2 != nil {
+			if err := h.mirrorDiff("final", q, c, want); err != nil {
+				return err
+			}
+		}
 		got, _, err := h.sii.ix.Search(q, siiM)
 		if err != nil {
 			return h.failf("final sii %s: %v", c.name, err)
@@ -1030,6 +1274,16 @@ func (h *harness) finalSweep() error {
 	}
 	if !rep.Ok() {
 		return h.failf("final iva check: %v", rep.Problems)
+	}
+	if h.iva2 != nil {
+		h.notePackedLists()
+		rep, err := h.iva2.ix.Check()
+		if err != nil {
+			return h.failf("final iva2 check: %v", err)
+		}
+		if !rep.Ok() {
+			return h.failf("final iva2 check: %v", rep.Problems)
+		}
 	}
 	return h.corruptionSweep()
 }

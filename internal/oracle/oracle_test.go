@@ -57,6 +57,31 @@ func TestDifferentialSmallPool(t *testing.T) {
 	t.Logf("oracle (small pool): %+v", res)
 }
 
+// TestDifferentialCodec is the format-v6 codec differential: a second
+// iVA-file built with the packed block codec rides the full op mix —
+// inserts, deletes, updates, syncs, reopens, rebuilds — and every answer it
+// gives must be byte-identical to the reference across the parallelism grid.
+func TestDifferentialCodec(t *testing.T) {
+	n := ops(t, defaultOps) / 4
+	if n < 300 {
+		n = 300
+	}
+	res, err := Run(Options{Seed: *flagSeed + 3, Ops: n, CacheBytes: *flagCache, CodecMirror: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oracle (codec): %+v", res)
+	if res.CodecComparisons == 0 {
+		t.Fatalf("the packed mirror was never compared: %+v", res)
+	}
+	if res.Rebuilds == 0 {
+		t.Fatalf("schedule never rebuilt, so no list could adopt the packed codec: %+v", res)
+	}
+	if res.PackedLists == 0 {
+		t.Fatalf("the packed mirror never held a packed list — the differential was vacuous: %+v", res)
+	}
+}
+
 // TestDifferentialOnDisk repeats a shorter run against real files, covering
 // the FileDevice reopen paths.
 func TestDifferentialOnDisk(t *testing.T) {

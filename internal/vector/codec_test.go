@@ -1,0 +1,509 @@
+package vector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/bitio"
+	"github.com/sparsewide/iva/internal/model"
+	"github.com/sparsewide/iva/internal/signature"
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+func TestCodecRegistry(t *testing.T) {
+	if c, ok := CodecByID(CodecRaw); !ok || c.ID() != CodecRaw || c.Name() != "raw" || c.Blocked() {
+		t.Fatalf("raw codec misregistered: %v %v", c, ok)
+	}
+	if c, ok := CodecByID(CodecPacked); !ok || c.ID() != CodecPacked || c.Name() != "packed" || !c.Blocked() {
+		t.Fatalf("packed codec misregistered: %v %v", c, ok)
+	}
+	if _, ok := CodecByID(7); ok {
+		t.Fatal("unknown codec id resolved")
+	}
+	if got := CodecName(7); got != "unknown(7)" {
+		t.Fatalf("CodecName(7) = %q", got)
+	}
+}
+
+// codecTestLayouts returns the delta-eligible layouts (tid-bearing Types I
+// and II) plus a positional one for the raw fallback.
+func codecTestLayouts(t *testing.T) map[string]Layout {
+	t.Helper()
+	sc, err := signature.NewCodec(2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Layout{
+		"I-text":    {Type: TypeI, Kind: model.KindText, LTid: 20, Codec: sc},
+		"I-numeric": {Type: TypeI, Kind: model.KindNumeric, LTid: 20, VecBits: 6},
+		"II-text":   {Type: TypeII, Kind: model.KindText, LTid: 20, LNum: 4, Codec: sc},
+		"IV-num":    {Type: TypeIV, Kind: model.KindNumeric, VecBits: 8, NDFCode: 255},
+	}
+}
+
+// encodeStripe produces a logical element stream for lay: n elements with
+// tids spaced by gap (positional layouts ignore tids).
+func encodeStripe(t *testing.T, lay Layout, n int, gap uint64) *bitio.Writer {
+	t.Helper()
+	enc, err := NewEncoder(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	for i := 0; i < n; i++ {
+		tid := model.TID(uint64(i) * gap)
+		switch lay.Kind {
+		case model.KindText:
+			var sigs []signature.Sig
+			ns := 1
+			if lay.Type == TypeII {
+				ns = i%3 + 1
+			}
+			for j := 0; j < ns; j++ {
+				sigs = append(sigs, lay.Codec.Encode(fmt.Sprintf("value-%d-%d", i, j)))
+			}
+			if err := enc.EncodeText(&w, tid, sigs); err != nil {
+				t.Fatal(err)
+			}
+		case model.KindNumeric:
+			if err := enc.EncodeNumeric(&w, tid, uint64(i%50), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return &w
+}
+
+func bitsEqual(a, b *bitio.Writer) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ra := bitio.NewReader(a.Bytes(), a.Len())
+	rb := bitio.NewReader(b.Bytes(), b.Len())
+	for rem := a.Len(); rem > 0; {
+		take := 64
+		if rem < 64 {
+			take = rem
+		}
+		va, _ := ra.ReadBits(take)
+		vb, _ := rb.ReadBits(take)
+		if va != vb {
+			return false
+		}
+		rem -= take
+	}
+	return true
+}
+
+// TestSealRoundTrip proves both codecs are lossless on every layout: the
+// decoded block is bit-identical to the stripe that was sealed, and the
+// packed codec's delta mode actually fires (and saves payload) on the
+// tid-bearing layouts.
+func TestSealRoundTrip(t *testing.T) {
+	for name, lay := range codecTestLayouts(t) {
+		for _, cdc := range []Codec{Raw, Packed} {
+			w := encodeStripe(t, lay, 64, 3)
+			words, err := cdc.Seal(lay, w.Bytes(), int64(w.Len()))
+			if err != nil {
+				t.Fatalf("%s/%s: seal: %v", name, cdc.Name(), err)
+			}
+			var dec bitio.Writer
+			n, err := DecodeBlock(lay, words, &dec)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", name, cdc.Name(), err)
+			}
+			if n != int64(w.Len()) || !bitsEqual(w, &dec) {
+				t.Fatalf("%s/%s: round trip not bit-identical (%d vs %d bits)", name, cdc.Name(), n, w.Len())
+			}
+			mode := uint8(words[1] >> 56)
+			deltaEligible := lay.Type == TypeI || lay.Type == TypeII
+			if cdc.ID() == CodecRaw && mode != blockModeRaw {
+				t.Fatalf("%s: raw codec produced mode %d", name, mode)
+			}
+			if cdc.ID() == CodecPacked && deltaEligible {
+				if mode != blockModeDelta {
+					t.Fatalf("%s: packed codec fell back to raw on a delta-eligible stripe", name)
+				}
+				rawWords, err := Raw.Seal(lay, w.Bytes(), int64(w.Len()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(words) >= len(rawWords) {
+					t.Fatalf("%s: delta block (%d words) not smaller than raw (%d words)",
+						name, len(words), len(rawWords))
+				}
+			}
+			if cdc.ID() == CodecPacked && !deltaEligible && mode != blockModeRaw {
+				t.Fatalf("%s: positional layout sealed in delta mode", name)
+			}
+		}
+	}
+}
+
+// TestSealRawFallback: a stripe whose bits do not parse as clean element
+// framing (here: a valid stream truncated mid-element) must seal in raw mode
+// — the packed codec never guesses — and still round-trip bit-identically.
+func TestSealRawFallback(t *testing.T) {
+	lay := Layout{Type: TypeI, Kind: model.KindNumeric, LTid: 20, VecBits: 6}
+	w := encodeStripe(t, lay, 8, 3)
+	nbits := int64(w.Len()) - 5 // chop mid-element: framing no longer parses
+	words, err := Packed.Seal(lay, w.Bytes(), nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := uint8(words[1] >> 56); mode != blockModeRaw {
+		t.Fatalf("unparseable stripe sealed in mode %d, want raw", mode)
+	}
+	var dec bitio.Writer
+	n, err := DecodeBlock(lay, words, &dec)
+	if err != nil || n != nbits {
+		t.Fatalf("raw-fallback round trip failed: %v (%d bits)", err, n)
+	}
+	want := bitio.NewReader(w.Bytes(), int(nbits))
+	got := bitio.NewReader(dec.Bytes(), dec.Len())
+	for rem := nbits; rem > 0; rem -= 64 {
+		take := 64
+		if rem < 64 {
+			take = int(rem)
+		}
+		a, _ := want.ReadBits(take)
+		b, _ := got.ReadBits(take)
+		if a != b {
+			t.Fatal("raw fallback not bit-identical")
+		}
+	}
+}
+
+// blockBytes serializes block words the way the physical stream stores them
+// (MSB-first, i.e. big-endian per word).
+func blockBytes(words []uint64) []byte {
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.BigEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+func wordsFromBytes(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// TestDecodeBlockStompedBytes is the unit-level no-false-negative check: for
+// every byte of a sealed block, stomping it must yield a typed
+// *storage.CorruptionError — never a silent different decode, never a panic.
+func TestDecodeBlockStompedBytes(t *testing.T) {
+	for name, lay := range codecTestLayouts(t) {
+		w := encodeStripe(t, lay, 32, 3)
+		words, err := Packed.Seal(lay, w.Bytes(), int64(w.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := blockBytes(words)
+		for off := 0; off < len(clean); off++ {
+			for _, xor := range []byte{0x01, 0x80, 0xff} {
+				dirty := append([]byte(nil), clean...)
+				dirty[off] ^= xor
+				var dec bitio.Writer
+				_, err := DecodeBlock(lay, wordsFromBytes(dirty), &dec)
+				if err == nil {
+					if !bitsEqual(w, &dec) {
+						t.Fatalf("%s: stomp at byte %d xor %#x decoded silently different bits", name, off, xor)
+					}
+					t.Fatalf("%s: stomp at byte %d xor %#x escaped the block checksum", name, off, xor)
+				}
+				var ce *storage.CorruptionError
+				if !errors.As(err, &ce) {
+					t.Fatalf("%s: stomp at byte %d: untyped error %v", name, off, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWalkBlocks chains three sealed stripes and proves the header walk
+// reconstructs the directory, then that damage in any header is detected.
+func TestWalkBlocks(t *testing.T) {
+	lay := Layout{Type: TypeI, Kind: model.KindNumeric, LTid: 16, VecBits: 6}
+	var phys bitio.Writer
+	var wantDir []BlockMeta
+	var logical int64
+	var physWord int64
+	for s := 0; s < 3; s++ {
+		w := encodeStripe(t, lay, 16+8*s, 2)
+		words, err := Packed.Seal(lay, w.Bytes(), int64(w.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range words {
+			phys.WriteBits(x, 64)
+		}
+		wantDir = append(wantDir, BlockMeta{PhysWord: physWord, LogicalStart: logical, LogicalBits: int64(w.Len())})
+		physWord += int64(len(words))
+		logical += int64(w.Len())
+	}
+	src := MemSource{R: bitio.NewReader(phys.Bytes(), phys.Len())}
+	dir, gotLogical, err := WalkBlocks(src, physWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLogical != logical || len(dir) != len(wantDir) {
+		t.Fatalf("walk: %d blocks %d bits, want %d blocks %d bits", len(dir), gotLogical, len(wantDir), logical)
+	}
+	for i := range dir {
+		if dir[i] != wantDir[i] {
+			t.Fatalf("block %d: %+v, want %+v", i, dir[i], wantDir[i])
+		}
+	}
+
+	// A corrupted magic word in the second header fails the walk typed.
+	dirty := append([]byte(nil), phys.Bytes()...)
+	dirty[8*wantDir[1].PhysWord] ^= 0x10
+	_, _, err = WalkBlocks(MemSource{R: bitio.NewReader(dirty, phys.Len())}, physWord)
+	var ce *storage.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("walk over stomped header: %v, want *storage.CorruptionError", err)
+	}
+
+	// A truncated coded region (cutting mid-block) fails typed too.
+	if _, _, err := WalkBlocks(src, physWord-1); !errors.As(err, &ce) {
+		t.Fatalf("walk over truncated region: %v, want *storage.CorruptionError", err)
+	}
+}
+
+// TestBlockSourceSplice drives a Cursor over a BlockSource splicing two
+// sealed stripes plus a raw tail, and demands element-exact agreement with a
+// cursor over the plain logical stream — including absolute re-seeks.
+func TestBlockSourceSplice(t *testing.T) {
+	sc, err := signature.NewCodec(2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, lay := range map[string]Layout{
+		"I-text":    {Type: TypeI, Kind: model.KindText, LTid: 16, Codec: sc},
+		"I-numeric": {Type: TypeI, Kind: model.KindNumeric, LTid: 16, VecBits: 6},
+		"II-text":   {Type: TypeII, Kind: model.KindText, LTid: 16, LNum: 4, Codec: sc},
+	} {
+		enc, err := NewEncoder(lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full logical stream: 48 elements, one per position.
+		var logical bitio.Writer
+		stripeEnds := []int{}
+		for i := 0; i < 48; i++ {
+			tid := model.TID(i)
+			if lay.Kind == model.KindText {
+				sigs := []signature.Sig{lay.Codec.Encode(fmt.Sprintf("e%d", i))}
+				if err := enc.EncodeText(&logical, tid, sigs); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := enc.EncodeNumeric(&logical, tid, uint64(i%60), false); err != nil {
+				t.Fatal(err)
+			}
+			if i == 15 || i == 31 {
+				stripeEnds = append(stripeEnds, logical.Len())
+			}
+		}
+		// Physical stream: stripes [0,e0) and [e0,e1) sealed, rest raw tail.
+		var phys bitio.Writer
+		var dir []BlockMeta
+		prev := 0
+		for _, end := range stripeEnds {
+			seg := make([]byte, (end-prev+7)/8)
+			r := bitio.NewReader(logical.Bytes(), logical.Len())
+			if err := r.Seek(prev); err != nil {
+				t.Fatal(err)
+			}
+			var sw bitio.Writer
+			if err := copyBits(&sw, r, int64(end-prev)); err != nil {
+				t.Fatal(err)
+			}
+			copy(seg, sw.Bytes())
+			words, err := Packed.Seal(lay, sw.Bytes(), int64(end-prev))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir = append(dir, BlockMeta{PhysWord: int64(phys.Len() / 64), LogicalStart: int64(prev), LogicalBits: int64(end - prev)})
+			for _, x := range words {
+				phys.WriteBits(x, 64)
+			}
+			prev = end
+		}
+		codedWords := int64(phys.Len() / 64)
+		// Raw tail: the remaining logical bits verbatim.
+		r := bitio.NewReader(logical.Bytes(), logical.Len())
+		if err := r.Seek(prev); err != nil {
+			t.Fatal(err)
+		}
+		if err := copyBits(&phys, r, int64(logical.Len()-prev)); err != nil {
+			t.Fatal(err)
+		}
+
+		bs := NewBlockSource(lay, MemSource{R: bitio.NewReader(phys.Bytes(), phys.Len())},
+			dir, codedWords, int64(logical.Len()))
+		if bs.Remaining() != int64(logical.Len()) {
+			t.Fatalf("%s: Remaining %d, want %d", name, bs.Remaining(), logical.Len())
+		}
+		ref, err := NewCursor(lay, MemSource{R: bitio.NewReader(logical.Bytes(), logical.Len())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewCursor(lay, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 48; i++ {
+			we, err := ref.MoveTo(model.TID(i), int64(i))
+			if err != nil {
+				t.Fatalf("%s ref MoveTo(%d): %v", name, i, err)
+			}
+			ge, err := got.MoveTo(model.TID(i), int64(i))
+			if err != nil {
+				t.Fatalf("%s spliced MoveTo(%d): %v", name, i, err)
+			}
+			if we.NDF != ge.NDF || we.Code != ge.Code || len(we.Sigs) != len(ge.Sigs) {
+				t.Fatalf("%s pos %d: spliced element differs (%+v vs %+v)", name, i, ge, we)
+			}
+			for j := range we.Sigs {
+				if we.Sigs[j].Len != ge.Sigs[j].Len {
+					t.Fatalf("%s pos %d sig %d differs", name, i, j)
+				}
+				for k := range we.Sigs[j].H {
+					if we.Sigs[j].H[k] != ge.Sigs[j].H[k] {
+						t.Fatalf("%s pos %d sig %d word %d differs", name, i, j, k)
+					}
+				}
+			}
+		}
+		// Re-seek to the middle (the checkpoint-resume path) and re-read.
+		if err := bs.SeekBit(dir[1].LogicalStart); err != nil {
+			t.Fatal(err)
+		}
+		cur2, err := NewCursorAt(lay, bs, dir[1].LogicalStart, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e, err := cur2.MoveTo(model.TID(20), 20); err != nil || e.NDF {
+			t.Fatalf("%s: re-seated cursor failed at pos 20: %v", name, err)
+		}
+	}
+}
+
+// FuzzCodecBlock seals a fuzzer-chosen element stream, then stomps
+// fuzzer-chosen bytes of the container: DecodeBlock must either fail with a
+// typed *storage.CorruptionError or decode the exact original bits — never a
+// silent difference, never a panic. The raw remainder of the input is also
+// decoded directly to exercise hostile headers.
+func FuzzCodecBlock(f *testing.F) {
+	f.Add([]byte{0, 10, 3, 20, 5, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0x55, 0xaa, 0x55, 0xaa, 1, 2})
+	f.Add([]byte{4, 31, 15, 62, 200, 1, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add([]byte{5, 1, 1, 1, 31, 250, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 || len(data) > 1<<12 {
+			return
+		}
+		lay := fuzzLayout(t, [4]byte{data[0], data[1], data[2], data[3]})
+		stompSel := data[4]
+		xor := data[5]
+		body := data[6:]
+
+		// Encode a valid stream, mirroring FuzzVectorList's generator.
+		enc, err := NewEncoder(lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(body)
+		if n > 40 {
+			n = 40
+		}
+		var w bitio.Writer
+		for i := 0; i < n; i++ {
+			b := body[i]
+			tid := model.TID(i)
+			if lay.Kind == model.KindNumeric {
+				code := uint64(b)
+				if max := uint64(1)<<uint(lay.VecBits) - 1; code >= max {
+					code = max - 1
+				}
+				if code == lay.NDFCode {
+					code = 0
+				}
+				if err := enc.EncodeNumeric(&w, tid, code, b%5 == 0); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			var sigs []signature.Sig
+			if b%5 != 0 {
+				ns := int(b)%3 + 1
+				if lay.Type != TypeI && ns >= 1<<uint(lay.LNum) {
+					ns = 1
+				}
+				for j := 0; j < ns; j++ {
+					sigs = append(sigs, lay.Codec.Encode(fmt.Sprintf("s%d-%d", i, j)))
+				}
+			}
+			if err := enc.EncodeText(&w, tid, sigs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Len() > 0 {
+			words, err := Packed.Seal(lay, w.Bytes(), int64(w.Len()))
+			if err != nil {
+				t.Fatalf("seal: %v", err)
+			}
+			// Clean decode must round-trip exactly.
+			var dec bitio.Writer
+			if _, err := DecodeBlock(lay, words, &dec); err != nil {
+				t.Fatalf("clean decode: %v", err)
+			}
+			if !bitsEqual(&w, &dec) {
+				t.Fatal("clean decode not bit-identical")
+			}
+			// Stomped decode: typed error or identical bits.
+			raw := blockBytes(words)
+			if xor != 0 {
+				raw[int(stompSel)%len(raw)] ^= xor
+				var dec2 bitio.Writer
+				if _, err := DecodeBlock(lay, wordsFromBytes(raw), &dec2); err == nil {
+					if !bitsEqual(&w, &dec2) {
+						t.Fatal("stomped block decoded silently different bits")
+					}
+				} else {
+					var ce *storage.CorruptionError
+					if !errors.As(err, &ce) {
+						t.Fatalf("stomped block: untyped error %v", err)
+					}
+				}
+			}
+		}
+
+		// Hostile container: the raw fuzz bytes as block words. Must reject
+		// cleanly or decode without panicking; errors must stay typed.
+		if len(body) >= 8 {
+			hw := wordsFromBytes(body[:len(body)/8*8])
+			var dec bitio.Writer
+			if _, err := DecodeBlock(lay, hw, &dec); err != nil {
+				var ce *storage.CorruptionError
+				if !errors.As(err, &ce) {
+					t.Fatalf("hostile container: untyped error %v", err)
+				}
+			}
+			// Hostile directory walk, same contract.
+			src := MemSource{R: bitio.NewReader(body, -1)}
+			if _, _, err := WalkBlocks(src, int64(len(body)/8)); err != nil {
+				var ce *storage.CorruptionError
+				if !errors.As(err, &ce) && !errors.Is(err, bitio.ErrShortBuffer) {
+					t.Fatalf("hostile walk: untyped error %v", err)
+				}
+			}
+		}
+	})
+}

@@ -99,6 +99,14 @@ type Options struct {
 	// top-k bar. Results are identical either way — the switch exists for
 	// A/B measurement and as an escape hatch. See also Store.SetZoneMaps.
 	DisableZoneMaps bool
+	// Codec selects the block codec vector lists are stored under (format
+	// v6): 0 keeps the legacy raw bit-packed layout (byte-compatible with
+	// v5), 1 seals Type I/II lists into word-aligned packed blocks with
+	// per-block skip headers and delta-coded tuple-id gaps. Answers are
+	// byte-identical under either codec; the choice trades build-time
+	// transcoding for smaller filter reads. Takes effect at the next build
+	// or rebuild; positional (Type III/IV) lists always stay raw.
+	Codec int
 	// TraceRingSize caps the sampled in-process trace ring served by
 	// WriteTraces (/debug/trace): one query trace in every
 	// TraceSampleEvery is retained, plus every slow query. 0 defaults to
@@ -359,6 +367,7 @@ func (s *Store) coreOptions() core.Options {
 		SearchParallelism: s.opts.SearchParallelism,
 		Integrity:         core.IntegrityMode(s.opts.Integrity),
 		DisableZoneMaps:   s.opts.DisableZoneMaps,
+		Codec:             s.opts.Codec,
 	}
 	if len(s.opts.AlphaPerAttr) > 0 {
 		opts.AlphaOverride = make(map[model.AttrID]float64, len(s.opts.AlphaPerAttr))
@@ -1184,6 +1193,8 @@ type AttrInfo struct {
 	Bits     int64   // vector list size in bits
 	DF       int64   // tuples defining the attribute
 	Strings  int64   // total strings (text attributes)
+	Codec    string  // block codec the list is stored under (format v6)
+	Blocks   int     // sealed block containers (packed codec only)
 }
 
 // Attrs reports every indexed attribute's layout, useful for inspecting
@@ -1201,6 +1212,8 @@ func (s *Store) Attrs() []AttrInfo {
 			Bits:     r.BitLen,
 			DF:       r.DF,
 			Strings:  r.Str,
+			Codec:    r.Codec,
+			Blocks:   r.CodedBlocks,
 		})
 	}
 	return out
