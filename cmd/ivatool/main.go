@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,16 @@ import (
 	"github.com/sparsewide/iva"
 	"github.com/sparsewide/iva/internal/oracle"
 )
+
+// exitCodeError carries a specific process exit status through run; main
+// unwraps it with errors.As. Without one, any error exits 1.
+type exitCodeError struct {
+	code int
+	err  error
+}
+
+func (e *exitCodeError) Error() string { return e.err.Error() }
+func (e *exitCodeError) Unwrap() error { return e.err }
 
 func main() {
 	var (
@@ -54,6 +65,9 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 0, "per-tenant admission queue bound for serve (0 = 4x cap)")
 		reqTimeout = flag.Duration("request-timeout", 2*time.Second, "default per-request deadline for serve")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM for serve")
+		follow     = flag.String("follow", "", "serve as a read-only follower replicating from this primary URL")
+		peer       = flag.String("peer", "", "replication peer URL corrupt index segments are read-repaired from (serve; implied by -follow)")
+		poll       = flag.Duration("poll", time.Second, "follower delta poll interval when caught up (with -follow)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -66,6 +80,7 @@ func main() {
 		addr: *addr, pprof: *pprofFlag, scrubEvery: *scrubEvery,
 		qps: *qps, burst: *burst, maxConcurrent: *maxConc, maxQueue: *maxQueue,
 		reqTimeout: *reqTimeout, drainTimeout: *drainT,
+		follow: *follow, peer: *peer, poll: *poll,
 	}
 	if err := validateFlags(*k, *slow, sv); err != nil {
 		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
@@ -74,7 +89,12 @@ func main() {
 	cmd, rest := args[0], args[1:]
 	if err := run(cmd, rest, *dir, *k, sv, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "ivatool: %v\n", err)
-		os.Exit(1)
+		code := 1
+		var ec *exitCodeError
+		if errors.As(err, &ec) {
+			code = ec.code
+		}
+		os.Exit(code)
 	}
 }
 
@@ -89,6 +109,9 @@ type serveOpts struct {
 	maxQueue      int
 	reqTimeout    time.Duration
 	drainTimeout  time.Duration
+	follow        string
+	peer          string
+	poll          time.Duration
 }
 
 // validateFlags rejects flag values that would previously pass silently into
@@ -115,6 +138,8 @@ func validateFlags(k int, slow time.Duration, sv serveOpts) error {
 		return fmt.Errorf("-request-timeout must be non-negative, got %v", sv.reqTimeout)
 	case sv.drainTimeout <= 0:
 		return fmt.Errorf("-drain-timeout must be positive, got %v", sv.drainTimeout)
+	case sv.poll < 0:
+		return fmt.Errorf("-poll must be non-negative, got %v", sv.poll)
 	}
 	return nil
 }
@@ -136,6 +161,39 @@ func run(cmd string, args []string, dir string, k int, sv serveOpts, opts iva.Op
 		}
 		defer st.Close()
 		return demo(st)
+	}
+
+	// The serve-only flags are also accepted after the subcommand, where
+	// operators expect them (`ivatool -dir DIR serve -follow URL`). The
+	// global flag parse stops at "serve", so without this re-parse a trailing
+	// -follow would be silently ignored and the replica would come up as an
+	// independent primary.
+	if cmd == "serve" {
+		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+		fs.StringVar(&sv.addr, "addr", sv.addr, "listen address")
+		fs.StringVar(&sv.follow, "follow", sv.follow, "replicate as a read-only follower from this primary URL")
+		fs.StringVar(&sv.peer, "peer", sv.peer, "read-repair peer URL (implied by -follow)")
+		fs.DurationVar(&sv.poll, "poll", sv.poll, "follower delta poll interval when caught up")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
+		}
+		if sv.poll < 0 {
+			return fmt.Errorf("-poll must be non-negative, got %v", sv.poll)
+		}
+	}
+
+	// A follower replica bootstraps or crash-recovers from its primary before
+	// opening, so it cannot go through the generic Open below.
+	if cmd == "serve" && sv.follow != "" {
+		st, err := iva.OpenFollower(dir, sv.follow, iva.FollowerOptions{Poll: sv.poll}, opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		return serve(st, sv)
 	}
 
 	st, err := iva.Open(dir, opts)
@@ -322,6 +380,16 @@ func stats(st *iva.Store, dir string, args []string) error {
 		fmt.Printf("codec       packed (%d/%d lists, %d sealed blocks)\n", packed, len(attrs), blocks)
 	} else {
 		fmt.Printf("codec       raw\n")
+	}
+	// Replication role and cursor, from the durable state files (a live
+	// follower's lag shows at its /healthz and /v1/stats; offline, only the
+	// applied generation is knowable).
+	if rs, ok := iva.ReadReplState(dir); ok {
+		fmt.Printf("replication role=%s epoch=%d gen=%d", rs.Role, rs.Epoch, rs.Gen)
+		if live := st.ReplStatus(); live.Role == "follower" {
+			fmt.Printf(" lag=%d", live.LagGenerations)
+		}
+		fmt.Println()
 	}
 
 	snap, err := iva.LoadScrubReport(filepath.Join(dir, "scrub-report.json"))

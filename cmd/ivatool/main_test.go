@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -138,5 +139,29 @@ func TestDemo(t *testing.T) {
 	}
 	if err := run("query", []string{"Type=Digital Camera", "Company=Canon"}, dir, 3, serveOpts{}, opts); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeArgParsing: serve flags given after the subcommand must be
+// honored, not silently dropped — a trailing -follow that went unparsed
+// would bring a replica up as an independent primary.
+func TestServeArgParsing(t *testing.T) {
+	opts := iva.Options{Metric: "L2", Weights: "EQU"}
+	fresh := filepath.Join(t.TempDir(), "replica")
+	// Port 1 refuses connections: the error must come from the follower
+	// bootstrap (proving -follow was parsed), not from opening the empty
+	// dir as a regular store.
+	err := run("serve", []string{"-follow", "http://127.0.0.1:1"}, fresh, 10, serveOpts{drainTimeout: time.Second, poll: time.Second}, opts)
+	if err == nil {
+		t.Fatal("serve -follow against a dead primary succeeded")
+	}
+	if !strings.Contains(err.Error(), "bootstrap follower") {
+		t.Fatalf("error did not come from the follower bootstrap: %v", err)
+	}
+	if err := run("serve", []string{"stray"}, fresh, 10, serveOpts{drainTimeout: time.Second, poll: time.Second}, opts); err == nil {
+		t.Fatal("stray serve argument accepted")
+	}
+	if err := run("serve", []string{"-poll", "-1s"}, fresh, 10, serveOpts{drainTimeout: time.Second, poll: time.Second}, opts); err == nil {
+		t.Fatal("negative -poll after subcommand accepted")
 	}
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/server"
+)
+
+// TestReplOverHTTP is the end-to-end follower path over the real wire: a
+// primary served by the HTTP mux, a follower attached with OpenFollower
+// against its URL, catch-up across multiple delta cuts, byte-identical
+// answers, and the replication verdict on both /healthz bodies.
+func TestReplOverHTTP(t *testing.T) {
+	base := t.TempDir()
+	pdir, fdir := filepath.Join(base, "primary"), filepath.Join(base, "follower")
+	primary, err := iva.Create(pdir, iva.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	for i := 0; i < 250; i++ {
+		if _, err := primary.Insert(iva.Row{
+			"brand": iva.Strings(fmt.Sprintf("brand-%02d", i%17)),
+			"price": iva.Num(float64(100 + i%90)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.EnableReplSource(); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(primary, nil, server.Config{})
+	srv := httptest.NewServer(serveMux(primary, nil, api, false))
+	defer srv.Close()
+
+	follower, err := iva.OpenFollower(fdir, srv.URL, iva.FollowerOptions{Poll: 5 * time.Millisecond}, iva.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitGen := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for follower.ReplStatus().Gen < want {
+			if time.Now().After(deadline) {
+				rs := follower.ReplStatus()
+				t.Fatalf("follower stuck at gen %d (want %d), last error %q", rs.Gen, want, rs.LastError)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	compare := func(tag string) {
+		t.Helper()
+		for i := 0; i < 8; i++ {
+			q := iva.NewQuery(7).WhereText("brand", fmt.Sprintf("brand-%02d", i)).WhereNum("price", float64(110+i))
+			pres, _, perr := primary.Search(q)
+			fres, _, ferr := follower.Search(q)
+			if perr != nil || ferr != nil {
+				t.Fatalf("%s: search errors: %v / %v", tag, perr, ferr)
+			}
+			if len(pres) != len(fres) {
+				t.Fatalf("%s: %d vs %d results", tag, len(pres), len(fres))
+			}
+			for j := range pres {
+				if pres[j] != fres[j] {
+					t.Fatalf("%s: result %d differs: %v vs %v", tag, j, pres[j], fres[j])
+				}
+			}
+		}
+	}
+	waitGen(primary.ReplStatus().Gen)
+	compare("bootstrap over HTTP")
+
+	// More cuts while the wire is live.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			if _, err := primary.Insert(iva.Row{
+				"brand": iva.Strings(fmt.Sprintf("brand-%02d", (round*40+i)%17)),
+				"price": iva.Num(float64(300 + round*40 + i)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := primary.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		waitGen(primary.ReplStatus().Gen)
+		compare(fmt.Sprintf("round %d", round))
+	}
+
+	// The primary's healthz carries the primary verdict line.
+	body := httpGet(t, srv.URL+"/healthz")
+	if !strings.Contains(body, "replication: role=primary") {
+		t.Fatalf("primary healthz missing replication line:\n%s", body)
+	}
+
+	// The replication families are in the scrape and the page still lints.
+	body = httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{"iva_repl_deltas_cut_total", "iva_repl_generation", "iva_repl_log_deltas"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	for _, p := range lintExposition(body) {
+		t.Error(p)
+	}
+
+	// A mux over the follower store reports the follower verdict with lag.
+	fsrv := httptest.NewServer(serveMux(follower, nil, nil, false))
+	defer fsrv.Close()
+	body = httpGet(t, fsrv.URL+"/healthz")
+	if !strings.Contains(body, "replication: role=follower") || !strings.Contains(body, "primary_gen=") {
+		t.Fatalf("follower healthz missing replication line:\n%s", body)
+	}
+
+	// Wire error mapping: a stale epoch asks for a resync with 410.
+	resp, err := http.Get(srv.URL + "/v1/repl/deltas?epoch=9999&from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale epoch returned %d, want 410", resp.StatusCode)
+	}
+	// Bad requests are rejected, not served as empty payloads.
+	resp, err = http.Get(srv.URL + "/v1/repl/segment?file=iva.idx&off=-1&len=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("negative segment offset was served")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}

@@ -9,12 +9,26 @@ import (
 	"github.com/sparsewide/iva"
 )
 
+// Scrub exit codes beyond the generic 0 (clean) and 1 (damage found, no
+// -repair asked): monitoring distinguishes "the store healed itself" from
+// "restore from backup".
+const (
+	exitScrubRepaired     = 3 // -repair rebuilt the index from a clean table; now clean
+	exitScrubUnrepairable = 4 // -repair could not produce a clean store
+)
+
 // scrub runs the store-wide checksum sweep and, with -repair, rebuilds the
 // index from the table when the damage is index-only (a rebuild rewrites
 // both files from the surviving table records, so it requires the table and
-// catalog to verify clean). It emits one machine-readable summary line
-// (`scrub: status=...`) and returns a non-nil error — exit status 1 — when
-// damage remains.
+// catalog to verify clean). It emits machine-readable `scrub: status=...`
+// sweep lines plus one final `scrub: result=...` line, and exits:
+//
+//	0  clean (result=clean)
+//	1  damage found without -repair (result=damaged)
+//	3  -repair rebuilt from a clean table and the re-sweep is clean
+//	   (result=repaired)
+//	4  -repair could not help: the table or catalog is damaged, or damage
+//	   survived the rebuild (result=unrepairable)
 //
 // Damage that prevents Open itself (superblock or tuple-list corruption)
 // surfaces as the open error before scrub runs and is not repairable here:
@@ -34,31 +48,40 @@ func scrub(st *iva.Store, dir string, args []string) error {
 	printScrub(rep)
 	persistScrub(dir, rep)
 	if rep.Clean() {
+		fmt.Println("scrub: result=clean")
 		return nil
 	}
 	if !*repair {
+		fmt.Println("scrub: result=damaged")
 		return fmt.Errorf("%d problems found (re-run with -repair to rebuild the index from a clean table)", len(rep.Problems))
 	}
 	if rep.CorruptTable > 0 || !rep.CatalogOK {
-		return fmt.Errorf("cannot repair: the table or catalog is damaged, and the index can only be rebuilt from clean table records")
+		fmt.Println("scrub: result=unrepairable")
+		return &exitCodeError{code: exitScrubUnrepairable,
+			err: fmt.Errorf("cannot repair: the table or catalog is damaged, and the index can only be rebuilt from clean table records")}
 	}
 	fmt.Println("scrub: repairing — rebuilding table and index files")
+	unrepairable := func(err error) error {
+		fmt.Println("scrub: result=unrepairable")
+		return &exitCodeError{code: exitScrubUnrepairable, err: err}
+	}
 	if err := st.Rebuild(); err != nil {
-		return fmt.Errorf("repair rebuild: %w", err)
+		return unrepairable(fmt.Errorf("repair rebuild: %w", err))
 	}
 	if err := st.Sync(); err != nil {
-		return err
+		return unrepairable(err)
 	}
 	if rep, err = st.Scrub(); err != nil {
-		return err
+		return unrepairable(err)
 	}
 	printScrub(rep)
 	persistScrub(dir, rep)
 	if !rep.Clean() {
-		return fmt.Errorf("repair left %d problems", len(rep.Problems))
+		return unrepairable(fmt.Errorf("repair left %d problems", len(rep.Problems)))
 	}
-	fmt.Println("scrub: repair complete")
-	return nil
+	fmt.Println("scrub: result=repaired")
+	return &exitCodeError{code: exitScrubRepaired,
+		err: fmt.Errorf("scrub repaired the index from a clean table (exit %d distinguishes a heal from a clean sweep)", exitScrubRepaired)}
 }
 
 // persistScrub records the sweep outcome in <dir>/scrub-report.json, the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/repl"
 	"github.com/sparsewide/iva/internal/server"
 )
 
@@ -33,6 +34,10 @@ func serveMux(st *iva.Store, sc *iva.Scrubber, api *server.Server, enablePprof b
 	mux := http.NewServeMux()
 	if api != nil {
 		api.Register(mux)
+		// Replication plane: snapshot/delta serving (primaries) and the raw
+		// file-range fetch any on-disk store can answer for a peer's
+		// read-repair.
+		api.RegisterRepl(mux, st)
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -49,8 +54,19 @@ func serveMux(st *iva.Store, sc *iva.Scrubber, api *server.Server, enablePprof b
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Replication verdict first: a follower that cannot reach its primary
+		// or trails it badly is degraded regardless of local integrity.
+		rs := st.ReplStatus()
+		if rs.Role == "follower" && (rs.LastError != "" || rs.LagGenerations > replLagDegraded) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded")
+			writeReplLine(w, rs)
+			return
+		}
 		if sc != nil {
 			sc.ServeHealthz(w, r)
+			writeReplLine(w, rs)
 			return
 		}
 		rep, err := st.Check()
@@ -64,9 +80,11 @@ func serveMux(st *iva.Store, sc *iva.Scrubber, api *server.Server, enablePprof b
 			for _, p := range rep.Problems {
 				fmt.Fprintf(w, "PROBLEM: %s\n", p)
 			}
+			writeReplLine(w, rs)
 			return
 		}
 		fmt.Fprintln(w, "ok")
+		writeReplLine(w, rs)
 	})
 	mux.HandleFunc("/debug/querylog", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("format") {
@@ -117,6 +135,25 @@ func serveMux(st *iva.Store, sc *iva.Scrubber, api *server.Server, enablePprof b
 	return mux
 }
 
+// replLagDegraded is the generation lag beyond which a follower's /healthz
+// reports degraded.
+const replLagDegraded = 8
+
+// writeReplLine appends the replication verdict line to a healthz body.
+func writeReplLine(w http.ResponseWriter, rs iva.ReplStatus) {
+	if rs.Role == "none" {
+		return
+	}
+	fmt.Fprintf(w, "replication: role=%s epoch=%d gen=%d", rs.Role, rs.Epoch, rs.Gen)
+	if rs.Role == "follower" {
+		fmt.Fprintf(w, " primary_gen=%d lag=%d", rs.PrimaryGen, rs.LagGenerations)
+		if rs.LastError != "" {
+			fmt.Fprintf(w, " last_error=%q", rs.LastError)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 // gracefulServe serves hs on ln until a signal arrives, then drains the query
 // service — in-flight searches finish, new arrivals shed with 503 — and shuts
 // the listener down. Split from serve so tests can drive the drain with their
@@ -150,6 +187,18 @@ func gracefulServe(hs *http.Server, ln net.Listener, api *server.Server, drainTi
 // SIGINT, then drains gracefully. A positive scrub interval starts the
 // background scrub scheduler for the server's lifetime.
 func serve(st *iva.Store, sv serveOpts) error {
+	if sv.follow == "" {
+		// Any served store is a potential primary: cut synced-prefix deltas
+		// so followers can attach at will.
+		if err := st.EnableReplSource(); err != nil {
+			return err
+		}
+	}
+	if sv.peer != "" {
+		// Corrupt index segments heal from this peer (a follower already
+		// repairs from its primary without the flag).
+		st.SetRepairPeer(repl.NewClient(sv.peer, 0))
+	}
 	var sc *iva.Scrubber
 	if sv.scrubEvery > 0 {
 		sc = st.StartScrubber(iva.ScrubberOptions{Interval: sv.scrubEvery})
@@ -169,7 +218,7 @@ func serve(st *iva.Store, sv serveOpts) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	defer signal.Stop(sig)
-	endpoints := "/v1/search, /v1/get, /v1/stats, /metrics, /healthz, /debug/querylog, /debug/trace"
+	endpoints := "/v1/search, /v1/get, /v1/stats, /v1/repl/{snapshot,deltas,segment}, /metrics, /healthz, /debug/querylog, /debug/trace"
 	if sv.pprof {
 		endpoints += ", /debug/pprof"
 	}

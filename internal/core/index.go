@@ -179,6 +179,29 @@ func sbCRCOffFor(version uint32) int {
 	return sbCRCOff
 }
 
+// SuperblockStamp hashes a committed superblock page into a state stamp,
+// EXCLUDING the embedded CRC trailer word. The exclusion is load-bearing,
+// not cosmetic: CRC32C is linear, so for any two pages that each carry a
+// valid trailer over their payload, the trailer difference exactly cancels
+// the payload difference and a whole-page hash comes out identical — a
+// constant, in fact, for every valid superblock ever written (the classic
+// crc(m‖crc(m)) residue, generalized). A whole-page stamp therefore can
+// never distinguish two committed states. Skipping the 4 trailer bytes
+// (version-aware, like Open and Scrub) restores content sensitivity.
+func SuperblockStamp(page []byte) uint32 {
+	if len(page) < 8 {
+		return storage.Checksum(page)
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != indexMagic {
+		return storage.Checksum(page)
+	}
+	at := sbCRCOffFor(binary.LittleEndian.Uint32(page[4:]))
+	if at+4 > len(page) {
+		return storage.Checksum(page)
+	}
+	return storage.ChecksumUpdate(storage.Checksum(page[:at]), page[at+4:])
+}
+
 // tombstonePtr marks a deleted tuple in the tuple list.
 const tombstonePtr = uint64(1)<<ptrBits - 1
 

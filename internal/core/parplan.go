@@ -187,6 +187,7 @@ func (ix *Index) searchParallel(ctx context.Context, q *model.Query, m *metric.M
 		}
 	}
 	stats.DegradedSegments = len(allDeg)
+	stats.DegradedSegIDs = sortedSegIDs(allDeg)
 	if n := int64(nstripes) - claimed; n > 0 {
 		stats.StripesSkipped = int(n) // the plan aborted before covering them
 	}

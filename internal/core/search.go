@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"time"
 
 	"github.com/sparsewide/iva/internal/metric"
@@ -59,6 +60,9 @@ type SearchStats struct {
 	// segments the query read past under DegradeReads (each forced its
 	// term's lower bound to zero, sending the affected tuples to refine).
 	DegradedSegments int
+	// DegradedSegIDs lists those segments' IDs in ascending order — the
+	// read-repair hook uses them to fetch clean copies from a peer.
+	DegradedSegIDs []uint32
 }
 
 // WorkerStats is one filter worker's share of a query (SearchStats).
@@ -72,6 +76,20 @@ type WorkerStats struct {
 
 // Total returns the query's full wall time.
 func (s SearchStats) Total() time.Duration { return s.FilterWall + s.RefineWall + s.MergeWall }
+
+// sortedSegIDs flattens a degraded-segment set into a sorted slice (nil when
+// empty, keeping the common clean path allocation-free).
+func sortedSegIDs(m map[uint32]struct{}) []uint32 {
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
 
 // readerSet tracks the ChainBitReaders one scan pass opens so their pinned
 // buffer-pool windows are released when the pass ends (a dropped reader
@@ -282,7 +300,10 @@ func (ix *Index) searchSequential(ctx context.Context, q *model.Query, m *metric
 		return nil, stats, err
 	}
 	degSegs := make(map[uint32]struct{})
-	defer func() { stats.DegradedSegments = len(degSegs) }()
+	defer func() {
+		stats.DegradedSegments = len(degSegs)
+		stats.DegradedSegIDs = sortedSegIDs(degSegs)
+	}()
 	var rds readerSet
 	defer rds.close()
 	// Term sources are kept by index so a zone-pruned stripe can reseat the

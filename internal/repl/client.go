@@ -1,0 +1,127 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// ErrResync is returned by Deltas when the primary cannot serve an
+// incremental continuation — the requested generation fell off the retained
+// log, or the primary restarted under a new epoch. The follower must fall
+// back to a full snapshot.
+var ErrResync = errors.New("repl: primary cannot continue incrementally; full resync required")
+
+// Client fetches replication state from a primary's /v1/repl endpoints.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// NewClient builds a client for the primary at base (e.g.
+// "http://10.0.0.1:9090"). Every request carries a deadline (default 30s)
+// on top of whatever context the caller passes.
+func NewClient(base string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{base: base, hc: &http.Client{}, timeout: timeout}
+}
+
+// get fetches one URL, bounding the request with the client deadline and
+// capping the response size.
+func (c *Client) get(ctx context.Context, path string, maxBytes int64) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return blob, resp.StatusCode, nil
+}
+
+// maxReplBody caps fetched replication bodies (a snapshot ships whole store
+// files, so the cap is generous).
+const maxReplBody = 4 << 30
+
+// Snapshot fetches a full-state snapshot: a Full delta at the primary's
+// current generation, wire-verified before return.
+func (c *Client) Snapshot(ctx context.Context) (*Delta, error) {
+	blob, code, err := c.get(ctx, "/v1/repl/snapshot", maxReplBody)
+	if err != nil {
+		return nil, fmt.Errorf("repl: snapshot: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("repl: snapshot: HTTP %d: %s", code, firstLine(blob))
+	}
+	d, err := DecodeDelta(blob)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Full {
+		return nil, fmt.Errorf("%w: snapshot delta not marked full", ErrCorruptDelta)
+	}
+	return d, nil
+}
+
+// Deltas fetches the deltas following generation `from` under `epoch`,
+// wire-verified before return. ErrResync means the follower must snapshot.
+func (c *Client) Deltas(ctx context.Context, epoch, from uint64) (*Batch, error) {
+	path := "/v1/repl/deltas?epoch=" + strconv.FormatUint(epoch, 10) +
+		"&from=" + strconv.FormatUint(from, 10)
+	blob, code, err := c.get(ctx, path, maxReplBody)
+	if err != nil {
+		return nil, fmt.Errorf("repl: deltas: %w", err)
+	}
+	switch code {
+	case http.StatusOK:
+		return DecodeBatch(blob)
+	case http.StatusGone:
+		return nil, ErrResync
+	default:
+		return nil, fmt.Errorf("repl: deltas: HTTP %d: %s", code, firstLine(blob))
+	}
+}
+
+// FetchFileRange fetches raw bytes [off, off+n) of a primary store file —
+// the read-repair path. The caller verifies the bytes against its own
+// committed checksum word; the wire adds no trust of its own.
+func (c *Client) FetchFileRange(ctx context.Context, file string, off, n int64) ([]byte, error) {
+	path := "/v1/repl/segment?file=" + url.QueryEscape(file) +
+		"&off=" + strconv.FormatInt(off, 10) + "&len=" + strconv.FormatInt(n, 10)
+	blob, code, err := c.get(ctx, path, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("repl: segment: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("repl: segment: HTTP %d: %s", code, firstLine(blob))
+	}
+	if int64(len(blob)) != n {
+		return nil, fmt.Errorf("repl: segment: got %d bytes, want %d", len(blob), n)
+	}
+	return blob, nil
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' || i >= 200 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,112 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sparsewide/iva/internal/storage"
+)
+
+func mkRange(off int64, data []byte) Range {
+	return Range{Off: off, CRC: storage.Checksum(data), Data: data}
+}
+
+func sampleDelta() *Delta {
+	return &Delta{
+		Epoch: 0xfeedface12345678,
+		Gen:   42,
+		Files: []FileDelta{
+			{ID: FileTable, Size: 8192, Ranges: []Range{
+				mkRange(0, []byte("table header bytes")),
+				mkRange(4096, bytes.Repeat([]byte{0xAB}, 512)),
+			}},
+			{ID: FileIndex, Size: 65536, Ranges: []Range{
+				mkRange(0, bytes.Repeat([]byte{7}, 4096)),
+				mkRange(8192, []byte{1, 2, 3}),
+			}},
+			{ID: FileCatalog, Size: 5, Ranges: []Range{mkRange(0, []byte("hello"))}},
+		},
+	}
+}
+
+// TestDeltaRoundTrip pins encode→decode fidelity.
+func TestDeltaRoundTrip(t *testing.T) {
+	d := sampleDelta()
+	got, err := DecodeDelta(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != d.Epoch || got.Gen != d.Gen || got.Full != d.Full {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Files) != len(d.Files) {
+		t.Fatalf("files = %d, want %d", len(got.Files), len(d.Files))
+	}
+	for i, f := range d.Files {
+		g := got.Files[i]
+		if g.ID != f.ID || g.Size != f.Size || len(g.Ranges) != len(f.Ranges) {
+			t.Fatalf("file %d mismatch: %+v vs %+v", i, g, f)
+		}
+		for j, r := range f.Ranges {
+			if g.Ranges[j].Off != r.Off || !bytes.Equal(g.Ranges[j].Data, r.Data) {
+				t.Fatalf("file %d range %d mismatch", i, j)
+			}
+		}
+	}
+	if d.Bytes() != 18+512+4096+3+5 {
+		t.Fatalf("Bytes() = %d", d.Bytes())
+	}
+}
+
+// TestDeltaBitFlipDetected flips every byte position (and one bit within)
+// of an encoded delta and asserts decode always fails: no single-byte
+// corruption may pass wire verification.
+func TestDeltaBitFlipDetected(t *testing.T) {
+	blob := sampleDelta().Encode()
+	for off := 0; off < len(blob); off++ {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 1 << (off % 8)
+		if _, err := DecodeDelta(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", off)
+		}
+	}
+	// Truncations must fail too.
+	for _, cut := range []int{1, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeDelta(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+// TestBatchRoundTrip pins the batch framing.
+func TestBatchRoundTrip(t *testing.T) {
+	d1 := sampleDelta()
+	d2 := sampleDelta()
+	d2.Gen = 43
+	d2.Full = true
+	b := &Batch{Epoch: d1.Epoch, PrimaryGen: 43, Deltas: []*Delta{d1, d2}}
+	got, err := DecodeBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != b.Epoch || got.PrimaryGen != 43 || len(got.Deltas) != 2 {
+		t.Fatalf("batch mismatch: %+v", got)
+	}
+	if got.Deltas[0].Gen != 42 || got.Deltas[1].Gen != 43 || !got.Deltas[1].Full {
+		t.Fatalf("member deltas mismatch")
+	}
+
+	// Empty batch (follower caught up) round-trips.
+	empty := &Batch{Epoch: 7, PrimaryGen: 9}
+	got, err = DecodeBatch(empty.Encode())
+	if err != nil || len(got.Deltas) != 0 || got.PrimaryGen != 9 {
+		t.Fatalf("empty batch: %v %+v", err, got)
+	}
+
+	// A corrupted member delta fails the whole batch.
+	blob := b.Encode()
+	blob[len(blob)-10] ^= 0xFF
+	if _, err := DecodeBatch(blob); err == nil {
+		t.Fatal("corrupt member decoded cleanly")
+	}
+}

@@ -1,0 +1,38 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplDelta throws arbitrary bytes at the delta decoder. The decoder
+// must never panic, and anything it accepts must re-encode byte-identically
+// (the decode is a bijection on valid blobs — nothing silently normalized).
+func FuzzReplDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleDelta().Encode())
+	full := sampleDelta()
+	full.Full = true
+	f.Add(full.Encode())
+	empty := &Delta{Epoch: 1, Gen: 1}
+	f.Add(empty.Encode())
+	b := &Batch{Epoch: 1, PrimaryGen: 2, Deltas: []*Delta{sampleDelta()}}
+	f.Add(b.Encode())
+	trunc := sampleDelta().Encode()
+	f.Add(trunc[:len(trunc)/2])
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if d, err := DecodeDelta(blob); err == nil {
+			re := d.Encode()
+			if !bytes.Equal(re, blob) {
+				t.Fatalf("accepted blob does not re-encode identically (%d vs %d bytes)", len(re), len(blob))
+			}
+		}
+		if bt, err := DecodeBatch(blob); err == nil {
+			re := bt.Encode()
+			if !bytes.Equal(re, blob) {
+				t.Fatalf("accepted batch does not re-encode identically")
+			}
+		}
+	})
+}

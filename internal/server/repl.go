@@ -1,0 +1,85 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sparsewide/iva"
+	"github.com/sparsewide/iva/internal/repl"
+)
+
+// ReplSource is the store surface the replication endpoints serve from;
+// *iva.Store satisfies it. Every response body is already CRC-framed by the
+// store (deltas and snapshots) or re-verified by the fetching side against
+// its own committed checksums (file ranges), so these handlers move opaque
+// bytes and map errors to status codes — nothing more.
+type ReplSource interface {
+	ReplSnapshot() ([]byte, error)
+	ReplDeltas(epoch, from uint64) ([]byte, error)
+	ReplFileRange(file string, off, n int64) ([]byte, error)
+}
+
+// RegisterRepl mounts the replication endpoints on mux:
+//
+//	GET /v1/repl/snapshot                     — full-state snapshot (encoded Full delta)
+//	GET /v1/repl/deltas?epoch=E&from=G       — encoded batch of deltas following gen G
+//	GET /v1/repl/segment?file=F&off=O&len=N  — raw file bytes (read-repair fetch)
+//
+// Replication traffic bypasses tenant admission (it is peer traffic, not
+// query traffic) and keeps flowing through a drain, like /v1/stats, so a
+// primary being rolled does not stall its followers. A follower losing
+// incremental continuity gets 410 Gone, the signal to take a snapshot.
+func (s *Server) RegisterRepl(mux *http.ServeMux, src ReplSource) {
+	mux.HandleFunc("/v1/repl/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s.serveRepl(w, r, func() ([]byte, error) { return src.ReplSnapshot() })
+	})
+	mux.HandleFunc("/v1/repl/deltas", func(w http.ResponseWriter, r *http.Request) {
+		epoch, err1 := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+		from, err2 := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		if err1 != nil || err2 != nil {
+			s.writeError(w, "repl", http.StatusBadRequest, "", "epoch and from must be unsigned integers")
+			return
+		}
+		s.serveRepl(w, r, func() ([]byte, error) { return src.ReplDeltas(epoch, from) })
+	})
+	mux.HandleFunc("/v1/repl/segment", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		off, err1 := strconv.ParseInt(q.Get("off"), 10, 64)
+		n, err2 := strconv.ParseInt(q.Get("len"), 10, 64)
+		if err1 != nil || err2 != nil {
+			s.writeError(w, "repl", http.StatusBadRequest, "", "off and len must be integers")
+			return
+		}
+		s.serveRepl(w, r, func() ([]byte, error) { return src.ReplFileRange(q.Get("file"), off, n) })
+	})
+}
+
+// serveRepl runs one replication fetch and writes the blob or the mapped
+// error status.
+func (s *Server) serveRepl(w http.ResponseWriter, r *http.Request, fetch func() ([]byte, error)) {
+	const ep = "repl"
+	start := time.Now()
+	defer func() { s.dur[ep].Observe(time.Since(start).Seconds()) }()
+	if r.Method != http.MethodGet {
+		s.writeError(w, ep, http.StatusMethodNotAllowed, "", "GET required")
+		return
+	}
+	blob, err := fetch()
+	if err != nil {
+		switch {
+		case errors.Is(err, repl.ErrResync):
+			s.writeError(w, ep, http.StatusGone, "resync", err.Error())
+		case errors.Is(err, iva.ErrNotReplicating):
+			s.writeError(w, ep, http.StatusServiceUnavailable, "not_replicating", err.Error())
+		default:
+			s.writeError(w, ep, http.StatusInternalServerError, "", err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	_, _ = w.Write(blob)
+	s.countRequest(ep, http.StatusOK)
+}

@@ -146,7 +146,7 @@ func New(be Backend, reg *obs.Registry, cfg Config) *Server {
 		dur:     make(map[string]*obs.Histogram, 3),
 	}
 	s.now = s.cfg.Now
-	for _, ep := range []string{"search", "get", "stats"} {
+	for _, ep := range []string{"search", "get", "stats", "repl"} {
 		s.dur[ep] = reg.Histogram("iva_server_request_duration_seconds",
 			"End-to-end request latency at the HTTP surface, by endpoint.",
 			obs.Labels{"endpoint": ep}, nil)
@@ -395,6 +395,9 @@ type StatsResponse struct {
 		Draining bool  `json:"draining"`
 		Active   int64 `json:"active_requests"`
 	} `json:"server"`
+	// Repl is present when the backend replicates (as primary or follower);
+	// followers expose their lag here.
+	Repl *iva.ReplStatus `json:"repl,omitempty"`
 }
 
 // handleStats answers GET /v1/stats. Stats stay served while draining so
@@ -409,6 +412,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var out StatsResponse
 	out.Store = s.be.Stats()
+	if rb, ok := s.be.(interface{ ReplStatus() iva.ReplStatus }); ok {
+		if rs := rb.ReplStatus(); rs.Role != "none" {
+			out.Repl = &rs
+		}
+	}
 	s.tmu.Lock()
 	out.Server.Tenants = len(s.tenants)
 	s.tmu.Unlock()

@@ -88,7 +88,7 @@ type propModel struct {
 
 type poolPropConfig struct {
 	seed     int64
-	opsPer   int           // per worker; 0 with a deadline means run until deadline
+	opsPer   int // per worker; 0 with a deadline means run until deadline
 	workers  int
 	deadline time.Duration // 0 = ops-bounded
 	faults   bool          // wrap devices in FaultDevice and cycle budgets

@@ -1,8 +1,8 @@
 package storage
 
 import (
+	"context"
 	"errors"
-	"math/rand"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -17,24 +17,40 @@ const (
 )
 
 // RetryDevice wraps a Device and retries operations that fail with
-// transient, kernel-signalled errors (EINTR/EAGAIN class) using capped
-// exponential backoff with full jitter. Persistent errors — corruption,
-// ENOSPC, injected faults — pass through on the first failure. The Store
-// wraps its FileDevices with it so a signal landing mid-pread does not fail
-// a query.
+// transient, kernel-signalled errors (EINTR/EAGAIN class) using the shared
+// Backoff policy (capped exponential with full jitter). Persistent errors —
+// corruption, ENOSPC, injected faults — pass through on the first failure.
+// The Store wraps its FileDevices with it so a signal landing mid-pread does
+// not fail a query. A bound context (Bind) aborts in-flight backoff sleeps
+// and stops further retries when the owning store shuts down.
 type RetryDevice struct {
 	inner   Device
 	retries atomic.Int64
 	onRetry atomic.Pointer[func()]
-	sleep   func(time.Duration) // test seam; nil means time.Sleep
+	ctx     atomic.Pointer[context.Context] // nil means never cancelled
+	backoff Backoff
 }
 
 // NewRetryDevice wraps inner with transient-error retries.
-func NewRetryDevice(inner Device) *RetryDevice { return &RetryDevice{inner: inner} }
+func NewRetryDevice(inner Device) *RetryDevice {
+	return &RetryDevice{
+		inner:   inner,
+		backoff: NewBackoff(retryBaseDelay, retryMaxDelay, retryAttempts),
+	}
+}
 
 // OnRetry installs a callback invoked once per retried operation (after the
 // backoff sleep, before the retry). Used to feed iva_device_retries_total.
 func (d *RetryDevice) OnRetry(fn func()) { d.onRetry.Store(&fn) }
+
+// Bind attaches a context: once it cancels, backoff sleeps abort and no
+// further retries run (the operation's transient error surfaces instead, so
+// a store being closed does not hang on a flapping device).
+func (d *RetryDevice) Bind(ctx context.Context) { d.ctx.Store(&ctx) }
+
+// SetBackoff overrides the retry policy (test seam: inject a recording
+// Sleep/Rand to assert the schedule without wall-clock sleeps).
+func (d *RetryDevice) SetBackoff(b Backoff) { d.backoff = b }
 
 // Retries returns the number of retries performed so far.
 func (d *RetryDevice) Retries() int64 { return d.retries.Load() }
@@ -46,24 +62,24 @@ func transientError(err error) bool {
 }
 
 func (d *RetryDevice) do(op func() error) error {
+	var ctx context.Context
+	if p := d.ctx.Load(); p != nil {
+		ctx = *p
+	}
+	attempts := d.backoff.Attempts
+	if attempts <= 0 {
+		attempts = retryAttempts
+	}
 	var err error
-	for attempt := 0; attempt < retryAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if err = op(); err == nil || !transientError(err) {
 			return err
 		}
-		if attempt == retryAttempts-1 {
+		if attempt == attempts-1 {
 			break
 		}
-		// Full jitter: uniform in [0, base<<attempt], capped.
-		ceil := retryBaseDelay << attempt
-		if ceil > retryMaxDelay {
-			ceil = retryMaxDelay
-		}
-		delay := time.Duration(rand.Int63n(int64(ceil) + 1))
-		if d.sleep != nil {
-			d.sleep(delay)
-		} else {
-			time.Sleep(delay)
+		if werr := d.backoff.Wait(ctx, attempt); werr != nil {
+			return err // shutting down: surface the transient error as-is
 		}
 		d.retries.Add(1)
 		if fn := d.onRetry.Load(); fn != nil {

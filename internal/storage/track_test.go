@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTrackDeviceCoalesce pins the merge behavior: overlapping and adjacent
+// writes coalesce, disjoint writes stay separate, and TakeDirty resets.
+func TestTrackDeviceCoalesce(t *testing.T) {
+	d := NewTrackDevice(NewMemDevice())
+	d.Arm()
+	w := func(off, n int64) {
+		if _, err := d.WriteAt(make([]byte, n), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w(100, 10) // [100,110)
+	w(0, 4)    // [0,4)
+	w(110, 5)  // adjacent: [100,115)
+	w(98, 4)   // overlapping: [98,115)
+	w(200, 1)  // disjoint
+	got := d.TakeDirty()
+	want := []Range{{0, 4}, {98, 17}, {200, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ranges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranges = %v, want %v", got, want)
+		}
+	}
+	if len(d.TakeDirty()) != 0 {
+		t.Fatal("TakeDirty must reset the set")
+	}
+
+	// A write bridging two tracked ranges merges them.
+	w(0, 4)
+	w(10, 4)
+	w(3, 8) // bridges into [0,14)
+	got = d.TakeDirty()
+	if len(got) != 1 || got[0] != (Range{0, 14}) {
+		t.Fatalf("ranges = %v, want [{0 14}]", got)
+	}
+}
+
+// TestTrackDeviceDisarmedAndTruncate checks that a disarmed tracker records
+// nothing and that a shrink clips tracked ranges.
+func TestTrackDeviceDisarmedAndTruncate(t *testing.T) {
+	d := NewTrackDevice(NewMemDevice())
+	if _, err := d.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TakeDirty(); len(got) != 0 {
+		t.Fatalf("disarmed tracker recorded %v", got)
+	}
+	d.Arm()
+	if _, err := d.WriteAt(make([]byte, 100), 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate(80); err != nil {
+		t.Fatal(err)
+	}
+	got := d.TakeDirty()
+	if len(got) != 1 || got[0] != (Range{50, 30}) {
+		t.Fatalf("ranges after shrink = %v, want [{50 30}]", got)
+	}
+}
+
+// TestTrackDeviceRandomized cross-checks the coalescing set against a naive
+// byte bitmap over random writes.
+func TestTrackDeviceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		d := NewTrackDevice(NewMemDevice())
+		d.Arm()
+		const size = 4096
+		dirty := make([]bool, size)
+		for i := 0; i < 100; i++ {
+			off := rng.Int63n(size - 64)
+			n := 1 + rng.Int63n(64)
+			if _, err := d.WriteAt(make([]byte, n), off); err != nil {
+				t.Fatal(err)
+			}
+			for b := off; b < off+n; b++ {
+				dirty[b] = true
+			}
+		}
+		covered := make([]bool, size)
+		prevEnd := int64(-1)
+		for _, r := range d.TakeDirty() {
+			if r.Off <= prevEnd {
+				t.Fatalf("iter %d: ranges not disjoint/sorted at %v", iter, r)
+			}
+			prevEnd = r.Off + r.Len
+			for b := r.Off; b < r.Off+r.Len; b++ {
+				covered[b] = true
+			}
+		}
+		for b := 0; b < size; b++ {
+			if dirty[b] && !covered[b] {
+				t.Fatalf("iter %d: written byte %d not covered", iter, b)
+			}
+		}
+	}
+}

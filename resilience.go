@@ -54,10 +54,13 @@ type ScrubReport struct {
 
 	// Index segment sweep: segments covered by the committed checksum map,
 	// how many failed their CRC32C word, and how many were skipped because
-	// they hold unsynced writes.
+	// they hold unsynced writes. CorruptIndexSegIDs lists the failing
+	// segments' ids — the read-repair path fetches clean copies of exactly
+	// these from a replication peer.
 	IndexSegments        int
 	CorruptIndexSegments int
 	DirtyIndexSegments   int
+	CorruptIndexSegIDs   []uint32
 
 	// Checkpoint record sweep, plus records already dropped when the index
 	// was opened under DegradeReads.
@@ -134,6 +137,7 @@ func (s *Store) scrubYield(yield func()) (*ScrubReport, error) {
 		IndexSegments:        ixRep.Segments,
 		CorruptIndexSegments: ixRep.CorruptSegments,
 		DirtyIndexSegments:   ixRep.DirtySegments,
+		CorruptIndexSegIDs:   ixRep.CorruptSegIDs,
 		Checkpoints:          ixRep.Checkpoints,
 		CorruptCheckpoints:   ixRep.CorruptCheckpoints,
 		DroppedCheckpoints:   ixRep.DroppedCheckpoints,
@@ -166,6 +170,11 @@ func (s *Store) scrubYield(yield func()) (*ScrubReport, error) {
 			rep.CatalogOK = false
 			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %v", catalogFileName, err))
 		}
+	}
+	// Corrupt index segments the sweep found are candidates for peer
+	// read-repair — queue them like a degraded query would.
+	if len(rep.CorruptIndexSegIDs) > 0 {
+		s.enqueueRepair(rep.CorruptIndexSegIDs)
 	}
 	return rep, nil
 }

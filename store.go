@@ -24,6 +24,11 @@ import (
 // ErrNotFound is returned for operations on tuple ids that are not live.
 var ErrNotFound = errors.New("iva: tuple not found")
 
+// ErrFollower is returned for local mutations on a store running in follower
+// mode: its files mirror a primary's synced prefix, and a local write would
+// fork the replica. Write to the primary instead.
+var ErrFollower = errors.New("iva: store is a replication follower (read-only)")
+
 // Options configure a Store.
 type Options struct {
 	// Alpha is the relative vector length α controlling the filter/refine
@@ -120,6 +125,12 @@ type Options struct {
 	obsLog    *obs.QueryLog
 	obsRing   *obs.TraceRing
 	obsLabels obs.Labels
+
+	// deviceHook, when set, wraps every raw device the store opens (keyed by
+	// file name) before the retry and tracking layers. It is the fault-
+	// injection seam store-level crash and corruption tests use; unexported
+	// because only package-internal tests may reach it.
+	deviceHook func(name string, dev storage.Device) storage.Device
 }
 
 func (o Options) withDefaults() Options {
@@ -189,6 +200,32 @@ type Store struct {
 	// because searches run concurrently under the shared engine lock.
 	zoneChecked atomic.Int64 // stripes whose zone record was consulted
 	zonePruned  atomic.Int64 // stripes skipped outright on the zone bound
+
+	// Replication state. trackers holds the write-range tracker of every
+	// device the store opened (keyed by file name); they record nothing until
+	// EnableReplSource arms them. replP is non-nil on a delta-shipping
+	// primary, fol on a log-applying follower, repairer when a read-repair
+	// peer is configured.
+	trkMu    sync.Mutex
+	trackers map[string]*storage.TrackDevice
+	replP    *replPrimary
+	fol      *followerState
+	repairer *repairer
+	// replicaCur is non-nil when the directory carries a follower cursor
+	// (repl-state.json), whether or not a poll loop is attached: the durable
+	// bytes are a synced prefix of some primary, and any local mutation —
+	// including a bare Sync's superblock rewrite — would fork them from the
+	// generation the cursor names. Such a store is read-only even under
+	// plain Open (e.g. `ivatool -dir <replica> insert` while the follower
+	// process serves the same directory).
+	replicaCur *followerDurableState
+}
+
+// followerReadOnly reports whether local mutations must be refused: either a
+// live follower poll loop owns the store, or the directory holds a follower
+// cursor that local writes would invalidate.
+func (s *Store) followerReadOnly() bool {
+	return s.fol != nil || s.replicaCur != nil
 }
 
 // storeMetrics caches the store's registry handles so the hot path never
@@ -281,6 +318,8 @@ func (s *Store) initObs() {
 		return float64(s.ix.Deleted())
 	})
 	s.reg.GaugeFunc("iva_attributes", "Registered attributes.", labels, func() float64 {
+		s.engineMu.RLock()
+		defer s.engineMu.RUnlock()
 		return float64(s.cat.NumAttrs())
 	})
 	s.reg.GaugeFunc("iva_table_bytes", "Table file size.", labels, func() float64 {
@@ -432,6 +471,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opts: opts, pool: storage.NewPoolShards(opts.PageSize, opts.CacheBytes, opts.CacheShards), cat: cat}
+	if cur, err := loadFollowerState(dir); err == nil {
+		s.replicaCur = &cur
+	}
 	tblDev, err := s.device(tableFileName)
 	if err != nil {
 		return nil, err
@@ -466,6 +508,9 @@ func (s *Store) device(name string) (storage.Device, error) {
 			return nil, err
 		}
 	}
+	if s.opts.deviceHook != nil {
+		dev = s.opts.deviceHook(name, dev)
+	}
 	// Transient kernel errors (EINTR/EAGAIN) retry with backoff instead of
 	// failing the query. The metric handle is nil until initObs; retries
 	// before that (none in practice — devices see no I/O until the store is
@@ -476,7 +521,24 @@ func (s *Store) device(name string) (storage.Device, error) {
 			c.Inc()
 		}
 	})
-	return rd, nil
+	// The outermost tracker records which byte ranges are written between
+	// Syncs — the raw material of replication deltas. Disarmed (free) unless
+	// the store becomes a replication primary.
+	td := storage.NewTrackDevice(rd)
+	s.trkMu.Lock()
+	if s.trackers == nil {
+		s.trackers = make(map[string]*storage.TrackDevice)
+	}
+	s.trackers[name] = td
+	s.trkMu.Unlock()
+	return td, nil
+}
+
+// tracker returns the write tracker of the named store file.
+func (s *Store) tracker(name string) *storage.TrackDevice {
+	s.trkMu.Lock()
+	defer s.trkMu.Unlock()
+	return s.trackers[name]
 }
 
 func (s *Store) buildMetric() error {
@@ -535,6 +597,9 @@ func (s *Store) resolveRow(row Row) (map[model.AttrID]model.Value, error) {
 // registered with the kind of their value. A packed-width overflow triggers
 // a transparent rebuild and retry.
 func (s *Store) Insert(row Row) (TID, error) {
+	if s.followerReadOnly() {
+		return 0, ErrFollower
+	}
 	vals, err := s.resolveRow(row)
 	if err != nil {
 		return 0, err
@@ -582,6 +647,9 @@ func (s *Store) maybeGrowthRebuild() error {
 // nothing is inserted. A packed-width overflow triggers one transparent
 // rebuild and retry.
 func (s *Store) InsertBatch(rows []Row) ([]TID, error) {
+	if s.followerReadOnly() {
+		return nil, ErrFollower
+	}
 	batch := make([]map[model.AttrID]model.Value, len(rows))
 	for i, row := range rows {
 		vals, err := s.resolveRow(row)
@@ -623,6 +691,9 @@ func (s *Store) InsertBatch(rows []Row) ([]TID, error) {
 // Delete removes a tuple. When the tombstone fraction reaches the cleaning
 // threshold β, the store rebuilds its files (§IV-B).
 func (s *Store) Delete(tid TID) error {
+	if s.followerReadOnly() {
+		return ErrFollower
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ix.Delete(model.TID(tid)); err != nil {
@@ -640,6 +711,9 @@ func (s *Store) Delete(tid TID) error {
 
 // Update replaces a tuple's row under a fresh id, which is returned.
 func (s *Store) Update(tid TID, row Row) (TID, error) {
+	if s.followerReadOnly() {
+		return 0, ErrFollower
+	}
 	vals, err := s.resolveRow(row)
 	if err != nil {
 		return 0, err
@@ -767,6 +841,10 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 	}
 	sp.SetInt("k", int64(q.k))
 
+	// The engine lock covers term resolution too: a follower's delta apply
+	// swaps the catalog pointer together with the engine, so s.cat must not
+	// be read outside it.
+	s.engineMu.RLock()
 	plan := sp.Child("plan")
 	mq := &model.Query{K: q.k}
 	for _, t := range q.terms {
@@ -776,6 +854,7 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 			var err error
 			id, err = s.cat.AddAttr(t.attr, t.kind.internal())
 			if err != nil {
+				s.engineMu.RUnlock()
 				return nil, qs, err
 			}
 		}
@@ -786,9 +865,11 @@ func (s *Store) search(ctx context.Context, q *Query, parent *obs.Span) ([]Resul
 	plan.SetInt("terms", int64(len(mq.Terms)))
 	plan.End()
 
-	s.engineMu.RLock()
 	res, st, err := s.ix.SearchTracedContext(ctx, mq, s.met, sp)
 	s.engineMu.RUnlock()
+	if len(st.DegradedSegIDs) > 0 {
+		s.enqueueRepair(st.DegradedSegIDs)
+	}
 	if err != nil {
 		sp.End()
 		s.om.queryErrs.Inc()
@@ -909,6 +990,9 @@ func (s *Store) SlowQueryCount() int64 { return s.slowLog.Total() }
 // re-deriving numeric domains and list layouts. It is called automatically
 // by the cleaning policy but may be invoked explicitly.
 func (s *Store) Rebuild() error {
+	if s.followerReadOnly() {
+		return ErrFollower
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rebuildLocked()
@@ -954,6 +1038,21 @@ func (s *Store) rebuildLocked() error {
 		if err := os.Rename(filepath.Join(s.dir, indexFileName+".new"), filepath.Join(s.dir, indexFileName)); err != nil {
 			return err
 		}
+	}
+	// The renamed-in files carry the trackers opened under the ".new" names.
+	s.trkMu.Lock()
+	if s.trackers != nil {
+		s.trackers[tableFileName] = s.trackers[tableFileName+".new"]
+		s.trackers[indexFileName] = s.trackers[indexFileName+".new"]
+		delete(s.trackers, tableFileName+".new")
+		delete(s.trackers, indexFileName+".new")
+	}
+	s.trkMu.Unlock()
+	// A rebuild replaces the files wholesale: in-place deltas cannot continue
+	// across it, so the retained log is invalidated and followers fall back
+	// to a snapshot.
+	if s.replP != nil {
+		s.replInvalidateLocked()
 	}
 	s.rebuilds++
 	s.om.rebuilds.Inc()
@@ -1080,6 +1179,8 @@ func (s *Store) Explain(q *Query) (*QueryExplain, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	s.engineMu.RLock()
+	defer s.engineMu.RUnlock()
 	mq := &model.Query{K: q.k}
 	names := make(map[model.AttrID]string)
 	for _, t := range q.terms {
@@ -1095,8 +1196,6 @@ func (s *Store) Explain(q *Query) (*QueryExplain, error) {
 			Attr: id, Kind: t.kind.internal(), Num: t.num, Str: t.str, Weight: t.weight,
 		})
 	}
-	s.engineMu.RLock()
-	defer s.engineMu.RUnlock()
 	ex, err := s.ix.ExplainSearch(mq, s.met)
 	if err != nil {
 		return nil, err
@@ -1248,6 +1347,13 @@ func (s *Store) Sync() error {
 }
 
 func (s *Store) syncLocked() error {
+	if s.followerReadOnly() {
+		// A follower's durable state is exactly the applied synced prefix; a
+		// local Sync would rewrite superblock/checksum-map bytes the next
+		// delta assumes unchanged, forking the replica. There is nothing to
+		// flush anyway — followers accept no local writes.
+		return nil
+	}
 	if err := s.tbl.Sync(); err != nil {
 		return err
 	}
@@ -1259,11 +1365,21 @@ func (s *Store) syncLocked() error {
 			return fmt.Errorf("iva: write catalog: %w", err)
 		}
 	}
+	// A replication primary cuts one synced-prefix delta per committed
+	// generation: the byte ranges written since the previous Sync, snapshotted
+	// now that they are durable and self-consistent.
+	if s.replP != nil {
+		s.replCutLocked()
+	}
 	return nil
 }
 
-// Close checkpoints and releases the store. Closing twice is a no-op.
+// Close checkpoints and releases the store. Closing twice is a no-op. On a
+// follower the poll loop is stopped first; on any store the read-repair
+// worker drains before the files close under it.
 func (s *Store) Close() error {
+	s.stopFollower()
+	s.stopRepairer()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
